@@ -1,0 +1,96 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation section (Figures 2, 3, 5a, 5b, 6 and Table II) and prints
+// the measured rows next to the paper's reported numbers. At full scale
+// (-steps 30000, the paper's setting) the complete suite is a large
+// computation; -steps 3000 gives the same shapes in a few minutes.
+//
+// Usage:
+//
+//	experiments                     # everything, full scale
+//	experiments -steps 3000         # everything, scaled down
+//	experiments -only fig5a         # one experiment
+//	experiments -csvdir out/        # also write plot-ready CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// renderable is what every figure/table result provides.
+type renderable interface {
+	Render() string
+	WriteCSV(io.Writer) error
+}
+
+func main() {
+	var (
+		steps    = flag.Int("steps", 30000, "target global steps per job (paper: 30000)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		csvdir   = flag.String("csvdir", "", "directory to write per-figure CSV data files")
+	)
+	flag.Parse()
+
+	o := sweep.Options{Steps: *steps, Seed: *seed, Parallelism: *parallel}
+	type exp struct {
+		name string
+		run  func(sweep.Options) (renderable, error)
+	}
+	suite := []exp{
+		{"fig2", func(o sweep.Options) (renderable, error) { return sweep.Figure2(o) }},
+		{"fig3", func(o sweep.Options) (renderable, error) { return sweep.Figure3(o) }},
+		{"fig5a", func(o sweep.Options) (renderable, error) { return sweep.Figure5a(o) }},
+		{"fig5b", func(o sweep.Options) (renderable, error) { return sweep.Figure5b(o) }},
+		{"fig6", func(o sweep.Options) (renderable, error) { return sweep.Figure6(o) }},
+		{"table2", func(o sweep.Options) (renderable, error) { return sweep.TableII(o) }},
+	}
+	if *csvdir != "" {
+		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	ran := 0
+	for _, e := range suite {
+		if *only != "" && !strings.EqualFold(*only, e.name) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := e.run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (steps=%d seed=%d, %.1fs wall) ===\n%s\n",
+			e.name, *steps, *seed, time.Since(start).Seconds(), res.Render())
+		if *csvdir != "" {
+			path := filepath.Join(*csvdir, e.name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := res.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("csv written to %s\n\n", path)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -only %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,120 @@
+// Command tlsim runs one TensorLights experiment: a configurable number
+// of concurrent parameter-server training jobs on the simulated 21-host
+// testbed, under FIFO, TLs-One or TLs-RR scheduling.
+//
+// Usage:
+//
+//	tlsim -policy tls-one -placement 1 -steps 3000 -batch 4 -seed 42
+//	tlsim -policy fifo -custom-placement "5, 16" -util
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	tensorlights "repro"
+)
+
+func main() {
+	var (
+		policy    = flag.String("policy", "fifo", "scheduling policy: fifo | tls-one | tls-rr | tls-lpf | static-rate")
+		placement = flag.Int("placement", 1, "Table I placement index (1-8)")
+		custom    = flag.String("custom-placement", "", `custom PS placement, e.g. "5, 16" (overrides -placement)`)
+		model     = flag.String("model", "resnet32", "model from the zoo")
+		jobs      = flag.Int("jobs", 21, "number of concurrent jobs")
+		batch     = flag.Int("batch", 4, "local batch size")
+		steps     = flag.Int("steps", 30000, "target global steps per job")
+		bands     = flag.Int("bands", 6, "TensorLights priority bands")
+		interval  = flag.Float64("interval", 20, "TLs-RR rotation interval T (seconds)")
+		async     = flag.Bool("async", false, "asynchronous training (no barrier)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		util      = flag.Bool("util", false, "measure CPU/NIC utilization")
+		traceOut  = flag.String("trace", "", "write a CSV event trace to this file")
+		listModel = flag.Bool("models", false, "list available models and exit")
+		listPlace = flag.Bool("placements", false, "list Table I placements and exit")
+	)
+	flag.Parse()
+
+	if *listModel {
+		for _, m := range tensorlights.Models() {
+			fmt.Println(m)
+		}
+		return
+	}
+	if *listPlace {
+		fmt.Print(tensorlights.Placements())
+		return
+	}
+
+	var pol tensorlights.Policy
+	switch *policy {
+	case "fifo":
+		pol = tensorlights.FIFO
+	case "tls-one", "one":
+		pol = tensorlights.TLsOne
+	case "tls-rr", "rr":
+		pol = tensorlights.TLsRR
+	case "tls-lpf", "lpf":
+		pol = tensorlights.TLsLPF
+	case "static-rate", "rate":
+		pol = tensorlights.StaticRate
+	default:
+		fmt.Fprintf(os.Stderr, "tlsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	cfg := tensorlights.ExperimentConfig{
+		Policy:             pol,
+		PlacementIndex:     *placement,
+		Placement:          *custom,
+		Model:              *model,
+		NumJobs:            *jobs,
+		LocalBatch:         *batch,
+		Steps:              *steps,
+		Bands:              *bands,
+		RotateIntervalSec:  *interval,
+		Async:              *async,
+		Seed:               *seed,
+		MeasureUtilization: *util,
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceFile = f
+		cfg.TraceCSV = f
+	}
+	res, err := tensorlights.RunExperiment(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsim: %v\n", err)
+		os.Exit(1)
+	}
+	if traceFile != nil {
+		fmt.Printf("event trace written to %s\n", traceFile.Name())
+	}
+
+	fmt.Printf("policy=%s placement=#%d jobs=%d batch=%d steps=%d seed=%d\n",
+		pol, *placement, *jobs, *batch, *steps, *seed)
+	fmt.Printf("simulated %.1f s in %d events, %d tc reconfigurations\n",
+		res.SimulatedSeconds, res.Events, res.TcReconfigurations)
+	fmt.Printf("avg JCT: %.1f s\n", res.AvgJCT)
+	jcts := append([]float64(nil), res.JCTs...)
+	sort.Float64s(jcts)
+	fmt.Printf("JCT min/median/max: %.1f / %.1f / %.1f s\n",
+		jcts[0], jcts[len(jcts)/2], jcts[len(jcts)-1])
+	fmt.Printf("barrier wait: mean %.3f s, variance %.5f s^2\n",
+		res.BarrierWaitMean, res.BarrierWaitVariance)
+	if *util {
+		fmt.Println("per-host utilization (active window):")
+		for _, u := range res.Utilization {
+			fmt.Printf("  host%02d cpu=%.0f%% in=%.0f%% out=%.0f%%\n",
+				u.Host, 100*u.CPU, 100*u.NetIn, 100*u.NetOut)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Batchsize uses the local batch size as a contention-intensity knob
+// (paper §V, Result #4): smaller batches compute less per step, so
+// model/gradient updates fire more often and the network contends
+// harder. TensorLights' advantage grows as contention intensifies.
+//
+//	go run ./examples/batchsize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tensorlights "repro"
+)
+
+func main() {
+	fmt.Println("contention sweep on placement #1 (all PSes on one host)")
+	fmt.Println("local batch   FIFO avg JCT   TLs-One avg JCT   improvement")
+	for _, batch := range []int{1, 2, 4, 8} {
+		var avg [2]float64
+		for i, pol := range []tensorlights.Policy{tensorlights.FIFO, tensorlights.TLsOne} {
+			res, err := tensorlights.RunExperiment(tensorlights.ExperimentConfig{
+				Policy:         pol,
+				PlacementIndex: 1,
+				LocalBatch:     batch,
+				Steps:          1200,
+				Seed:           11,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			avg[i] = res.AvgJCT
+		}
+		fmt.Printf("  %4d %14.1f s %15.1f s %12.0f%%\n",
+			batch, avg[0], avg[1], 100*(1-avg[1]/avg[0]))
+	}
+	fmt.Println("\nsmaller batches -> more frequent bursts -> heavier contention")
+	fmt.Println("-> larger TensorLights improvement (paper: up to 31%).")
+}

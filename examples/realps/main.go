@@ -1,0 +1,69 @@
+// Realps runs an actual distributed training job — real TCP sockets,
+// real goroutine workers, real gradient descent — using the psrpc
+// parameter-server framework, and prints the same barrier-wait
+// measurements the paper instruments in TensorFlow. One worker is made
+// an artificial straggler so the signature the paper describes is
+// visible: the straggler itself waits the least while its peers wait
+// the most.
+//
+//	go run ./examples/realps
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/psrpc"
+)
+
+func main() {
+	const (
+		workers    = 4
+		dim        = 16
+		iterations = 150
+	)
+	_, trueW := psrpc.MakeLinRegData(7, 1, dim, 0)
+	computes := make([]psrpc.ComputeFunc, workers)
+	for w := 0; w < workers; w++ {
+		shard := psrpc.MakeLinRegShard(trueW, int64(w+1), 128, 0.01)
+		inner := shard.Compute(32)
+		straggler := w == workers-1
+		computes[w] = func(model []float32, step int) ([]float32, float32) {
+			if straggler && step%3 == 0 {
+				time.Sleep(1 * time.Millisecond) // an oversubscribed CPU
+			}
+			return inner(model, step)
+		}
+	}
+
+	res, err := psrpc.TrainLocal(psrpc.ServerConfig{
+		Workers:      workers,
+		InitialModel: make([]float32, dim),
+		LearningRate: 0.05,
+		Iterations:   iterations,
+	}, computes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("distributed linear regression: %d workers x %d iterations\n",
+		workers, iterations)
+	fmt.Printf("global step: %d, loss %.4f -> %.6f\n",
+		res.GlobalStep, res.Losses[0], res.Losses[len(res.Losses)-1])
+
+	totals := make([]time.Duration, workers)
+	counts := make([]int, workers)
+	for _, rec := range res.Waits {
+		totals[rec.Worker] += rec.Wait
+		counts[rec.Worker]++
+	}
+	fmt.Println("average barrier wait per worker (the straggler waits least):")
+	for w := 0; w < workers; w++ {
+		tag := ""
+		if w == workers-1 {
+			tag = "  <- straggler"
+		}
+		fmt.Printf("  worker %d: %8v%s\n", w, totals[w]/time.Duration(counts[w]), tag)
+	}
+}

@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dl"
+	"repro/internal/sim"
+)
+
+func TestPlacements21TableI(t *testing.T) {
+	ps := Placements21()
+	if len(ps) != 8 {
+		t.Fatalf("placements %d, want 8", len(ps))
+	}
+	wants := []string{
+		"21", "5, 16", "10, 11", "7, 7, 7", "5, 5, 5, 6",
+		"4, 4, 4, 4, 5", "3, 3, 3, 3, 3, 3, 3",
+		"1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1",
+	}
+	for i, p := range ps {
+		if p.Index != i+1 {
+			t.Fatalf("placement %d has index %d", i, p.Index)
+		}
+		if p.String() != wants[i] {
+			t.Fatalf("placement #%d renders %q, want %q", p.Index, p.String(), wants[i])
+		}
+		if p.Jobs() != 21 {
+			t.Fatalf("placement #%d covers %d jobs", p.Index, p.Jobs())
+		}
+		if err := p.Validate(21, 21); err != nil {
+			t.Fatalf("placement #%d invalid: %v", p.Index, err)
+		}
+	}
+	// Later placements are more uniform: max colocation non-increasing.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].MaxColocation() > ps[i-1].MaxColocation() {
+			t.Fatal("Table I ordering broken")
+		}
+	}
+}
+
+func TestPlacementByIndex(t *testing.T) {
+	p, err := PlacementByIndex(4)
+	if err != nil || p.String() != "7, 7, 7" {
+		t.Fatalf("%v %v", p, err)
+	}
+	if _, err := PlacementByIndex(9); err == nil {
+		t.Fatal("placement #9 accepted")
+	}
+}
+
+func TestPSHosts(t *testing.T) {
+	p, _ := PlacementByIndex(2) // 5, 16
+	hosts, err := p.PSHosts(21, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, h := range hosts {
+		count[h]++
+	}
+	if count[0] != 5 || count[1] != 16 {
+		t.Fatalf("PS distribution %v", count)
+	}
+}
+
+func TestPlacementValidateErrors(t *testing.T) {
+	p := Placement{Groups: []int{5, 16}}
+	if p.Validate(20, 21) == nil {
+		t.Fatal("job count mismatch accepted")
+	}
+	if p.Validate(21, 1) == nil {
+		t.Fatal("too few hosts accepted")
+	}
+	bad := Placement{Groups: []int{21, 0}}
+	if bad.Validate(21, 21) == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	p, err := ParsePlacement("5, 16")
+	if err != nil || p.String() != "5, 16" {
+		t.Fatalf("%v %v", p, err)
+	}
+	p, err = ParsePlacement("7,7,7")
+	if err != nil || len(p.Groups) != 3 {
+		t.Fatalf("%v %v", p, err)
+	}
+	for _, bad := range []string{"", "a,b", "0,21", "-1"} {
+		if _, err := ParsePlacement(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestGridSearchSpecs(t *testing.T) {
+	cfg := Config{}
+	p, _ := PlacementByIndex(1)
+	specs, err := GridSearchSpecs(cfg, dl.ResNet32, 21, 4, 3000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 21 {
+		t.Fatalf("specs %d", len(specs))
+	}
+	for id, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("spec %d: %v", id, err)
+		}
+		if s.PSHost != 0 {
+			t.Fatalf("placement #1 must put every PS on host 0, job %d on %d", id, s.PSHost)
+		}
+		if s.NumWorkers != 20 {
+			t.Fatalf("job %d workers %d", id, s.NumWorkers)
+		}
+		if s.PSPort != 5000+id {
+			t.Fatalf("job %d port %d", id, s.PSPort)
+		}
+		seen := map[int]bool{}
+		for _, h := range s.WorkerHosts {
+			if h == s.PSHost || seen[h] {
+				t.Fatalf("job %d bad worker host %d", id, h)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestGridSearchSpecsWorkerLoadBalance(t *testing.T) {
+	// Every host runs exactly (21 - #PSes on it) workers.
+	cfg := Config{}
+	for _, idx := range []int{1, 2, 4, 8} {
+		p, _ := PlacementByIndex(idx)
+		specs, err := GridSearchSpecs(cfg, dl.ResNet32, 21, 4, 100, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workerCount := make([]int, 21)
+		psCount := make([]int, 21)
+		for _, s := range specs {
+			psCount[s.PSHost]++
+			for _, h := range s.WorkerHosts {
+				workerCount[h]++
+			}
+		}
+		for h := 0; h < 21; h++ {
+			if workerCount[h] != 21-psCount[h] {
+				t.Fatalf("placement #%d host %d: %d workers with %d PSes",
+					idx, h, workerCount[h], psCount[h])
+			}
+		}
+	}
+}
+
+func TestTestbedConstruction(t *testing.T) {
+	tb := NewTestbed(Config{})
+	if tb.Fabric.NumHosts() != 21 || len(tb.CPUs) != 21 {
+		t.Fatal("default testbed size")
+	}
+	if tb.CPUs[0].Threads() != 12 {
+		t.Fatal("default threads")
+	}
+	tb2 := NewTestbed(Config{Hosts: 4, ThreadsPerHost: 2})
+	if tb2.Fabric.NumHosts() != 4 || tb2.CPUs[3].Threads() != 2 {
+		t.Fatal("custom testbed size")
+	}
+}
+
+func TestLaunchStaggering(t *testing.T) {
+	tb := NewTestbed(Config{Hosts: 4, Seed: 1})
+	var starts []float64
+	specs := []dl.JobSpec{
+		{ID: 0, Model: dl.ResNet32, NumWorkers: 2, LocalBatch: 1, TargetGlobalSteps: 4,
+			PSHost: 0, PSPort: 5000, WorkerHosts: []int{1, 2}},
+		{ID: 1, Model: dl.ResNet32, NumWorkers: 2, LocalBatch: 1, TargetGlobalSteps: 4,
+			PSHost: 3, PSPort: 5001, WorkerHosts: []int{1, 2}},
+	}
+	jobs, err := tb.Launch(specs, 0.5, func(j *dl.Job) {
+		starts = append(starts, tb.K.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.RunToCompletion(jobs, 0)
+	if len(starts) != 2 || starts[0] != 0 || starts[1] != 0.5 {
+		t.Fatalf("stagger times %v", starts)
+	}
+	for _, j := range jobs {
+		if !j.Done() {
+			t.Fatal("launched job unfinished")
+		}
+	}
+}
+
+func TestLaunchRejectsBadSpec(t *testing.T) {
+	tb := NewTestbed(Config{Hosts: 4})
+	_, err := tb.Launch([]dl.JobSpec{{ID: 0}}, 0.1, nil)
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestSchedulerSpread(t *testing.T) {
+	s := NewScheduler(PolicySpread, 4, 12, sim.NewRNG(1))
+	hosts := map[int]int{}
+	for i := 0; i < 8; i++ {
+		h, err := s.Place(TaskReq{JobID: i, Kind: KindWorker, CPUDemand: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[h]++
+	}
+	for h := 0; h < 4; h++ {
+		if hosts[h] != 2 {
+			t.Fatalf("spread imbalanced: %v", hosts)
+		}
+	}
+}
+
+func TestSchedulerBinpack(t *testing.T) {
+	s := NewScheduler(PolicyBinpack, 4, 12, sim.NewRNG(1))
+	first, _ := s.Place(TaskReq{CPUDemand: 1})
+	second, _ := s.Place(TaskReq{CPUDemand: 1})
+	if first != second {
+		t.Fatalf("binpack spread tasks: %d then %d", first, second)
+	}
+}
+
+func TestSchedulerPSAware(t *testing.T) {
+	s := NewScheduler(PolicyPSAware, 4, 12, sim.NewRNG(1))
+	psHosts := map[int]int{}
+	for i := 0; i < 8; i++ {
+		h, err := s.Place(TaskReq{JobID: i, Kind: KindPS, CPUDemand: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		psHosts[h]++
+	}
+	for h := 0; h < 4; h++ {
+		if psHosts[h] != 2 {
+			t.Fatalf("ps-aware did not spread PSes: %v", psHosts)
+		}
+	}
+	if s.PSCount(0) != 2 {
+		t.Fatal("PSCount")
+	}
+}
+
+func TestSchedulerRandomRespectsExclusion(t *testing.T) {
+	s := NewScheduler(PolicyRandom, 4, 12, sim.NewRNG(1))
+	for i := 0; i < 50; i++ {
+		h, err := s.Place(TaskReq{CPUDemand: 0.1, Exclude: []int{0, 1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != 3 {
+			t.Fatalf("excluded host %d chosen", h)
+		}
+	}
+}
+
+func TestSchedulerNoHostAvailable(t *testing.T) {
+	s := NewScheduler(PolicySpread, 2, 12, sim.NewRNG(1))
+	if _, err := s.Place(TaskReq{Exclude: []int{0, 1}}); err == nil {
+		t.Fatal("exhausted exclusion accepted")
+	}
+}
+
+func TestPlaceJobs(t *testing.T) {
+	s := NewScheduler(PolicyPSAware, 21, 12, sim.NewRNG(1))
+	psHosts, workerHosts, err := s.PlaceJobs(21, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psHosts) != 21 || len(workerHosts) != 21 {
+		t.Fatal("sizes")
+	}
+	for j := range psHosts {
+		for _, w := range workerHosts[j] {
+			if w == psHosts[j] {
+				t.Fatalf("job %d worker on its PS host", j)
+			}
+		}
+	}
+	// PS-aware placement of 21 jobs on 21 hosts is Table I's #8.
+	p := PSPlacementOf(psHosts)
+	if p.MaxColocation() != 1 {
+		t.Fatalf("ps-aware placement %v", p)
+	}
+}
+
+func TestPSPlacementOf(t *testing.T) {
+	p := PSPlacementOf([]int{0, 0, 0, 1, 1, 2})
+	if p.String() != "3, 2, 1" {
+		t.Fatalf("got %q", p.String())
+	}
+}
+
+func TestKindAndPolicyStrings(t *testing.T) {
+	if KindPS.String() != "ps" || KindWorker.String() != "worker" {
+		t.Fatal("kind strings")
+	}
+	for _, p := range []SchedPolicy{PolicySpread, PolicyBinpack, PolicyRandom, PolicyPSAware} {
+		if p.String() == "" {
+			t.Fatal("policy string empty")
+		}
+	}
+}
+
+// Property: any random grouping that sums to the job count yields a
+// valid PSHosts assignment covering all jobs.
+func TestPlacementProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var groups []int
+		total := 0
+		for _, r := range raw {
+			g := int(r%5) + 1
+			if total+g > 21 {
+				break
+			}
+			groups = append(groups, g)
+			total += g
+		}
+		if total < 21 {
+			if 21-total > 0 {
+				groups = append(groups, 21-total)
+			}
+		}
+		p := Placement{Groups: groups}
+		hosts, err := p.PSHosts(21, 21)
+		if err != nil {
+			return false
+		}
+		return len(hosts) == 21
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

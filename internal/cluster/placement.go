@@ -1,0 +1,136 @@
+// Package cluster builds the simulated testbed (hosts with CPUs and
+// NICs), encodes the paper's Table I parameter-server placements, and
+// provides a small task scheduler plus a staggered job launcher.
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Placement describes how parameter servers of M concurrent jobs are
+// grouped onto hosts, in the paper's "m1,...,mK" notation: mk jobs
+// colocate their PSes on host k. Each job's workers then run on every
+// other host (one worker per host), exactly as in Section III.
+type Placement struct {
+	// Index is the paper's placement number (1-based); 0 for custom.
+	Index int
+	// Groups are the colocation counts m1..mK.
+	Groups []int
+}
+
+// String renders the placement like Table I ("5, 16").
+func (p Placement) String() string {
+	parts := make([]string, len(p.Groups))
+	for i, g := range p.Groups {
+		parts[i] = strconv.Itoa(g)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Jobs returns the number of jobs the placement covers.
+func (p Placement) Jobs() int {
+	n := 0
+	for _, g := range p.Groups {
+		n += g
+	}
+	return n
+}
+
+// MaxColocation returns the largest PS group — the contention level.
+func (p Placement) MaxColocation() int {
+	m := 0
+	for _, g := range p.Groups {
+		if g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+// Validate checks the placement fits the cluster.
+func (p Placement) Validate(numJobs, numHosts int) error {
+	if p.Jobs() != numJobs {
+		return fmt.Errorf("cluster: placement %q covers %d jobs, want %d",
+			p.String(), p.Jobs(), numJobs)
+	}
+	if len(p.Groups) > numHosts {
+		return fmt.Errorf("cluster: placement %q needs %d hosts, have %d",
+			p.String(), len(p.Groups), numHosts)
+	}
+	for _, g := range p.Groups {
+		if g < 1 {
+			return fmt.Errorf("cluster: placement %q has empty group", p.String())
+		}
+	}
+	return nil
+}
+
+// PSHosts returns the PS host for each job id 0..numJobs-1: group k's
+// jobs land on host k, filling groups in order.
+func (p Placement) PSHosts(numJobs, numHosts int) ([]int, error) {
+	if err := p.Validate(numJobs, numHosts); err != nil {
+		return nil, err
+	}
+	hosts := make([]int, 0, numJobs)
+	for k, g := range p.Groups {
+		for i := 0; i < g; i++ {
+			hosts = append(hosts, k)
+		}
+	}
+	return hosts, nil
+}
+
+// ParsePlacement parses "5,16" or "5, 16" into a custom placement.
+func ParsePlacement(s string) (Placement, error) {
+	var p Placement
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return Placement{}, fmt.Errorf("cluster: bad placement element %q", part)
+		}
+		p.Groups = append(p.Groups, n)
+	}
+	if len(p.Groups) == 0 {
+		return Placement{}, fmt.Errorf("cluster: empty placement %q", s)
+	}
+	return p, nil
+}
+
+// Placements21 returns the paper's Table I: the eight studied placements
+// of 21 parameter servers over 21 hosts, from fully colocated (#1) to
+// fully uniform (#8).
+func Placements21() []Placement {
+	mk := func(idx int, groups ...int) Placement {
+		return Placement{Index: idx, Groups: groups}
+	}
+	ones := make([]int, 21)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return []Placement{
+		mk(1, 21),
+		mk(2, 5, 16),
+		mk(3, 10, 11),
+		mk(4, 7, 7, 7),
+		mk(5, 5, 5, 5, 6),
+		mk(6, 4, 4, 4, 4, 5),
+		mk(7, 3, 3, 3, 3, 3, 3, 3),
+		{Index: 8, Groups: ones},
+	}
+}
+
+// PlacementByIndex returns Table I's placement #idx.
+func PlacementByIndex(idx int) (Placement, error) {
+	for _, p := range Placements21() {
+		if p.Index == idx {
+			return p, nil
+		}
+	}
+	return Placement{}, fmt.Errorf("cluster: no Table I placement #%d", idx)
+}

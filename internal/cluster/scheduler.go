@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// TaskKind distinguishes PS from worker tasks. Production cluster
+// schedulers (YARN, Borg, Mesos) are agnostic to it — which is exactly
+// how PS colocation arises; the paper's §VII proposes making the
+// scheduler PS-aware, implemented here as PolicyPSAware.
+type TaskKind int
+
+const (
+	KindWorker TaskKind = iota
+	KindPS
+)
+
+// String names the kind.
+func (k TaskKind) String() string {
+	if k == KindPS {
+		return "ps"
+	}
+	return "worker"
+}
+
+// TaskReq is a placement request.
+type TaskReq struct {
+	JobID int
+	Kind  TaskKind
+	// CPUDemand is in hardware threads.
+	CPUDemand float64
+	// Exclude lists hosts the task must avoid (e.g. a job's workers
+	// avoid its own PS host).
+	Exclude []int
+}
+
+// SchedPolicy selects how the scheduler picks hosts.
+type SchedPolicy int
+
+const (
+	// PolicySpread places on the least-loaded host (CPU demand).
+	PolicySpread SchedPolicy = iota
+	// PolicyBinpack places on the most-loaded host that still fits.
+	PolicyBinpack
+	// PolicyRandom places uniformly at random among fitting hosts.
+	PolicyRandom
+	// PolicyPSAware behaves like PolicySpread for workers but places
+	// PS tasks on the host with the fewest PSes (ties by load) —
+	// the paper's future-work direction 1.
+	PolicyPSAware
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	switch p {
+	case PolicySpread:
+		return "spread"
+	case PolicyBinpack:
+		return "binpack"
+	case PolicyRandom:
+		return "random"
+	case PolicyPSAware:
+		return "ps-aware"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Scheduler assigns tasks to hosts by CPU demand and policy.
+type Scheduler struct {
+	policy   SchedPolicy
+	capacity []float64
+	used     []float64
+	psCount  []int
+	rng      *sim.RNG
+}
+
+// NewScheduler creates a scheduler over hosts with uniform capacity.
+func NewScheduler(policy SchedPolicy, hosts int, threadsPerHost float64, rng *sim.RNG) *Scheduler {
+	s := &Scheduler{
+		policy:   policy,
+		capacity: make([]float64, hosts),
+		used:     make([]float64, hosts),
+		psCount:  make([]int, hosts),
+		rng:      rng.Stream("scheduler"),
+	}
+	for i := range s.capacity {
+		s.capacity[i] = threadsPerHost
+	}
+	return s
+}
+
+// Used returns the CPU demand currently placed on host h.
+func (s *Scheduler) Used(h int) float64 { return s.used[h] }
+
+// PSCount returns the number of PS tasks on host h.
+func (s *Scheduler) PSCount(h int) int { return s.psCount[h] }
+
+// Place selects a host for the request and commits the demand. Hosts
+// may be oversubscribed (as in the paper's testbed, where ~21 worker
+// tasks share 12 threads); "fit" for binpack means below 2x capacity.
+func (s *Scheduler) Place(req TaskReq) (int, error) {
+	excluded := make(map[int]bool, len(req.Exclude))
+	for _, h := range req.Exclude {
+		excluded[h] = true
+	}
+	var candidates []int
+	for h := range s.capacity {
+		if !excluded[h] {
+			candidates = append(candidates, h)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1, fmt.Errorf("cluster: no host available for job %d %s", req.JobID, req.Kind)
+	}
+	var pick int
+	switch s.policy {
+	case PolicySpread:
+		pick = s.least(candidates, func(h int) float64 { return s.used[h] })
+	case PolicyBinpack:
+		fits := candidates[:0]
+		for _, h := range candidates {
+			if s.used[h]+req.CPUDemand <= 2*s.capacity[h] {
+				fits = append(fits, h)
+			}
+		}
+		if len(fits) == 0 {
+			fits = candidates
+		}
+		pick = s.least(fits, func(h int) float64 { return -s.used[h] })
+	case PolicyRandom:
+		pick = candidates[s.rng.Intn(len(candidates))]
+	case PolicyPSAware:
+		if req.Kind == KindPS {
+			pick = s.least(candidates, func(h int) float64 {
+				return float64(s.psCount[h])*1e6 + s.used[h]
+			})
+		} else {
+			pick = s.least(candidates, func(h int) float64 { return s.used[h] })
+		}
+	default:
+		return -1, fmt.Errorf("cluster: unknown policy %v", s.policy)
+	}
+	s.used[pick] += req.CPUDemand
+	if req.Kind == KindPS {
+		s.psCount[pick]++
+	}
+	return pick, nil
+}
+
+// least returns the candidate minimizing score, ties by host id for
+// determinism.
+func (s *Scheduler) least(candidates []int, score func(int) float64) int {
+	sorted := append([]int(nil), candidates...)
+	sort.Ints(sorted)
+	best := sorted[0]
+	bestScore := score(best)
+	for _, h := range sorted[1:] {
+		if sc := score(h); sc < bestScore {
+			best, bestScore = h, sc
+		}
+	}
+	return best
+}
+
+// PlaceJobs runs the scheduler over numJobs PS+worker sets and returns
+// the resulting Placement-equivalent PS assignment plus per-job worker
+// hosts. Worker tasks avoid their own PS host, as in the paper.
+func (s *Scheduler) PlaceJobs(numJobs, workersPerJob int) (psHosts []int, workerHosts [][]int, err error) {
+	psHosts = make([]int, numJobs)
+	workerHosts = make([][]int, numJobs)
+	for j := 0; j < numJobs; j++ {
+		ps, err := s.Place(TaskReq{JobID: j, Kind: KindPS, CPUDemand: 0.5})
+		if err != nil {
+			return nil, nil, err
+		}
+		psHosts[j] = ps
+		seen := map[int]bool{ps: true}
+		for w := 0; w < workersPerJob; w++ {
+			var exclude []int
+			for h := range seen {
+				exclude = append(exclude, h)
+			}
+			host, err := s.Place(TaskReq{JobID: j, Kind: KindWorker, CPUDemand: 1, Exclude: exclude})
+			if err != nil {
+				return nil, nil, err
+			}
+			seen[host] = true
+			workerHosts[j] = append(workerHosts[j], host)
+		}
+	}
+	return psHosts, workerHosts, nil
+}
+
+// PSPlacementOf summarizes PS host assignments as a Placement (sorted
+// group sizes), for comparing scheduler output against Table I.
+func PSPlacementOf(psHosts []int) Placement {
+	counts := map[int]int{}
+	for _, h := range psHosts {
+		counts[h]++
+	}
+	var groups []int
+	for _, c := range counts {
+		groups = append(groups, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(groups)))
+	return Placement{Groups: groups}
+}

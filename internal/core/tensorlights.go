@@ -1,0 +1,445 @@
+// Package core implements TensorLights: end-host traffic prioritization
+// that mitigates worker stragglers for distributed deep learning under
+// parameter-server traffic contention (Huang, Chen & Ng, IPDPS 2019).
+//
+// TensorLights watches which hosts run two or more parameter servers
+// and, only on those hosts, installs an htb root qdisc with up to six
+// priority classes; each contending job's model-update traffic is mapped
+// to a class by the job's PS TCP port. TLs-One assigns priorities once
+// per arrival/departure; TLs-RR rotates the assignment every interval T
+// so that all jobs make fair progress over time — the "traffic lights"
+// of the title. The mechanism is work-conserving (every class may borrow
+// up to the full link) and needs no changes to applications, the cluster
+// scheduler, or hardware: it acts purely through tc.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/tc"
+	"repro/internal/trace"
+)
+
+// Policy selects the priority assignment mode.
+type Policy int
+
+const (
+	// PolicyFIFO disables TensorLights: the NIC keeps its default FIFO
+	// qdisc. This is the paper's baseline.
+	PolicyFIFO Policy = iota
+	// PolicyOne is TLs-One: a static priority order, reconfigured only
+	// on job arrival and departure.
+	PolicyOne
+	// PolicyRR is TLs-RR: the priority order rotates every Interval.
+	PolicyRR
+	// PolicyLPF is an adaptive extension beyond the paper: every
+	// Interval, jobs are re-ranked least-progress-first, so whichever
+	// job has fallen behind gets the green light next. It pursues
+	// TLs-RR's fairness goal with feedback instead of blind rotation.
+	PolicyLPF
+	// PolicyStaticRate is the paper's §VII transmission-layer
+	// alternative: each contending job is pinned to an equal static
+	// rate share (rate = ceil = link/N). It is NOT work-conserving —
+	// when a job is idle its share is wasted — which is exactly the
+	// drawback the paper warns about; the ablation benchmark
+	// quantifies it.
+	PolicyStaticRate
+)
+
+// String names the policy as in the paper.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFIFO:
+		return "FIFO"
+	case PolicyOne:
+		return "TLs-One"
+	case PolicyRR:
+		return "TLs-RR"
+	case PolicyLPF:
+		return "TLs-LPF"
+	case PolicyStaticRate:
+		return "StaticRate"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Order selects how contending jobs are ranked into priority bands.
+// The paper deliberately does not constrain this choice (§IV-B).
+type Order int
+
+const (
+	// OrderArrival ranks by job arrival; deterministic and what grid
+	// search (identical update sizes) effectively gets.
+	OrderArrival Order = iota
+	// OrderRandom shuffles ranks once per (re)configuration.
+	OrderRandom
+	// OrderSmallestUpdate gives smaller model updates higher priority,
+	// avoiding head-of-line blocking behind big updates.
+	OrderSmallestUpdate
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case OrderArrival:
+		return "arrival"
+	case OrderRandom:
+		return "random"
+	case OrderSmallestUpdate:
+		return "smallest-update"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// Config tunes the controller. Zero values select the paper's settings.
+type Config struct {
+	Policy Policy
+	// Bands is the number of distinct priority classes (the paper uses
+	// up to six; tc supports a limited number, so jobs may share).
+	Bands int
+	// IntervalSec is the TLs-RR rotation period T (20 s in the paper).
+	IntervalSec float64
+	// Order ranks contending jobs into bands.
+	Order Order
+	// GuaranteeRateBps is each htb class's guaranteed rate (tiny, so
+	// borrowing priority dominates). Default 1 Mbit/s.
+	GuaranteeRateBps float64
+	// UsePrioQdisc switches from htb (the paper's implementation) to a
+	// plain prio qdisc — an ablation showing the mechanism is qdisc-
+	// agnostic.
+	UsePrioQdisc bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Bands <= 0 {
+		c.Bands = 6
+	}
+	if c.IntervalSec <= 0 {
+		c.IntervalSec = 20
+	}
+	if c.GuaranteeRateBps <= 0 {
+		c.GuaranteeRateBps = 1e6
+	}
+}
+
+// JobInfo is what TensorLights needs to know about a job — all of it
+// observable from outside the application.
+type JobInfo struct {
+	ID          int
+	PSHost      int
+	PSPort      int
+	UpdateBytes int64
+	arrivalSeq  int
+	progress    int
+}
+
+// Controller is the TensorLights daemon.
+type Controller struct {
+	cfg Config
+	k   *sim.Kernel
+	tcc *tc.Controller
+	rng *sim.RNG
+
+	jobs       map[int]*JobInfo
+	nextSeq    int
+	rotation   int
+	rotateEv   *sim.Event
+	configured map[int]bool // hosts currently carrying a TLs config
+	reconfigs  int
+
+	// Tracer, when non-nil, receives tc_config and priority_rotate
+	// events.
+	Tracer trace.Tracer
+}
+
+func (c *Controller) emit(ev trace.Event) {
+	if c.Tracer != nil {
+		c.Tracer.Emit(ev)
+	}
+}
+
+// New creates a controller issuing commands through the tc layer.
+func New(k *sim.Kernel, tcc *tc.Controller, rng *sim.RNG, cfg Config) *Controller {
+	cfg.fillDefaults()
+	return &Controller{
+		cfg:        cfg,
+		k:          k,
+		tcc:        tcc,
+		rng:        rng.Stream("tensorlights"),
+		jobs:       make(map[int]*JobInfo),
+		configured: make(map[int]bool),
+	}
+}
+
+// Config returns the effective configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Reconfigs returns how many host reconfigurations have been applied —
+// the paper's cost metric for tc churn.
+func (c *Controller) Reconfigs() int { return c.reconfigs }
+
+// JobArrived registers a job and reconfigures its PS host if needed.
+func (c *Controller) JobArrived(info JobInfo) {
+	if c.cfg.Policy == PolicyFIFO {
+		return
+	}
+	if _, dup := c.jobs[info.ID]; dup {
+		panic(fmt.Sprintf("tensorlights: job %d arrived twice", info.ID))
+	}
+	info.arrivalSeq = c.nextSeq
+	c.nextSeq++
+	c.jobs[info.ID] = &info
+	c.reconfigureHost(info.PSHost)
+	c.armRotation()
+}
+
+// JobDeparted deregisters a job; its PS host is reconfigured (and the
+// TLs qdisc removed entirely when fewer than two PSes remain).
+func (c *Controller) JobDeparted(id int) {
+	if c.cfg.Policy == PolicyFIFO {
+		return
+	}
+	info, ok := c.jobs[id]
+	if !ok {
+		return
+	}
+	delete(c.jobs, id)
+	c.reconfigureHost(info.PSHost)
+	if len(c.jobs) == 0 && c.rotateEv != nil {
+		c.k.Cancel(c.rotateEv)
+		c.rotateEv = nil
+	}
+}
+
+// JobProgress records a job's latest completed iteration; the LPF
+// policy uses it to rank contending jobs. Progress for unknown jobs is
+// ignored (the job may already have departed).
+func (c *Controller) JobProgress(id, iteration int) {
+	if j, ok := c.jobs[id]; ok {
+		j.progress = iteration
+	}
+}
+
+// rotatingPolicy reports whether the policy re-ranks on a timer.
+func (c *Controller) rotatingPolicy() bool {
+	return c.cfg.Policy == PolicyRR || c.cfg.Policy == PolicyLPF
+}
+
+// armRotation starts the TLs-RR/TLs-LPF timer on first demand.
+func (c *Controller) armRotation() {
+	if !c.rotatingPolicy() || c.rotateEv != nil {
+		return
+	}
+	c.rotateEv = c.k.ScheduleAfter(c.cfg.IntervalSec, c.rotate)
+}
+
+// rotate advances the round-robin offset and reconfigures every
+// contended host — the green/yellow light change.
+func (c *Controller) rotate() {
+	c.rotateEv = nil
+	if len(c.jobs) == 0 {
+		return
+	}
+	c.rotation++
+	c.emit(trace.Event{
+		At: c.k.Now(), Kind: trace.KindPriorityRotate,
+		Job: -1, Host: -1, Worker: -1, Value: float64(c.rotation),
+	})
+	for _, host := range c.contendedHosts() {
+		// A rotation only re-maps jobs to bands, so rewrite the filter
+		// chain in place rather than rebuilding the qdisc tree —
+		// queued traffic keeps flowing under the existing classes,
+		// and the tc churn per rotation stays minimal.
+		if c.configured[host] {
+			c.rewriteFilters(host)
+		} else {
+			c.reconfigureHost(host)
+		}
+	}
+	c.rotateEv = c.k.ScheduleAfter(c.cfg.IntervalSec, c.rotate)
+}
+
+// contendedHosts lists hosts carrying two or more PSes.
+func (c *Controller) contendedHosts() []int {
+	count := map[int]int{}
+	for _, j := range c.jobs {
+		count[j.PSHost]++
+	}
+	var hosts []int
+	for h, n := range count {
+		if n >= 2 {
+			hosts = append(hosts, h)
+		}
+	}
+	sort.Ints(hosts)
+	return hosts
+}
+
+// jobsOnHost returns the jobs whose PS runs on host, rank-ordered by
+// the configured Order policy.
+func (c *Controller) jobsOnHost(host int) []*JobInfo {
+	var jobs []*JobInfo
+	for _, j := range c.jobs {
+		if j.PSHost == host {
+			jobs = append(jobs, j)
+		}
+	}
+	if c.cfg.Policy == PolicyLPF {
+		sort.Slice(jobs, func(i, k int) bool {
+			if jobs[i].progress != jobs[k].progress {
+				return jobs[i].progress < jobs[k].progress
+			}
+			return jobs[i].arrivalSeq < jobs[k].arrivalSeq
+		})
+		return jobs
+	}
+	switch c.cfg.Order {
+	case OrderRandom:
+		sort.Slice(jobs, func(i, k int) bool { return jobs[i].arrivalSeq < jobs[k].arrivalSeq })
+		c.rng.Shuffle(len(jobs), func(i, k int) { jobs[i], jobs[k] = jobs[k], jobs[i] })
+	case OrderSmallestUpdate:
+		sort.Slice(jobs, func(i, k int) bool {
+			if jobs[i].UpdateBytes != jobs[k].UpdateBytes {
+				return jobs[i].UpdateBytes < jobs[k].UpdateBytes
+			}
+			return jobs[i].arrivalSeq < jobs[k].arrivalSeq
+		})
+	default: // OrderArrival
+		sort.Slice(jobs, func(i, k int) bool { return jobs[i].arrivalSeq < jobs[k].arrivalSeq })
+	}
+	return jobs
+}
+
+// bandOf maps a job's rotated rank to a priority band. With more jobs
+// than bands, consecutive ranks share bands in contiguous groups, as the
+// paper's limited-band deployment does. LPF ranks already encode the
+// desired order, so only TLs-RR applies the rotation offset.
+func (c *Controller) bandOf(rank, njobs int) int {
+	r := rank
+	if c.cfg.Policy == PolicyRR {
+		r = (rank + c.rotation) % njobs
+	}
+	return r * c.cfg.Bands / njobs
+}
+
+// reconfigureHost (re)installs the TensorLights qdisc tree on one host.
+// Hosts with fewer than two local PSes revert to the default FIFO — the
+// paper configures tc only where PSes contend.
+func (c *Controller) reconfigureHost(host int) {
+	jobs := c.jobsOnHost(host)
+	if len(jobs) < 2 {
+		if c.configured[host] {
+			c.tcc.MustExec(host, "qdisc del dev eth0 root")
+			delete(c.configured, host)
+			c.reconfigs++
+		}
+		return
+	}
+	switch {
+	case c.cfg.Policy == PolicyStaticRate:
+		c.configureStaticRate(host, jobs)
+	case c.cfg.UsePrioQdisc:
+		c.configurePrio(host, jobs)
+	default:
+		c.configureHTB(host, jobs)
+	}
+	c.configured[host] = true
+	c.reconfigs++
+	c.emit(trace.Event{
+		At: c.k.Now(), Kind: trace.KindTcConfig,
+		Job: -1, Host: host, Worker: -1, Value: float64(len(jobs)),
+		Detail: fmt.Sprintf("policy=%s jobs=%d", c.cfg.Policy, len(jobs)),
+	})
+}
+
+// rewriteFilters re-maps each contending job's PS port to its rotated
+// band without touching the qdisc tree.
+func (c *Controller) rewriteFilters(host int) {
+	jobs := c.jobsOnHost(host)
+	if len(jobs) < 2 {
+		c.reconfigureHost(host)
+		return
+	}
+	bands := c.cfg.Bands
+	if len(jobs) < bands {
+		bands = len(jobs)
+	}
+	c.tcc.MustExec(host, "filter del dev eth0 all")
+	for rank, j := range jobs {
+		band := c.bandOf(rank, len(jobs))
+		if band >= bands {
+			band = bands - 1
+		}
+		c.tcc.MustExec(host, fmt.Sprintf(
+			"filter add dev eth0 pref %d match sport %d flowid %d",
+			rank, j.PSPort, band))
+	}
+	c.reconfigs++
+}
+
+// configureHTB builds the paper's implementation: htb root, one class
+// per band with a tiny guaranteed rate and full-link ceil, and one
+// filter per job mapping its PS source port to its band's class.
+// Unclassified traffic (gradient pushes from any colocated workers,
+// background flows) falls into the last class.
+func (c *Controller) configureHTB(host int, jobs []*JobInfo) {
+	bands := c.cfg.Bands
+	if len(jobs) < bands {
+		bands = len(jobs)
+	}
+	def := bands - 1
+	ceil := c.tcc.LinkRateBps(host)
+	c.tcc.MustExec(host, fmt.Sprintf("qdisc add dev eth0 root htb default %d", def))
+	for b := 0; b < bands; b++ {
+		c.tcc.MustExec(host, fmt.Sprintf(
+			"class add dev eth0 classid %d rate %.0fbps ceil %.0fbit prio %d",
+			b, c.cfg.GuaranteeRateBps/8, ceil, b))
+	}
+	for rank, j := range jobs {
+		band := c.bandOf(rank, len(jobs))
+		if band >= bands {
+			band = bands - 1
+		}
+		c.tcc.MustExec(host, fmt.Sprintf(
+			"filter add dev eth0 pref %d match sport %d flowid %d",
+			rank, j.PSPort, band))
+	}
+}
+
+// configureStaticRate pins each contending job to an equal static rate
+// share: one htb class per job with rate = ceil = link/N and equal
+// priority. Without borrowing headroom the allocation is not
+// work-conserving; an idle job's share is simply lost.
+func (c *Controller) configureStaticRate(host int, jobs []*JobInfo) {
+	link := c.tcc.LinkRateBps(host)
+	share := link / float64(len(jobs))
+	c.tcc.MustExec(host, fmt.Sprintf("qdisc add dev eth0 root htb default %d", len(jobs)-1))
+	for rank, j := range jobs {
+		c.tcc.MustExec(host, fmt.Sprintf(
+			"class add dev eth0 classid %d rate %.0fbit ceil %.0fbit prio 0",
+			rank, share, share))
+		c.tcc.MustExec(host, fmt.Sprintf(
+			"filter add dev eth0 pref %d match sport %d flowid %d",
+			rank, j.PSPort, rank))
+	}
+}
+
+// configurePrio is the ablation variant using a plain prio qdisc.
+func (c *Controller) configurePrio(host int, jobs []*JobInfo) {
+	bands := c.cfg.Bands
+	if len(jobs) < bands {
+		bands = len(jobs)
+	}
+	c.tcc.MustExec(host, fmt.Sprintf("qdisc add dev eth0 root prio bands %d", bands))
+	for rank, j := range jobs {
+		band := c.bandOf(rank, len(jobs))
+		if band >= bands {
+			band = bands - 1
+		}
+		c.tcc.MustExec(host, fmt.Sprintf(
+			"filter add dev eth0 pref %d match sport %d flowid %d",
+			rank, j.PSPort, band))
+	}
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tc"
+	"repro/internal/trace"
+)
+
+func newHarness(hosts int, cfg Config) (*sim.Kernel, *simnet.Fabric, *Controller) {
+	k := sim.NewKernel()
+	fab := simnet.New(k, sim.NewRNG(1), simnet.Config{})
+	for i := 0; i < hosts; i++ {
+		fab.AddHost("h")
+	}
+	ctl := New(k, tc.NewController(fab), sim.NewRNG(1), cfg)
+	return k, fab, ctl
+}
+
+func job(id, host int) JobInfo {
+	return JobInfo{ID: id, PSHost: host, PSPort: 5000 + id, UpdateBytes: 1_868_000}
+}
+
+func TestFIFOPolicyIsNoOp(t *testing.T) {
+	_, fab, ctl := newHarness(3, Config{Policy: PolicyFIFO})
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	if fab.Host(0).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatal("FIFO policy must not configure tc")
+	}
+	ctl.JobDeparted(0)
+	if ctl.Reconfigs() != 0 {
+		t.Fatal("FIFO policy reconfigured")
+	}
+}
+
+func TestSinglePSNotConfigured(t *testing.T) {
+	_, fab, ctl := newHarness(3, Config{Policy: PolicyOne})
+	ctl.JobArrived(job(0, 0))
+	if fab.Host(0).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatal("non-contended host was configured")
+	}
+}
+
+func TestColocationTriggersHTB(t *testing.T) {
+	_, fab, ctl := newHarness(3, Config{Policy: PolicyOne})
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	htb, ok := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+	if !ok {
+		t.Fatal("contended host not running htb")
+	}
+	// Two jobs -> two classes, filters map each PS port to its band.
+	if len(htb.Classes()) != 2 {
+		t.Fatalf("classes %v", htb.Classes())
+	}
+	b0 := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 5000})
+	b1 := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 5001})
+	if b0 == b1 {
+		t.Fatal("two contending jobs share a band with bands available")
+	}
+	// Other hosts untouched.
+	if fab.Host(1).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatal("uncontended host touched")
+	}
+}
+
+func TestDepartureRemovesConfig(t *testing.T) {
+	_, fab, ctl := newHarness(3, Config{Policy: PolicyOne})
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	ctl.JobDeparted(0)
+	if fab.Host(0).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatal("config not removed when contention ended")
+	}
+	ctl.JobDeparted(1)
+	ctl.JobDeparted(99) // unknown id is a no-op
+}
+
+func TestBandSharingWithManyJobs(t *testing.T) {
+	_, fab, ctl := newHarness(2, Config{Policy: PolicyOne, Bands: 6})
+	for i := 0; i < 21; i++ {
+		ctl.JobArrived(job(i, 0))
+	}
+	htb := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+	if len(htb.Classes()) != 6 {
+		t.Fatalf("classes %d, want 6 (tc band limit)", len(htb.Classes()))
+	}
+	// All 21 ports classified; every band used by 3-4 jobs.
+	perBand := map[qdisc.ClassID]int{}
+	for i := 0; i < 21; i++ {
+		b := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 5000 + i})
+		perBand[b]++
+	}
+	if len(perBand) != 6 {
+		t.Fatalf("bands used %d, want 6", len(perBand))
+	}
+	for b, n := range perBand {
+		if n < 3 || n > 4 {
+			t.Fatalf("band %d has %d jobs", b, n)
+		}
+	}
+}
+
+func TestClassesAreWorkConserving(t *testing.T) {
+	_, fab, ctl := newHarness(2, Config{Policy: PolicyOne})
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	htb := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+	link := fab.Host(0).Egress.RateBytes()
+	for _, id := range htb.Classes() {
+		cfg := htb.Class(id).Config()
+		if cfg.Ceil < link*0.99 {
+			t.Fatalf("class %d ceil %.0f < link %.0f: not work-conserving", id, cfg.Ceil, link)
+		}
+	}
+}
+
+func TestRotationChangesBands(t *testing.T) {
+	k, fab, ctl := newHarness(2, Config{Policy: PolicyRR, IntervalSec: 10, Bands: 6})
+	for i := 0; i < 6; i++ {
+		ctl.JobArrived(job(i, 0))
+	}
+	htb := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+	bandOf := func(port int) qdisc.ClassID {
+		return htb.Classifier().Classify(&qdisc.Chunk{SrcPort: port})
+	}
+	before := bandOf(5000)
+	k.RunUntil(11) // one rotation
+	after := bandOf(5000)
+	if before == after {
+		t.Fatal("rotation did not change the band assignment")
+	}
+	// Rotation must not replace the qdisc tree (queued traffic keeps
+	// flowing in its classes).
+	if fab.Host(0).Egress.Qdisc() != qdisc.Qdisc(htb) {
+		t.Fatal("rotation rebuilt the qdisc")
+	}
+	// After a full cycle of 6 rotations the assignment returns.
+	k.RunUntil(61)
+	if got := bandOf(5000); got != before {
+		t.Fatalf("after full cycle band %d, want %d", got, before)
+	}
+}
+
+func TestRotationStopsWhenJobsGone(t *testing.T) {
+	k, _, ctl := newHarness(2, Config{Policy: PolicyRR, IntervalSec: 5})
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	ctl.JobDeparted(0)
+	ctl.JobDeparted(1)
+	k.RunUntil(100)
+	if k.Pending() != 0 {
+		t.Fatal("rotation timer leaked after all jobs departed")
+	}
+}
+
+func TestTLsOneDoesNotRotate(t *testing.T) {
+	k, fab, ctl := newHarness(2, Config{Policy: PolicyOne})
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	htb := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+	before := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 5000})
+	k.RunUntil(100)
+	after := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 5000})
+	if before != after {
+		t.Fatal("TLs-One must keep a static assignment")
+	}
+}
+
+func TestOrderSmallestUpdate(t *testing.T) {
+	_, fab, ctl := newHarness(2, Config{Policy: PolicyOne, Order: OrderSmallestUpdate})
+	big := job(0, 0)
+	big.UpdateBytes = 100 << 20
+	small := job(1, 0)
+	small.UpdateBytes = 1 << 20
+	ctl.JobArrived(big)
+	ctl.JobArrived(small)
+	htb := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+	bandSmall := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: small.PSPort})
+	bandBig := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: big.PSPort})
+	if bandSmall >= bandBig {
+		t.Fatalf("smallest-update order: small band %d, big band %d", bandSmall, bandBig)
+	}
+}
+
+func TestOrderRandomIsDeterministicPerSeed(t *testing.T) {
+	collect := func() []qdisc.ClassID {
+		_, fab, ctl := newHarness(2, Config{Policy: PolicyOne, Order: OrderRandom})
+		for i := 0; i < 6; i++ {
+			ctl.JobArrived(job(i, 0))
+		}
+		htb := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+		var bands []qdisc.ClassID
+		for i := 0; i < 6; i++ {
+			bands = append(bands, htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 5000 + i}))
+		}
+		return bands
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random order not reproducible for equal seeds")
+		}
+	}
+}
+
+func TestPrioQdiscVariant(t *testing.T) {
+	_, fab, ctl := newHarness(2, Config{Policy: PolicyOne, UsePrioQdisc: true})
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	if fab.Host(0).Egress.Qdisc().Kind() != "prio" {
+		t.Fatal("prio variant not installed")
+	}
+}
+
+func TestMultiHostContention(t *testing.T) {
+	_, fab, ctl := newHarness(4, Config{Policy: PolicyOne})
+	// Hosts 0 and 1 each get two PSes; host 2 gets one.
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	ctl.JobArrived(job(2, 1))
+	ctl.JobArrived(job(3, 1))
+	ctl.JobArrived(job(4, 2))
+	if fab.Host(0).Egress.Qdisc().Kind() != "htb" ||
+		fab.Host(1).Egress.Qdisc().Kind() != "htb" {
+		t.Fatal("contended hosts not configured")
+	}
+	if fab.Host(2).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatal("single-PS host configured")
+	}
+}
+
+func TestDuplicateArrivalPanics(t *testing.T) {
+	_, _, ctl := newHarness(2, Config{Policy: PolicyOne})
+	ctl.JobArrived(job(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate arrival accepted")
+		}
+	}()
+	ctl.JobArrived(job(0, 0))
+}
+
+func TestTraceEventsEmitted(t *testing.T) {
+	k, _, ctl := newHarness(2, Config{Policy: PolicyRR, IntervalSec: 5})
+	buf := &trace.Buffer{}
+	ctl.Tracer = buf
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	k.RunUntil(12)
+	var cfgs, rots int
+	for _, e := range buf.Events() {
+		switch e.Kind {
+		case trace.KindTcConfig:
+			cfgs++
+		case trace.KindPriorityRotate:
+			rots++
+		}
+	}
+	if cfgs == 0 || rots == 0 {
+		t.Fatalf("trace events: cfgs=%d rots=%d", cfgs, rots)
+	}
+}
+
+func TestPolicyAndOrderStrings(t *testing.T) {
+	if PolicyFIFO.String() != "FIFO" || PolicyOne.String() != "TLs-One" || PolicyRR.String() != "TLs-RR" {
+		t.Fatal("policy names")
+	}
+	if OrderArrival.String() != "arrival" || OrderRandom.String() != "random" ||
+		OrderSmallestUpdate.String() != "smallest-update" {
+		t.Fatal("order names")
+	}
+	if Policy(99).String() == "" || Order(99).String() == "" {
+		t.Fatal("unknown enum strings")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	_, _, ctl := newHarness(2, Config{Policy: PolicyOne})
+	cfg := ctl.Config()
+	if cfg.Bands != 6 || cfg.IntervalSec != 20 || cfg.GuaranteeRateBps != 1e6 {
+		t.Fatalf("defaults %+v", cfg)
+	}
+}
+
+// bandOf covers all bands and is monotone in rank for a fixed rotation.
+func TestBandOfCoversAllBands(t *testing.T) {
+	_, _, ctl := newHarness(2, Config{Policy: PolicyOne, Bands: 6})
+	seen := map[int]bool{}
+	prev := -1
+	for rank := 0; rank < 21; rank++ {
+		b := ctl.bandOf(rank, 21)
+		if b < prev {
+			t.Fatalf("bandOf not monotone at rank %d", rank)
+		}
+		prev = b
+		seen[b] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("bands used %d", len(seen))
+	}
+}

@@ -1,0 +1,449 @@
+package dl
+
+import (
+	"fmt"
+
+	"repro/internal/cpusim"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Env is the substrate a job runs on: the shared kernel, network fabric
+// and per-host CPUs built by internal/cluster.
+type Env struct {
+	K      *sim.Kernel
+	Fabric *simnet.Fabric
+	CPUs   []*cpusim.CPU
+	RNG    *sim.RNG
+	// Tracer, when non-nil, receives job lifecycle and barrier events.
+	Tracer trace.Tracer
+}
+
+// emit sends a trace event if tracing is enabled.
+func (e *Env) emit(ev trace.Event) {
+	if e.Tracer != nil {
+		e.Tracer.Emit(ev)
+	}
+}
+
+// JobSpec is the static description of one distributed training job.
+type JobSpec struct {
+	ID    int
+	Name  string
+	Model Model
+	// NumWorkers is the number of remote worker tasks.
+	NumWorkers int
+	// LocalBatch is samples per worker per local step (the paper's
+	// "local batch size", its contention-intensity knob).
+	LocalBatch int
+	// TargetGlobalSteps ends the job once the sum of all workers'
+	// local steps reaches it (30 000 in the paper).
+	TargetGlobalSteps int
+	// Async selects asynchronous training (no barrier).
+	Async bool
+	// PSHost and PSPort place and identify the parameter server; the
+	// paper keys a job's priority off its PS's TCP port.
+	PSHost int
+	PSPort int
+	// WorkerHosts lists each worker's host (length NumWorkers).
+	WorkerHosts []int
+	// ComputeJitterSigma is the lognormal sigma on per-step compute
+	// time (default 0.15 when zero, reflecting the heavy CPU
+	// oversubscription of the paper's testbed).
+	ComputeJitterSigma float64
+	// ProgressEvery records a progress point each time the global step
+	// crosses a multiple of this value (0 disables).
+	ProgressEvery int
+	// GradCompression divides the gradient-update size (worker -> PS),
+	// modelling QSGD/TernGrad-style compressed gradients, which the
+	// paper's related work positions as complementary to TensorLights.
+	// 1 (or 0) means uncompressed; must be >= 1.
+	GradCompression float64
+}
+
+// Validate reports spec errors.
+func (s JobSpec) Validate() error {
+	if err := s.Model.Validate(); err != nil {
+		return err
+	}
+	if s.NumWorkers < 1 {
+		return fmt.Errorf("dl: job %d needs >=1 worker", s.ID)
+	}
+	if len(s.WorkerHosts) != s.NumWorkers {
+		return fmt.Errorf("dl: job %d has %d worker hosts for %d workers",
+			s.ID, len(s.WorkerHosts), s.NumWorkers)
+	}
+	if s.TargetGlobalSteps < 1 {
+		return fmt.Errorf("dl: job %d needs a positive step target", s.ID)
+	}
+	if s.LocalBatch < 1 {
+		return fmt.Errorf("dl: job %d needs a positive local batch", s.ID)
+	}
+	for _, h := range s.WorkerHosts {
+		if h == s.PSHost {
+			return fmt.Errorf("dl: job %d places a worker on its PS host %d", s.ID, h)
+		}
+	}
+	if s.GradCompression != 0 && s.GradCompression < 1 {
+		return fmt.Errorf("dl: job %d gradient compression %.2f < 1", s.ID, s.GradCompression)
+	}
+	return nil
+}
+
+// gradBytes is the (possibly compressed) gradient update size.
+func (s JobSpec) gradBytes() int64 {
+	b := s.Model.UpdateBytes()
+	if s.GradCompression > 1 {
+		b = int64(float64(b) / s.GradCompression)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return b
+}
+
+// ProgressPoint is one (time, global step) sample.
+type ProgressPoint struct {
+	At   float64
+	Step int
+}
+
+// Job is the runtime state of one training job.
+type Job struct {
+	Spec JobSpec
+	env  *Env
+	rng  *sim.RNG
+
+	StartedAt  float64
+	FinishedAt float64 // -1 while running
+
+	globalStep int
+	iteration  int // barrier index for the PS
+	applied    int // gradients applied in the current iteration
+
+	workers []*worker
+
+	// waits[iteration][workerIdx] is the barrier wait time; -1 = unset.
+	waits [][]float64
+
+	progress []ProgressPoint
+
+	// OnFinish fires once when the job reaches its step target.
+	OnFinish func(*Job)
+	// OnBarrier fires at each synchronous barrier release with the
+	// just-completed iteration index; controllers use it to track job
+	// progress without touching application internals.
+	OnBarrier func(*Job, int)
+}
+
+// worker tracks one worker task.
+type worker struct {
+	idx       int
+	host      int
+	port      int
+	localStep int
+	// enterAt is the time this worker's gradient reached the PS for
+	// the current barrier; -1 when not waiting.
+	enterAt   float64
+	enterIter int
+	compute   *cpusim.Task
+}
+
+// NewJob builds a job in the environment. Call Start to launch it.
+func NewJob(env *Env, spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.ComputeJitterSigma == 0 {
+		spec.ComputeJitterSigma = 0.15
+	}
+	j := &Job{
+		Spec:       spec,
+		env:        env,
+		rng:        env.RNG.Stream(fmt.Sprintf("job-%d", spec.ID)),
+		StartedAt:  -1,
+		FinishedAt: -1,
+	}
+	for i := 0; i < spec.NumWorkers; i++ {
+		j.workers = append(j.workers, &worker{
+			idx:     i,
+			host:    spec.WorkerHosts[i],
+			port:    30000 + spec.ID*100 + i,
+			enterAt: -1,
+		})
+	}
+	return j, nil
+}
+
+// Running reports whether the job has started and not finished.
+func (j *Job) Running() bool { return j.StartedAt >= 0 && j.FinishedAt < 0 }
+
+// Done reports whether the job reached its step target.
+func (j *Job) Done() bool { return j.FinishedAt >= 0 }
+
+// GlobalStep returns the current global step.
+func (j *Job) GlobalStep() int { return j.globalStep }
+
+// JCT returns the job completion time, or -1 if unfinished.
+func (j *Job) JCT() float64 {
+	if !j.Done() {
+		return -1
+	}
+	return j.FinishedAt - j.StartedAt
+}
+
+// Progress returns recorded progress points.
+func (j *Job) Progress() []ProgressPoint { return j.progress }
+
+// Start launches the job now: the PS marshals and distributes the
+// initial model.
+func (j *Job) Start() {
+	if j.StartedAt >= 0 {
+		panic(fmt.Sprintf("dl: job %d started twice", j.Spec.ID))
+	}
+	j.StartedAt = j.env.K.Now()
+	j.env.emit(trace.Event{
+		At: j.StartedAt, Kind: trace.KindJobStart,
+		Job: j.Spec.ID, Host: j.Spec.PSHost, Worker: -1,
+	})
+	j.serializeAndBroadcast()
+}
+
+// serializeAndBroadcast runs the PS's outbound marshalling on the PS
+// host CPU, then sends the model to every worker. The marshalling cost
+// scales with fan-out and colocation: on a host packed with parameter
+// servers it is a contended-CPU floor that no NIC scheduling removes.
+func (j *Job) serializeAndBroadcast() {
+	work := float64(j.Spec.NumWorkers) * j.Spec.Model.SerializeSec()
+	j.env.CPUs[j.Spec.PSHost].Submit(work, 1, func() {
+		if j.Done() {
+			return
+		}
+		j.broadcastModel()
+	})
+}
+
+// broadcastModel sends the current model to every worker in one burst —
+// the bursty, high-fan-out traffic at the heart of the paper.
+func (j *Job) broadcastModel() {
+	specs := make([]simnet.FlowSpec, len(j.workers))
+	for i, w := range j.workers {
+		w := w
+		specs[i] = simnet.FlowSpec{
+			Src:     j.Spec.PSHost,
+			Dst:     w.host,
+			SrcPort: j.Spec.PSPort,
+			DstPort: w.port,
+			JobID:   j.Spec.ID,
+			Bytes:   j.Spec.Model.UpdateBytes(),
+			OnComplete: func(*simnet.Flow) {
+				j.workerGotModel(w)
+			},
+		}
+	}
+	j.env.Fabric.SendBurst(j.Spec.PSHost, specs)
+}
+
+// sendModelTo unicasts the model to one worker (async mode).
+func (j *Job) sendModelTo(w *worker) {
+	j.env.Fabric.Send(simnet.FlowSpec{
+		Src:     j.Spec.PSHost,
+		Dst:     w.host,
+		SrcPort: j.Spec.PSPort,
+		DstPort: w.port,
+		JobID:   j.Spec.ID,
+		Bytes:   j.Spec.Model.UpdateBytes(),
+		OnComplete: func(*simnet.Flow) {
+			j.workerGotModel(w)
+		},
+	})
+}
+
+// workerGotModel fires when a model update fully arrives at a worker:
+// the worker exits the barrier (recording its wait) and starts computing
+// its next local batch.
+func (j *Job) workerGotModel(w *worker) {
+	now := j.env.K.Now()
+	if w.enterAt >= 0 {
+		j.recordWait(w.enterIter, w.idx, now-w.enterAt)
+		w.enterAt = -1
+	}
+	if j.Done() {
+		return
+	}
+	j.startCompute(w)
+}
+
+// startCompute runs one local step on the worker host's shared CPU.
+func (j *Job) startCompute(w *worker) {
+	work := j.Spec.Model.StepComputeSec(j.Spec.LocalBatch) *
+		j.rng.LogNormalFactor(j.Spec.ComputeJitterSigma)
+	w.compute = j.env.CPUs[w.host].Submit(work, 1, func() {
+		w.compute = nil
+		j.computeDone(w)
+	})
+}
+
+// computeDone pushes the worker's gradient update to the PS.
+func (j *Job) computeDone(w *worker) {
+	if j.Done() {
+		return
+	}
+	w.localStep++
+	j.env.Fabric.Send(simnet.FlowSpec{
+		Src:     w.host,
+		Dst:     j.Spec.PSHost,
+		SrcPort: w.port,
+		DstPort: j.Spec.PSPort,
+		JobID:   j.Spec.ID,
+		Bytes:   j.Spec.gradBytes(),
+		OnComplete: func(*simnet.Flow) {
+			j.psGotGradient(w)
+		},
+	})
+}
+
+// psGotGradient fires when a gradient update fully arrives at the PS.
+// The worker is now waiting at the barrier; the PS applies the gradient
+// on its host CPU and, in synchronous mode, releases the barrier once
+// every worker's gradient has been applied.
+func (j *Job) psGotGradient(w *worker) {
+	if j.Done() {
+		return
+	}
+	now := j.env.K.Now()
+	j.globalStep++
+	j.recordProgress(now)
+	if j.globalStep >= j.Spec.TargetGlobalSteps {
+		j.finish(now)
+		return
+	}
+	w.enterAt = now
+	w.enterIter = j.iteration
+	apply := j.Spec.Model.PSApplySecPerGrad
+	j.env.CPUs[j.Spec.PSHost].Submit(apply, 1, func() {
+		j.gradientApplied(w)
+	})
+}
+
+// gradientApplied advances the barrier (sync) or answers the worker
+// immediately (async).
+func (j *Job) gradientApplied(w *worker) {
+	if j.Done() {
+		return
+	}
+	if j.Spec.Async {
+		j.env.CPUs[j.Spec.PSHost].Submit(j.Spec.Model.SerializeSec(), 1, func() {
+			if j.Done() {
+				return
+			}
+			j.sendModelTo(w)
+		})
+		return
+	}
+	j.applied++
+	if j.applied < j.Spec.NumWorkers {
+		return
+	}
+	// Barrier complete: one iteration ends for every worker.
+	j.applied = 0
+	j.iteration++
+	j.env.emit(trace.Event{
+		At: j.env.K.Now(), Kind: trace.KindBarrierRelease,
+		Job: j.Spec.ID, Host: j.Spec.PSHost, Worker: -1,
+		Value: float64(j.iteration),
+	})
+	if j.OnBarrier != nil {
+		j.OnBarrier(j, j.iteration)
+	}
+	j.serializeAndBroadcast()
+}
+
+// finish marks the job done, cancels in-flight compute and reports.
+func (j *Job) finish(now float64) {
+	j.FinishedAt = now
+	j.env.emit(trace.Event{
+		At: now, Kind: trace.KindJobFinish,
+		Job: j.Spec.ID, Host: j.Spec.PSHost, Worker: -1,
+		Value: now - j.StartedAt,
+	})
+	for _, w := range j.workers {
+		if w.compute != nil {
+			j.env.CPUs[w.host].Cancel(w.compute)
+			w.compute = nil
+		}
+	}
+	if j.OnFinish != nil {
+		j.OnFinish(j)
+	}
+}
+
+func (j *Job) recordProgress(now float64) {
+	pe := j.Spec.ProgressEvery
+	if pe <= 0 {
+		return
+	}
+	if j.globalStep%pe == 0 || j.globalStep >= j.Spec.TargetGlobalSteps {
+		j.progress = append(j.progress, ProgressPoint{At: now, Step: j.globalStep})
+	}
+}
+
+// recordWait stores one worker's barrier wait sample.
+func (j *Job) recordWait(iter, workerIdx int, wait float64) {
+	for len(j.waits) <= iter {
+		row := make([]float64, j.Spec.NumWorkers)
+		for i := range row {
+			row[i] = -1
+		}
+		j.waits = append(j.waits, row)
+	}
+	j.waits[iter][workerIdx] = wait
+}
+
+// BarrierStat summarizes one barrier's wait times across the job's
+// workers — the unit of measurement behind the paper's Figures 3 and 6.
+type BarrierStat struct {
+	Iteration int
+	Mean      float64
+	Variance  float64 // population variance of waits across workers
+	Min, Max  float64
+}
+
+// BarrierStats returns per-barrier wait statistics for every barrier at
+// which all workers recorded a wait (the trailing partial barrier at job
+// completion is excluded, as in the paper's methodology).
+func (j *Job) BarrierStats() []BarrierStat {
+	var out []BarrierStat
+	for iter, row := range j.waits {
+		n := 0
+		sum := 0.0
+		for _, v := range row {
+			if v >= 0 {
+				n++
+				sum += v
+			}
+		}
+		if n != j.Spec.NumWorkers {
+			continue
+		}
+		mean := sum / float64(n)
+		va := 0.0
+		mn, mx := row[0], row[0]
+		for _, v := range row {
+			d := v - mean
+			va += d * d
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		va /= float64(n)
+		out = append(out, BarrierStat{
+			Iteration: iter, Mean: mean, Variance: va, Min: mn, Max: mx,
+		})
+	}
+	return out
+}

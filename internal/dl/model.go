@@ -1,0 +1,145 @@
+// Package dl models distributed deep-learning jobs under the parameter
+// server (PS) architecture: one logically centralized PS exchanging
+// model updates and gradient updates with N remote workers, in
+// synchronous (barrier per iteration) or asynchronous mode. The package
+// reproduces the paper's communication pattern exactly — per iteration,
+// each worker computes on a local batch, pushes a gradient update of the
+// model's full parameter size to the PS, waits at the barrier, and
+// receives a model update of the same size — without simulating the
+// numerical training itself, which the paper's results never depend on.
+package dl
+
+import "fmt"
+
+// Model describes a DNN's communication and computation footprint.
+type Model struct {
+	Name string
+	// Params is the trainable parameter count; each parameter is 4
+	// bytes (fp32), so one model/gradient update moves 4*Params bytes.
+	Params int64
+	// SecPerSample is single-thread compute seconds per training sample
+	// (forward + backward) on the reference CPU.
+	SecPerSample float64
+	// StepOverheadSec is fixed per-local-step compute time independent
+	// of batch size (graph dispatch, optimizer bookkeeping).
+	StepOverheadSec float64
+	// PSApplySecPerGrad is single-thread seconds the PS spends applying
+	// one worker's gradient update (deserialization + optimizer step).
+	PSApplySecPerGrad float64
+	// SerializeSecPerMB is single-thread CPU seconds the PS spends per
+	// megabyte serializing outbound model updates (the gRPC/protobuf
+	// marshalling path). This cost scales with a host's PS traffic and
+	// is untouched by NIC prioritization, so it bounds how much of the
+	// colocation penalty TensorLights can recover.
+	SerializeSecPerMB float64
+}
+
+// BytesPerParam is the size of one fp32 parameter.
+const BytesPerParam = 4
+
+// UpdateBytes returns the size of one model update or gradient update —
+// the full parameter set, as in the paper's TensorFlow PS protocol.
+func (m Model) UpdateBytes() int64 { return m.Params * BytesPerParam }
+
+// Validate reports configuration errors.
+func (m Model) Validate() error {
+	if m.Params <= 0 {
+		return fmt.Errorf("dl: model %q has no parameters", m.Name)
+	}
+	if m.SecPerSample < 0 || m.StepOverheadSec < 0 || m.PSApplySecPerGrad < 0 || m.SerializeSecPerMB < 0 {
+		return fmt.Errorf("dl: model %q has negative timing", m.Name)
+	}
+	return nil
+}
+
+// The model zoo. Parameter counts are the published sizes; per-sample
+// compute times are calibrated so that ResNet-32 at local batch size 4
+// takes roughly the per-iteration time implied by the paper's testbed
+// (thousands of seconds for 1500 iterations on oversubscribed CPUs).
+var (
+	// ResNet32 is the paper's workload: ResNet-32 for CIFAR-10,
+	// ~0.47 M parameters → ~1.87 MB per update.
+	ResNet32 = Model{
+		Name:              "resnet32",
+		Params:            467_000,
+		SecPerSample:      0.070,
+		StepOverheadSec:   0.080,
+		PSApplySecPerGrad: 0.004,
+		SerializeSecPerMB: 0.0025,
+	}
+	// ResNet56 is the deeper CIFAR variant (~0.86 M parameters).
+	ResNet56 = Model{
+		Name:              "resnet56",
+		Params:            856_000,
+		SecPerSample:      0.260,
+		StepOverheadSec:   0.280,
+		PSApplySecPerGrad: 0.007,
+		SerializeSecPerMB: 0.0025,
+	}
+	// AlexNet: 61 M parameters, famously communication-heavy.
+	AlexNet = Model{
+		Name:              "alexnet",
+		Params:            61_000_000,
+		SecPerSample:      0.450,
+		StepOverheadSec:   0.250,
+		PSApplySecPerGrad: 0.120,
+		SerializeSecPerMB: 0.0025,
+	}
+	// InceptionV3: 23.9 M parameters.
+	InceptionV3 = Model{
+		Name:              "inception3",
+		Params:            23_900_000,
+		SecPerSample:      1.900,
+		StepOverheadSec:   0.400,
+		PSApplySecPerGrad: 0.050,
+		SerializeSecPerMB: 0.0025,
+	}
+	// ResNet50: 25.6 M parameters.
+	ResNet50 = Model{
+		Name:              "resnet50",
+		Params:            25_600_000,
+		SecPerSample:      1.500,
+		StepOverheadSec:   0.350,
+		PSApplySecPerGrad: 0.055,
+		SerializeSecPerMB: 0.0025,
+	}
+	// VGG16: 138 M parameters, the heaviest updates in the zoo.
+	VGG16 = Model{
+		Name:              "vgg16",
+		Params:            138_000_000,
+		SecPerSample:      2.100,
+		StepOverheadSec:   0.400,
+		PSApplySecPerGrad: 0.300,
+		SerializeSecPerMB: 0.0025,
+	}
+)
+
+// Zoo lists the built-in models.
+func Zoo() []Model {
+	return []Model{ResNet32, ResNet56, AlexNet, InceptionV3, ResNet50, VGG16}
+}
+
+// ModelByName looks a model up in the zoo.
+func ModelByName(name string) (Model, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("dl: unknown model %q", name)
+}
+
+// SerializeSec returns the PS-side single-thread CPU seconds to marshal
+// one outbound model update.
+func (m Model) SerializeSec() float64 {
+	return m.SerializeSecPerMB * float64(m.UpdateBytes()) / (1 << 20)
+}
+
+// StepComputeSec returns single-thread compute seconds for one local
+// step at the given local batch size.
+func (m Model) StepComputeSec(localBatch int) float64 {
+	if localBatch < 1 {
+		localBatch = 1
+	}
+	return m.StepOverheadSec + float64(localBatch)*m.SecPerSample
+}

@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpusim"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if !almost(Variance(xs), 4) {
+		t.Fatalf("variance %v", Variance(xs))
+	}
+	if !almost(Std(xs), 2) {
+		t.Fatalf("std %v", Std(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty-input conventions")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(Median(xs), 3) {
+		t.Fatal("median")
+	}
+	if !almost(Percentile(xs, 0), 1) || !almost(Percentile(xs, 1), 5) {
+		t.Fatal("extremes")
+	}
+	if !almost(Percentile(xs, 0.25), 2) {
+		t.Fatalf("p25 %v", Percentile(xs, 0.25))
+	}
+	// Interpolation between points.
+	if !almost(Percentile([]float64{0, 10}, 0.5), 5) {
+		t.Fatal("interpolation")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.Count != 5 || !almost(s.Min, 1) || !almost(s.Max, 5) || !almost(s.Median, 3) {
+		t.Fatalf("%+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("summary string")
+	}
+	var empty Summary
+	if Summarize(nil) != empty {
+		t.Fatal("empty summarize")
+	}
+}
+
+func TestSummarizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) {
+				xs = append(xs, math.Mod(r, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Variance >= 0 &&
+			s.P25 <= s.P75+1e-9 && s.P90 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Fatal("len")
+	}
+	if !almost(c.At(2), 0.5) || !almost(c.At(0.5), 0) || !almost(c.At(10), 1) {
+		t.Fatalf("At: %v %v %v", c.At(2), c.At(0.5), c.At(10))
+	}
+	if !almost(c.Quantile(0), 1) || !almost(c.Quantile(1), 4) {
+		t.Fatal("quantiles")
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 || pts[0][1] != 0 || pts[4][1] != 1 {
+		t.Fatalf("points %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatal("CDF points not monotone")
+		}
+	}
+	empty := NewCDF(nil)
+	if empty.At(1) != 0 || empty.Quantile(0.5) != 0 || empty.Points(3) != nil {
+		t.Fatal("empty CDF")
+	}
+}
+
+func TestRatioAndNormalize(t *testing.T) {
+	if !almost(Ratio(6, 3), 2) {
+		t.Fatal("ratio")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Fatal("ratio by zero")
+	}
+	out, err := NormalizeBy([]float64{2, 6}, []float64{4, 3})
+	if err != nil || !almost(out[0], 0.5) || !almost(out[1], 2) {
+		t.Fatalf("%v %v", out, err)
+	}
+	if _, err := NormalizeBy([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func newSampledCluster(t *testing.T) (*sim.Kernel, *simnet.Fabric, []*cpusim.CPU, *UtilizationSampler) {
+	t.Helper()
+	k := sim.NewKernel()
+	fab := simnet.New(k, sim.NewRNG(1), simnet.Config{LinkRateBps: 8e9, WireOverhead: 1.0})
+	cpus := make([]*cpusim.CPU, 2)
+	for i := range cpus {
+		fab.AddHost("h")
+		cpus[i] = cpusim.NewCPU(k, 2)
+	}
+	s := NewUtilizationSampler(k, fab, cpus, 0.5)
+	return k, fab, cpus, s
+}
+
+func TestUtilizationSamplerCPU(t *testing.T) {
+	k, _, cpus, s := newSampledCluster(t)
+	s.Start()
+	// One task of 5 thread-seconds on a 2-thread CPU: 50% utilization.
+	cpus[0].Submit(5, 1, nil)
+	k.RunUntil(10)
+	s.Stop()
+	utils, err := s.Window(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(utils[0].CPU-0.25) > 0.03 {
+		t.Fatalf("cpu util %v, want ~0.25 (5 thread-sec / 20 capacity)", utils[0].CPU)
+	}
+	if utils[1].CPU != 0 {
+		t.Fatal("idle host shows CPU usage")
+	}
+}
+
+func TestUtilizationSamplerNet(t *testing.T) {
+	k, fab, _, s := newSampledCluster(t)
+	s.Start()
+	// 1 GB/s link; send 2 GB over ~2 seconds within a 4-second window.
+	fab.Send(simnet.FlowSpec{Src: 0, Dst: 1, Bytes: 2 << 30})
+	k.RunUntil(4)
+	s.Stop()
+	utils, err := s.Window(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(utils[0].NetOut-0.5) > 0.1 {
+		t.Fatalf("egress util %v, want ~0.5", utils[0].NetOut)
+	}
+	if math.Abs(utils[1].NetIn-0.5) > 0.1 {
+		t.Fatalf("ingress util %v, want ~0.5", utils[1].NetIn)
+	}
+	if utils[0].NetIn != 0 {
+		t.Fatal("sender shows inbound traffic")
+	}
+}
+
+func TestSamplerWindowErrors(t *testing.T) {
+	k, _, _, s := newSampledCluster(t)
+	s.Start()
+	k.RunUntil(2)
+	if _, err := s.Window(3, 1); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if _, err := s.Window(-5, -1); err == nil {
+		t.Fatal("window before first snapshot accepted")
+	}
+	if len(s.Series(0)) == 0 {
+		t.Fatal("series empty")
+	}
+}
+
+func TestAverageUtil(t *testing.T) {
+	utils := []HostUtil{
+		{Host: 0, CPU: 0.2, NetIn: 0.4, NetOut: 0.6},
+		{Host: 1, CPU: 0.4, NetIn: 0.2, NetOut: 0.2},
+		{Host: 2, CPU: 1.0, NetIn: 1.0, NetOut: 1.0},
+	}
+	avg := AverageUtil(utils, []int{0, 1})
+	if !almost(avg.CPU, 0.3) || !almost(avg.NetIn, 0.3) || !almost(avg.NetOut, 0.4) {
+		t.Fatalf("%+v", avg)
+	}
+	if AverageUtil(utils, nil).Host != -1 {
+		t.Fatal("empty host set")
+	}
+	if AverageUtil(utils, []int{9}).CPU != 0 {
+		t.Fatal("unknown host set")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if !almost(JainIndex([]float64{5, 5, 5, 5}), 1) {
+		t.Fatal("equal shares must give 1")
+	}
+	// One job hogging everything among n: index -> 1/n.
+	if !almost(JainIndex([]float64{1, 0, 0, 0}), 0.25) {
+		t.Fatalf("max imbalance %v", JainIndex([]float64{1, 0, 0, 0}))
+	}
+	if JainIndex(nil) != 0 {
+		t.Fatal("empty input")
+	}
+	if JainIndex([]float64{0, 0}) != 1 {
+		t.Fatal("all-zero input treated as equal")
+	}
+	mixed := JainIndex([]float64{4, 2, 2})
+	if mixed <= 0.25 || mixed >= 1 {
+		t.Fatalf("mixed index %v out of (1/n,1)", mixed)
+	}
+}

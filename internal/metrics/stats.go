@@ -1,0 +1,200 @@
+// Package metrics provides the statistics and measurement machinery the
+// paper's evaluation uses: summary statistics and CDFs over barrier wait
+// times and job completion times, plus windowed CPU and NIC utilization
+// sampling (the vmstat/ifstat analog).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count    int
+	Mean     float64
+	Variance float64 // population variance
+	Std      float64
+	Min      float64
+	P25      float64
+	Median   float64
+	P75      float64
+	P90      float64
+	P95      float64
+	P99      float64
+	Max      float64
+}
+
+// Summarize computes descriptive statistics. An empty input returns a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs)}
+	s.Mean = Mean(xs)
+	s.Variance = Variance(xs)
+	s.Std = math.Sqrt(s.Variance)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P25 = percentileSorted(sorted, 0.25)
+	s.Median = percentileSorted(sorted, 0.50)
+	s.P75 = percentileSorted(sorted, 0.75)
+	s.P90 = percentileSorted(sorted, 0.90)
+	s.P95 = percentileSorted(sorted, 0.95)
+	s.P99 = percentileSorted(sorted, 0.99)
+	return s
+}
+
+// String renders the headline numbers.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g median=%.4g std=%.4g min=%.4g max=%.4g",
+		s.Count, s.Mean, s.Median, s.Std, s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 0.5) }
+
+// Percentile returns the p-quantile (p in [0,1]) with linear
+// interpolation; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile (inverse CDF).
+func (c *CDF) Quantile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return percentileSorted(c.sorted, p)
+}
+
+// Points returns n evenly spaced (x, P(X<=x)) pairs for plotting.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		out = append(out, [2]float64{percentileSorted(c.sorted, p), p})
+	}
+	return out
+}
+
+// Ratio returns a/b, guarding against division by ~zero.
+func Ratio(a, b float64) float64 {
+	if math.Abs(b) < 1e-12 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// JainIndex computes Jain's fairness index of xs: 1.0 when all values
+// are equal, approaching 1/n under maximal imbalance. The fairness
+// examples use it to quantify TLs-RR's equal-progress property.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// NormalizeBy divides each element of xs by the matching element of base
+// (element-wise normalized metrics, as in the paper's Figure 5).
+func NormalizeBy(xs, base []float64) ([]float64, error) {
+	if len(xs) != len(base) {
+		return nil, fmt.Errorf("metrics: normalize length mismatch %d vs %d", len(xs), len(base))
+	}
+	out := make([]float64, len(xs))
+	for i := range xs {
+		out[i] = Ratio(xs[i], base[i])
+	}
+	return out, nil
+}

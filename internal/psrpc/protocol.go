@@ -1,0 +1,110 @@
+// Package psrpc is a miniature but real parameter-server training
+// framework over TCP: one PS process-part exchanging full-vector model
+// and gradient updates with N workers, synchronized by a per-iteration
+// barrier — the same communication pattern the paper instruments in
+// TensorFlow. The repository's evaluation runs on the discrete-event
+// simulator (internal/simnet), which scales to the paper's 21-host
+// testbed; psrpc complements it with an executable end-host stack whose
+// barrier-wait measurements come from real sockets and goroutines.
+package psrpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType tags protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgHello is the worker's registration (Worker field set).
+	MsgHello MsgType = iota + 1
+	// MsgModel carries the full model vector PS -> worker.
+	MsgModel
+	// MsgGradient carries the full gradient vector worker -> PS.
+	MsgGradient
+	// MsgDone tells the worker training ended.
+	MsgDone
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgModel:
+		return "model"
+	case MsgGradient:
+		return "gradient"
+	case MsgDone:
+		return "done"
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// Message is one protocol frame. Vec is the parameter or gradient
+// vector; Aux carries the worker's reported loss on gradients.
+type Message struct {
+	Type   MsgType
+	Worker uint32
+	Step   uint32
+	Aux    float32
+	Vec    []float32
+}
+
+// maxVecLen bounds decoded vectors (64 M parameters) so a corrupt
+// header cannot trigger a huge allocation.
+const maxVecLen = 64 << 20
+
+// headerLen is the fixed frame header size.
+const headerLen = 1 + 4 + 4 + 4 + 4
+
+// WriteMessage frames and writes m.
+func WriteMessage(w io.Writer, m *Message) error {
+	if len(m.Vec) > maxVecLen {
+		return fmt.Errorf("psrpc: vector too long (%d)", len(m.Vec))
+	}
+	buf := make([]byte, headerLen+4*len(m.Vec))
+	buf[0] = byte(m.Type)
+	binary.LittleEndian.PutUint32(buf[1:], m.Worker)
+	binary.LittleEndian.PutUint32(buf[5:], m.Step)
+	binary.LittleEndian.PutUint32(buf[9:], math.Float32bits(m.Aux))
+	binary.LittleEndian.PutUint32(buf[13:], uint32(len(m.Vec)))
+	for i, v := range m.Vec {
+		binary.LittleEndian.PutUint32(buf[headerLen+4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one frame.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	m := &Message{
+		Type:   MsgType(hdr[0]),
+		Worker: binary.LittleEndian.Uint32(hdr[1:]),
+		Step:   binary.LittleEndian.Uint32(hdr[5:]),
+		Aux:    math.Float32frombits(binary.LittleEndian.Uint32(hdr[9:])),
+	}
+	n := binary.LittleEndian.Uint32(hdr[13:])
+	if n > maxVecLen {
+		return nil, fmt.Errorf("psrpc: vector length %d exceeds limit", n)
+	}
+	if n > 0 {
+		body := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		m.Vec = make([]float32, n)
+		for i := range m.Vec {
+			m.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,290 @@
+package psrpc
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{Type: MsgGradient, Worker: 7, Step: 42, Aux: 1.5,
+		Vec: []float32{1, -2.5, 3e-7, 0}}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Worker != m.Worker || got.Step != m.Step || got.Aux != m.Aux {
+		t.Fatalf("header %+v", got)
+	}
+	for i := range m.Vec {
+		if got.Vec[i] != m.Vec[i] {
+			t.Fatalf("vec %v", got.Vec)
+		}
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, worker, step uint32, aux float32, vec []float32) bool {
+		for i, v := range vec {
+			if math.IsNaN(float64(v)) {
+				vec[i] = 0
+			}
+		}
+		m := &Message{Type: MsgType(typ), Worker: worker, Step: step, Aux: aux, Vec: vec}
+		if math.IsNaN(float64(aux)) {
+			m.Aux = 0
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Type != m.Type || got.Worker != m.Worker || got.Step != m.Step || got.Aux != m.Aux {
+			return false
+		}
+		if len(got.Vec) != len(m.Vec) {
+			return false
+		}
+		for i := range m.Vec {
+			if got.Vec[i] != m.Vec[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	m := &Message{Type: MsgModel, Vec: []float32{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadMessage(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadMessageHugeLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, &Message{Type: MsgModel})
+	raw := buf.Bytes()
+	// Corrupt the length field to a huge value.
+	raw[13], raw[14], raw[15], raw[16] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestServerConfigValidate(t *testing.T) {
+	good := ServerConfig{Workers: 2, InitialModel: []float32{0}, LearningRate: 0.1, Iterations: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, bad := range []ServerConfig{
+		{Workers: 0, InitialModel: []float32{0}, LearningRate: 0.1, Iterations: 1},
+		{Workers: 1, InitialModel: nil, LearningRate: 0.1, Iterations: 1},
+		{Workers: 1, InitialModel: []float32{0}, LearningRate: 0.1, Iterations: 0},
+		{Workers: 1, InitialModel: []float32{0}, LearningRate: 0, Iterations: 1},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDistributedTrainingConverges(t *testing.T) {
+	// 4 workers, disjoint shards of the same ground truth: synchronous
+	// distributed SGD must drive MSE near the noise floor.
+	const dim = 8
+	workers := 4
+	_, trueW := MakeLinRegData(99, 1, dim, 0)
+	var computes []ComputeFunc
+	var full LinRegData
+	for w := 0; w < workers; w++ {
+		shard := MakeLinRegShard(trueW, 100+int64(w), 64, 0.01)
+		computes = append(computes, shard.Compute(16))
+		full.X = append(full.X, shard.X...)
+		full.Y = append(full.Y, shard.Y...)
+	}
+	res, err := TrainLocal(ServerConfig{
+		Workers:      workers,
+		InitialModel: make([]float32, dim),
+		LearningRate: 0.05,
+		Iterations:   200,
+	}, computes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalStep != workers*200 {
+		t.Fatalf("global step %d, want %d", res.GlobalStep, workers*200)
+	}
+	mse := MSE(res.FinalModel, &full)
+	if mse > 0.05 {
+		t.Fatalf("distributed training did not converge: MSE %.4f", mse)
+	}
+	// Loss curve must be decreasing overall.
+	if res.Losses[len(res.Losses)-1] > res.Losses[0]/2 {
+		t.Fatalf("loss not decreasing: first %.4f last %.4f",
+			res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+}
+
+func TestBarrierWaitsRecorded(t *testing.T) {
+	workers := 3
+	var computes []ComputeFunc
+	for w := 0; w < workers; w++ {
+		shard, _ := MakeLinRegData(int64(w), 16, 4, 0.01)
+		inner := shard.Compute(4)
+		w := w
+		computes = append(computes, func(model []float32, step int) ([]float32, float32) {
+			// Worker 0 is an artificial straggler.
+			if w == 0 {
+				time.Sleep(2 * time.Millisecond)
+			}
+			return inner(model, step)
+		})
+	}
+	res, err := TrainLocal(ServerConfig{
+		Workers:      workers,
+		InitialModel: make([]float32, 4),
+		LearningRate: 0.01,
+		Iterations:   10,
+	}, computes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Waits) != workers*10 {
+		t.Fatalf("wait records %d, want %d", len(res.Waits), workers*10)
+	}
+	// The straggler (worker 0) waits less than its peers on average —
+	// the paper's signature of straggling.
+	var wait0, waitOthers time.Duration
+	var n0, nOthers int
+	for _, rec := range res.Waits {
+		if rec.Worker == 0 {
+			wait0 += rec.Wait
+			n0++
+		} else {
+			waitOthers += rec.Wait
+			nOthers++
+		}
+	}
+	if wait0/time.Duration(n0) >= waitOthers/time.Duration(nOthers) {
+		t.Fatalf("straggler waited more than peers: %v vs %v",
+			wait0/time.Duration(n0), waitOthers/time.Duration(nOthers))
+	}
+}
+
+func TestConcurrentJobs(t *testing.T) {
+	// Two jobs training simultaneously in one process — the smallest
+	// version of the paper's grid search.
+	results := make([]*ServerResult, 2)
+	errs := make([]error, 2)
+	done := make(chan int, 2)
+	for jb := 0; jb < 2; jb++ {
+		jb := jb
+		go func() {
+			shard, _ := MakeLinRegData(int64(jb)*7+1, 32, 4, 0.01)
+			results[jb], errs[jb] = TrainLocal(ServerConfig{
+				Workers:      2,
+				InitialModel: make([]float32, 4),
+				LearningRate: 0.05,
+				Iterations:   50,
+			}, []ComputeFunc{shard.Compute(8), shard.Compute(8)})
+			done <- jb
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		<-done
+	}
+	for jb := 0; jb < 2; jb++ {
+		if errs[jb] != nil {
+			t.Fatalf("job %d: %v", jb, errs[jb])
+		}
+		if results[jb].GlobalStep != 100 {
+			t.Fatalf("job %d global step %d", jb, results[jb].GlobalStep)
+		}
+	}
+}
+
+func TestTrainLocalComputeCountMismatch(t *testing.T) {
+	_, err := TrainLocal(ServerConfig{
+		Workers: 2, InitialModel: []float32{0}, LearningRate: 0.1, Iterations: 1,
+	}, nil)
+	if err == nil {
+		t.Fatal("mismatched compute funcs accepted")
+	}
+}
+
+func TestServerRejectsDuplicateWorker(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Workers: 2, InitialModel: []float32{0}, LearningRate: 0.1, Iterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go func() {
+		for i := 0; i < 2; i++ {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			// Both connections claim worker id 0.
+			_ = WriteMessage(conn, &Message{Type: MsgHello, Worker: 0})
+		}
+	}()
+	if _, err := srv.Serve(ln); err == nil {
+		t.Fatal("duplicate worker id accepted")
+	}
+}
+
+func TestMakeLinRegDataShape(t *testing.T) {
+	d, trueW := MakeLinRegData(1, 10, 3, 0)
+	if len(d.X) != 10 || len(d.Y) != 10 || len(trueW) != 3 {
+		t.Fatal("shapes")
+	}
+	// Zero noise: MSE of the true weights is ~0.
+	if mse := MSE(trueW, d); mse > 1e-9 {
+		t.Fatalf("true weights MSE %v", mse)
+	}
+}
+
+func TestComputeGradientDescends(t *testing.T) {
+	d, _ := MakeLinRegData(2, 32, 4, 0)
+	compute := d.Compute(32)
+	model := make([]float32, 4)
+	before := MSE(model, d)
+	for step := 0; step < 50; step++ {
+		grad, _ := compute(model, step)
+		for j := range model {
+			model[j] -= 0.05 * grad[j]
+		}
+	}
+	after := MSE(model, d)
+	if after >= before/10 {
+		t.Fatalf("gradient descent stalled: %.4f -> %.4f", before, after)
+	}
+}

@@ -1,0 +1,199 @@
+package psrpc
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ServerConfig configures a parameter server.
+type ServerConfig struct {
+	// Workers is the number of workers to expect.
+	Workers int
+	// InitialModel seeds the parameter vector; the PS owns it.
+	InitialModel []float32
+	// LearningRate scales averaged gradients at the PS.
+	LearningRate float32
+	// Iterations is the number of synchronous barriers to run; the
+	// global step reaches Workers*Iterations, as in the paper.
+	Iterations int
+	// WrapConn optionally wraps each worker connection's outbound path
+	// (e.g. through a SharedLink priority band); inbound reads always
+	// use the raw connection, mirroring tc's egress-only shaping.
+	WrapConn func(net.Conn) io.Writer
+}
+
+// Validate reports configuration errors.
+func (c ServerConfig) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("psrpc: need >=1 worker")
+	}
+	if len(c.InitialModel) == 0 {
+		return fmt.Errorf("psrpc: empty model")
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("psrpc: need >=1 iteration")
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("psrpc: learning rate must be positive")
+	}
+	return nil
+}
+
+// BarrierRecord measures one worker's wait at one barrier: the elapsed
+// real time between its gradient arriving at the PS and the barrier
+// releasing — the paper's straggler indicator, on real sockets.
+type BarrierRecord struct {
+	Iteration int
+	Worker    int
+	Wait      time.Duration
+}
+
+// ServerResult summarizes a completed training run.
+type ServerResult struct {
+	FinalModel []float32
+	GlobalStep int
+	// Waits holds Workers*(Iterations) barrier records.
+	Waits []BarrierRecord
+	// Losses[iteration] is the mean worker-reported loss.
+	Losses []float32
+}
+
+// Server is a synchronous parameter server.
+type Server struct {
+	cfg   ServerConfig
+	model []float32
+}
+
+// NewServer validates the config and builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, model: make([]float32, len(cfg.InitialModel))}
+	copy(s.model, cfg.InitialModel)
+	return s, nil
+}
+
+// gradMsg pairs a decoded gradient with its arrival time.
+type gradMsg struct {
+	msg     *Message
+	arrived time.Time
+	err     error
+}
+
+// Serve accepts exactly cfg.Workers connections on ln and runs the
+// synchronous training loop to completion. It closes the listener when
+// done.
+func (s *Server) Serve(ln net.Listener) (*ServerResult, error) {
+	defer ln.Close()
+	conns := make([]net.Conn, 0, s.cfg.Workers)
+	outs := make([]io.Writer, 0, s.cfg.Workers)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	seen := make(map[uint32]bool)
+	for len(conns) < s.cfg.Workers {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("psrpc: accept: %w", err)
+		}
+		hello, err := ReadMessage(conn)
+		if err != nil || hello.Type != MsgHello {
+			conn.Close()
+			return nil, fmt.Errorf("psrpc: bad hello: %v", err)
+		}
+		if seen[hello.Worker] {
+			conn.Close()
+			return nil, fmt.Errorf("psrpc: duplicate worker %d", hello.Worker)
+		}
+		seen[hello.Worker] = true
+		conns = append(conns, conn)
+		var out io.Writer = conn
+		if s.cfg.WrapConn != nil {
+			out = s.cfg.WrapConn(conn)
+		}
+		outs = append(outs, out)
+	}
+
+	// One reader goroutine per worker feeds gradients into a channel;
+	// the barrier is the PS collecting one gradient per worker.
+	grads := make(chan gradMsg, s.cfg.Workers)
+	var wg sync.WaitGroup
+	for _, conn := range conns {
+		conn := conn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, err := ReadMessage(conn)
+				if err != nil {
+					grads <- gradMsg{err: err}
+					return
+				}
+				if m.Type == MsgDone {
+					return
+				}
+				grads <- gradMsg{msg: m, arrived: time.Now()}
+			}
+		}()
+	}
+
+	res := &ServerResult{}
+	globalStep := 0
+	for iter := 0; iter < s.cfg.Iterations; iter++ {
+		// Model update: broadcast to every worker.
+		for _, out := range outs {
+			if err := WriteMessage(out, &Message{
+				Type: MsgModel, Step: uint32(iter), Vec: s.model,
+			}); err != nil {
+				return nil, fmt.Errorf("psrpc: broadcast: %w", err)
+			}
+		}
+		// Barrier: collect one gradient per worker.
+		sum := make([]float64, len(s.model))
+		arrivals := make([]gradMsg, 0, s.cfg.Workers)
+		var lossSum float64
+		for n := 0; n < s.cfg.Workers; n++ {
+			g := <-grads
+			if g.err != nil {
+				return nil, fmt.Errorf("psrpc: worker read: %w", g.err)
+			}
+			if len(g.msg.Vec) != len(s.model) {
+				return nil, fmt.Errorf("psrpc: gradient length %d != model %d",
+					len(g.msg.Vec), len(s.model))
+			}
+			for i, v := range g.msg.Vec {
+				sum[i] += float64(v)
+			}
+			lossSum += float64(g.msg.Aux)
+			arrivals = append(arrivals, g)
+			globalStep++
+		}
+		release := time.Now()
+		for _, g := range arrivals {
+			res.Waits = append(res.Waits, BarrierRecord{
+				Iteration: iter,
+				Worker:    int(g.msg.Worker),
+				Wait:      release.Sub(g.arrived),
+			})
+		}
+		res.Losses = append(res.Losses, float32(lossSum/float64(s.cfg.Workers)))
+		// Apply the averaged gradient.
+		n := float32(s.cfg.Workers)
+		for i := range s.model {
+			s.model[i] -= s.cfg.LearningRate * float32(sum[i]) / n
+		}
+	}
+	for _, out := range outs {
+		_ = WriteMessage(out, &Message{Type: MsgDone})
+	}
+	wg.Wait()
+	res.FinalModel = append([]float32(nil), s.model...)
+	res.GlobalStep = globalStep
+	return res, nil
+}

@@ -1,0 +1,192 @@
+package psrpc
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// SharedLink is a userspace analog of a host NIC egress: writes from
+// several parameter servers in one process are serialized at a
+// configured rate, and pending writes are served in strict priority
+// order — the TensorLights mechanism realized over real sockets. It is
+// work-conserving: the link never idles while any queue holds data.
+type SharedLink struct {
+	rate float64 // bytes/sec
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[int][]*writeReq // priority -> FIFO
+	closed bool
+	sent   int64
+}
+
+type writeReq struct {
+	conn net.Conn
+	data []byte
+	done chan error
+}
+
+// NewSharedLink starts the link's pump goroutine. Call Close when done.
+func NewSharedLink(rateBytesPerSec float64) *SharedLink {
+	if rateBytesPerSec <= 0 {
+		panic("psrpc: shared link rate must be positive")
+	}
+	l := &SharedLink{
+		rate:   rateBytesPerSec,
+		queues: map[int][]*writeReq{},
+	}
+	l.cond = sync.NewCond(&l.mu)
+	go l.pump()
+	return l
+}
+
+// Sent returns cumulative bytes pushed through the link.
+func (l *SharedLink) Sent() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent
+}
+
+// Close stops the pump; queued writes fail.
+func (l *SharedLink) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// pump serves the highest-priority (lowest value) non-empty queue,
+// pacing to the configured rate.
+func (l *SharedLink) pump() {
+	for {
+		l.mu.Lock()
+		var req *writeReq
+		for !l.closed {
+			best := -1
+			for prio, q := range l.queues {
+				if len(q) == 0 {
+					continue
+				}
+				if best == -1 || prio < best {
+					best = prio
+				}
+			}
+			if best >= 0 {
+				q := l.queues[best]
+				req = q[0]
+				l.queues[best] = q[1:]
+				break
+			}
+			l.cond.Wait()
+		}
+		if req == nil { // closed
+			for _, q := range l.queues {
+				for _, r := range q {
+					r.done <- fmt.Errorf("psrpc: shared link closed")
+				}
+			}
+			l.mu.Unlock()
+			return
+		}
+		l.sent += int64(len(req.data))
+		l.mu.Unlock()
+
+		start := time.Now()
+		_, err := req.conn.Write(req.data)
+		// Pace to the link rate (minus the time the write itself took).
+		target := time.Duration(float64(len(req.data)) / l.rate * float64(time.Second))
+		if rest := target - time.Since(start); rest > 0 {
+			time.Sleep(rest)
+		}
+		req.done <- err
+	}
+}
+
+// linkQuantum is the preemption granularity: one write is split into
+// quanta so a higher-priority job waits at most one quantum, the way a
+// kernel qdisc preempts between packets rather than between
+// application-level writes.
+const linkQuantum = 16 << 10
+
+// enqueue submits one write, split into priority-preemptible quanta,
+// and blocks until every quantum is transmitted.
+func (l *SharedLink) enqueue(conn net.Conn, prio int, data []byte) error {
+	// Copy: the caller may reuse its buffer after Write returns.
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	n := (len(buf) + linkQuantum - 1) / linkQuantum
+	if n == 0 {
+		n = 1
+	}
+	done := make(chan error, n)
+	reqs := make([]*writeReq, 0, n)
+	for off := 0; off < len(buf) || off == 0; off += linkQuantum {
+		end := off + linkQuantum
+		if end > len(buf) {
+			end = len(buf)
+		}
+		reqs = append(reqs, &writeReq{conn: conn, data: buf[off:end], done: done})
+		if end == len(buf) {
+			break
+		}
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("psrpc: shared link closed")
+	}
+	// All quanta of one write enter the same priority queue together,
+	// preserving within-write order.
+	l.queues[prio] = append(l.queues[prio], reqs...)
+	l.mu.Unlock()
+	l.cond.Signal()
+	var firstErr error
+	for range reqs {
+		if err := <-done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// LinkWriter adapts one connection's writes onto the shared link with a
+// mutable priority band — the per-job filter of the tc analogy.
+type LinkWriter struct {
+	link *SharedLink
+	conn net.Conn
+	mu   sync.Mutex
+	prio int
+}
+
+// Writer wraps conn so all writes pass through the link at prio.
+func (l *SharedLink) Writer(conn net.Conn, prio int) *LinkWriter {
+	return &LinkWriter{link: l, conn: conn, prio: prio}
+}
+
+// SetPriority re-bands the writer (TLs-RR's rotation, in userspace).
+func (w *LinkWriter) SetPriority(prio int) {
+	w.mu.Lock()
+	w.prio = prio
+	w.mu.Unlock()
+}
+
+// Priority returns the current band.
+func (w *LinkWriter) Priority() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.prio
+}
+
+// Write submits the bytes through the shared link, blocking until they
+// are on the wire.
+func (w *LinkWriter) Write(p []byte) (int, error) {
+	if err := w.link.enqueue(w.conn, w.Priority(), p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+var _ io.Writer = (*LinkWriter)(nil)

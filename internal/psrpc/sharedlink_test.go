@@ -1,0 +1,201 @@
+package psrpc
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSharedLinkStrictPriority(t *testing.T) {
+	// Submit low-priority writes first, then high: with a slow link the
+	// high-priority writes must overtake the queued low ones.
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+
+	// Drain the reader side, recording arrival order by first byte.
+	var mu sync.Mutex
+	var order []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 8<<10)
+		for {
+			if _, err := io.ReadFull(client, buf); err != nil {
+				return
+			}
+			mu.Lock()
+			order = append(order, buf[0])
+			mu.Unlock()
+		}
+	}()
+
+	link := NewSharedLink(1 << 20) // 1 MB/s: each 8 KB write takes ~8 ms
+	defer link.Close()
+	lo := link.Writer(server, 5)
+	hi := link.Writer(server, 0)
+
+	payload := func(tag byte) []byte {
+		b := make([]byte, 8<<10)
+		b[0] = tag
+		return b
+	}
+	var wg sync.WaitGroup
+	// Occupy the link with one low write, then queue more low writes
+	// and a high write behind it.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); lo.Write(payload('L')) }()
+	}
+	time.Sleep(2 * time.Millisecond) // let the low writes enqueue
+	wg.Add(1)
+	go func() { defer wg.Done(); hi.Write(payload('H')) }()
+	wg.Wait()
+	server.Close()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 4 {
+		t.Fatalf("writes received %d", len(order))
+	}
+	// The high write may be behind the in-flight low write but must
+	// precede at least one queued low write.
+	hiPos := -1
+	for i, tag := range order {
+		if tag == 'H' {
+			hiPos = i
+		}
+	}
+	if hiPos < 0 || hiPos > 1 {
+		t.Fatalf("high-priority write served at position %d of %v", hiPos, order)
+	}
+}
+
+func TestSharedLinkWorkConserving(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	go io.Copy(io.Discard, client)
+	link := NewSharedLink(8 << 20)
+	defer link.Close()
+	w := link.Writer(server, 3)
+	total := 0
+	for i := 0; i < 16; i++ {
+		n, err := w.Write(make([]byte, 4<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if link.Sent() != int64(total) {
+		t.Fatalf("sent %d, want %d", link.Sent(), total)
+	}
+	server.Close()
+}
+
+func TestSharedLinkPacing(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	go io.Copy(io.Discard, client)
+	rate := 4 << 20 // 4 MB/s
+	link := NewSharedLink(float64(rate))
+	defer link.Close()
+	w := link.Writer(server, 0)
+	bytes := 1 << 20 // 1 MB in 16 writes
+	start := time.Now()
+	for i := 0; i < 16; i++ {
+		if _, err := w.Write(make([]byte, bytes/16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(float64(bytes) / float64(rate) * float64(time.Second))
+	if elapsed < want/2 {
+		t.Fatalf("link not pacing: %v for %d bytes (want >= %v)", elapsed, bytes, want/2)
+	}
+	server.Close()
+}
+
+func TestSharedLinkSetPriority(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	go io.Copy(io.Discard, client)
+	link := NewSharedLink(1 << 30)
+	defer link.Close()
+	w := link.Writer(server, 2)
+	if w.Priority() != 2 {
+		t.Fatal("priority accessor")
+	}
+	w.SetPriority(0)
+	if w.Priority() != 0 {
+		t.Fatal("SetPriority")
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedLinkClosedRejectsWrites(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	link := NewSharedLink(1 << 20)
+	link.Close()
+	time.Sleep(time.Millisecond)
+	w := link.Writer(server, 0)
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write on closed link accepted")
+	}
+}
+
+func TestTwoJobsThroughSharedLink(t *testing.T) {
+	// Two real training jobs contend for one userspace link. The
+	// high-priority job's model updates jump the queue, so it finishes
+	// its iterations first — TensorLights end to end on sockets.
+	const dim = 16384              // 64 KB updates
+	link := NewSharedLink(8 << 20) // keep the link saturated
+	defer link.Close()
+
+	runJob := func(prio int) (*ServerResult, error) {
+		_, trueW := MakeLinRegData(int64(prio)+50, 1, dim, 0)
+		shard := MakeLinRegShard(trueW, int64(prio)+60, 8, 0.01)
+		computes := []ComputeFunc{shard.Compute(8), shard.Compute(8)}
+		return TrainLocalShaped(ServerConfig{
+			Workers:      2,
+			InitialModel: make([]float32, dim),
+			LearningRate: 0.01,
+			Iterations:   30,
+		}, computes, func(conn net.Conn) io.Writer {
+			return link.Writer(conn, prio)
+		})
+	}
+
+	type out struct {
+		prio int
+		at   time.Time
+		err  error
+	}
+	results := make(chan out, 2)
+	for _, prio := range []int{0, 5} {
+		prio := prio
+		go func() {
+			_, err := runJob(prio)
+			results <- out{prio: prio, at: time.Now(), err: err}
+		}()
+	}
+	finishes := map[int]time.Time{}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("job prio %d: %v", r.prio, r.err)
+		}
+		finishes[r.prio] = r.at
+	}
+	margin := finishes[5].Sub(finishes[0])
+	if margin < 50*time.Millisecond {
+		t.Fatalf("high-priority job only %v ahead of low-priority", margin)
+	}
+}

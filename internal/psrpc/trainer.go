@@ -1,0 +1,73 @@
+package psrpc
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TrainLocal runs one complete synchronous training job in-process: a
+// PS listening on a loopback TCP port and one goroutine per worker with
+// its own data shard and compute function. It is the executable analog
+// of one grid-search instance in the paper's workload.
+func TrainLocal(cfg ServerConfig, computes []ComputeFunc) (*ServerResult, error) {
+	if len(computes) != cfg.Workers {
+		return nil, fmt.Errorf("psrpc: %d compute funcs for %d workers",
+			len(computes), cfg.Workers)
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("psrpc: listen: %w", err)
+	}
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, workerErrs[w] = RunWorker(addr, w, computes[w])
+		}()
+	}
+	res, serveErr := srv.Serve(ln)
+	wg.Wait()
+	if serveErr != nil {
+		return nil, serveErr
+	}
+	for w, err := range workerErrs {
+		if err != nil {
+			return nil, fmt.Errorf("psrpc: worker %d: %w", w, err)
+		}
+	}
+	return res, nil
+}
+
+// TrainLocalShaped is TrainLocal with the PS's outbound writes routed
+// through a caller-provided wrapper (e.g. a SharedLink priority band),
+// so several concurrent jobs can contend for one userspace "NIC".
+func TrainLocalShaped(cfg ServerConfig, computes []ComputeFunc, wrap func(net.Conn) io.Writer) (*ServerResult, error) {
+	cfg.WrapConn = wrap
+	return TrainLocal(cfg, computes)
+}
+
+// MSE computes the mean squared error of a model on a shard — used to
+// verify convergence of distributed training.
+func MSE(model []float32, d *LinRegData) float64 {
+	var sum float64
+	for i := range d.X {
+		var pred float64
+		for j, w := range model {
+			pred += float64(w) * float64(d.X[i][j])
+		}
+		err := pred - float64(d.Y[i])
+		sum += err * err
+	}
+	return sum / float64(len(d.X))
+}

@@ -1,0 +1,135 @@
+package psrpc
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+)
+
+// ComputeFunc produces a gradient (and reported loss) for the given
+// model at one local step — the worker's "process one local batch".
+type ComputeFunc func(model []float32, step int) (grad []float32, loss float32)
+
+// RunWorker connects to the PS at addr, registers as worker id, and
+// participates in synchronous training until the PS sends Done. It
+// returns the per-iteration losses this worker reported.
+func RunWorker(addr string, id int, compute ComputeFunc) ([]float32, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("psrpc: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return RunWorkerConn(conn, id, compute)
+}
+
+// RunWorkerConn runs the worker protocol over an existing connection
+// (used by tests with in-memory pipes).
+func RunWorkerConn(conn net.Conn, id int, compute ComputeFunc) ([]float32, error) {
+	if err := WriteMessage(conn, &Message{Type: MsgHello, Worker: uint32(id)}); err != nil {
+		return nil, err
+	}
+	var losses []float32
+	for step := 0; ; step++ {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			if err == io.EOF {
+				return losses, nil
+			}
+			return losses, err
+		}
+		switch m.Type {
+		case MsgDone:
+			return losses, nil
+		case MsgModel:
+			grad, loss := compute(m.Vec, step)
+			if len(grad) != len(m.Vec) {
+				return losses, fmt.Errorf("psrpc: compute returned %d params, want %d",
+					len(grad), len(m.Vec))
+			}
+			losses = append(losses, loss)
+			if err := WriteMessage(conn, &Message{
+				Type: MsgGradient, Worker: uint32(id), Step: m.Step, Aux: loss, Vec: grad,
+			}); err != nil {
+				return losses, err
+			}
+		default:
+			return losses, fmt.Errorf("psrpc: unexpected %s from PS", m.Type)
+		}
+	}
+}
+
+// LinRegData is a synthetic linear-regression shard: targets are
+// generated from TrueW plus noise, so distributed SGD on MSE must
+// recover TrueW — giving the tests a real convergence criterion.
+type LinRegData struct {
+	X [][]float32
+	Y []float32
+}
+
+// MakeLinRegData samples n points of dimension d from a ground-truth
+// weight vector derived from the seed.
+func MakeLinRegData(seed int64, n, d int, noise float64) (*LinRegData, []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	trueW := make([]float32, d)
+	for i := range trueW {
+		trueW[i] = float32(rng.NormFloat64())
+	}
+	data := &LinRegData{X: make([][]float32, n), Y: make([]float32, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float32, d)
+		var y float64
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+			y += float64(x[j]) * float64(trueW[j])
+		}
+		data.X[i] = x
+		data.Y[i] = float32(y + noise*rng.NormFloat64())
+	}
+	return data, trueW
+}
+
+// MakeLinRegShard samples n points from an existing ground-truth
+// weight vector — use it to give each worker a disjoint shard of one
+// consistent dataset, as a data-parallel job would.
+func MakeLinRegShard(trueW []float32, seed int64, n int, noise float64) *LinRegData {
+	rng := rand.New(rand.NewSource(seed))
+	data := &LinRegData{X: make([][]float32, n), Y: make([]float32, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float32, len(trueW))
+		var y float64
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+			y += float64(x[j]) * float64(trueW[j])
+		}
+		data.X[i] = x
+		data.Y[i] = float32(y + noise*rng.NormFloat64())
+	}
+	return data
+}
+
+// Compute returns a ComputeFunc performing minibatch MSE gradient
+// descent over the shard, cycling batches by step.
+func (d *LinRegData) Compute(batch int) ComputeFunc {
+	if batch < 1 || batch > len(d.X) {
+		batch = len(d.X)
+	}
+	return func(model []float32, step int) ([]float32, float32) {
+		grad := make([]float32, len(model))
+		start := (step * batch) % len(d.X)
+		var loss float64
+		for b := 0; b < batch; b++ {
+			i := (start + b) % len(d.X)
+			var pred float64
+			for j, w := range model {
+				pred += float64(w) * float64(d.X[i][j])
+			}
+			err := pred - float64(d.Y[i])
+			loss += err * err
+			for j := range grad {
+				grad[j] += float32(2 * err * float64(d.X[i][j]) / float64(batch))
+			}
+		}
+		return grad, float32(loss / float64(batch))
+	}
+}

@@ -1,0 +1,157 @@
+package qdisc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClassID identifies a class or band inside a classful qdisc, analogous
+// to tc's major:minor handles. Band/class numbering starts at 0.
+type ClassID int
+
+// NoClass is returned by classifiers when no filter matches.
+const NoClass ClassID = -1
+
+// Match is a structured predicate over chunk header fields, mirroring
+// what a u32/fw tc filter can express. A field set to AnyValue matches
+// everything.
+type Match struct {
+	SrcPort int
+	DstPort int
+	JobID   int
+	Mark    int
+}
+
+// AnyValue is the wildcard for Match fields.
+const AnyValue = -1
+
+// MatchAll returns a Match with every field wild.
+func MatchAll() Match {
+	return Match{SrcPort: AnyValue, DstPort: AnyValue, JobID: AnyValue, Mark: AnyValue}
+}
+
+// MatchSrcPort returns a Match on the sender port only (the paper's
+// filter: a job is identified by its PS's TCP port).
+func MatchSrcPort(port int) Match {
+	m := MatchAll()
+	m.SrcPort = port
+	return m
+}
+
+// Matches reports whether the chunk satisfies every non-wild field.
+func (m Match) Matches(c *Chunk) bool {
+	if m.SrcPort != AnyValue && m.SrcPort != c.SrcPort {
+		return false
+	}
+	if m.DstPort != AnyValue && m.DstPort != c.DstPort {
+		return false
+	}
+	if m.JobID != AnyValue && m.JobID != c.JobID {
+		return false
+	}
+	if m.Mark != AnyValue && m.Mark != c.Mark {
+		return false
+	}
+	return true
+}
+
+// String renders the match in tc-ish syntax.
+func (m Match) String() string {
+	s := ""
+	if m.SrcPort != AnyValue {
+		s += fmt.Sprintf(" sport %d", m.SrcPort)
+	}
+	if m.DstPort != AnyValue {
+		s += fmt.Sprintf(" dport %d", m.DstPort)
+	}
+	if m.JobID != AnyValue {
+		s += fmt.Sprintf(" job %d", m.JobID)
+	}
+	if m.Mark != AnyValue {
+		s += fmt.Sprintf(" mark %d", m.Mark)
+	}
+	if s == "" {
+		return "match all"
+	}
+	return "match" + s
+}
+
+// Filter binds a Match to a target class with a precedence. Lower Pref
+// wins, like tc filter preference values; ties break by insertion order.
+type Filter struct {
+	Pref   int
+	Match  Match
+	Target ClassID
+	seq    int
+}
+
+// Classifier is an ordered filter chain with a default class.
+type Classifier struct {
+	filters []Filter
+	def     ClassID
+	nextSeq int
+}
+
+// NewClassifier returns a classifier that sends unmatched chunks to def.
+func NewClassifier(def ClassID) *Classifier {
+	return &Classifier{def: def}
+}
+
+// Default returns the class used when no filter matches.
+func (cl *Classifier) Default() ClassID { return cl.def }
+
+// SetDefault changes the fallback class.
+func (cl *Classifier) SetDefault(def ClassID) { cl.def = def }
+
+// Add installs a filter. Filters are evaluated in (Pref, insertion)
+// order; the first match wins.
+func (cl *Classifier) Add(f Filter) {
+	f.seq = cl.nextSeq
+	cl.nextSeq++
+	cl.filters = append(cl.filters, f)
+	sort.SliceStable(cl.filters, func(i, j int) bool {
+		if cl.filters[i].Pref != cl.filters[j].Pref {
+			return cl.filters[i].Pref < cl.filters[j].Pref
+		}
+		return cl.filters[i].seq < cl.filters[j].seq
+	})
+}
+
+// RemoveWhere deletes all filters for which keep returns true, returning
+// how many were removed.
+func (cl *Classifier) RemoveWhere(drop func(Filter) bool) int {
+	out := cl.filters[:0]
+	removed := 0
+	for _, f := range cl.filters {
+		if drop(f) {
+			removed++
+			continue
+		}
+		out = append(out, f)
+	}
+	cl.filters = out
+	return removed
+}
+
+// Clear removes every filter.
+func (cl *Classifier) Clear() { cl.filters = nil }
+
+// Len returns the number of installed filters.
+func (cl *Classifier) Len() int { return len(cl.filters) }
+
+// Filters returns a copy of the filter chain in evaluation order.
+func (cl *Classifier) Filters() []Filter {
+	out := make([]Filter, len(cl.filters))
+	copy(out, cl.filters)
+	return out
+}
+
+// Classify returns the target class for the chunk.
+func (cl *Classifier) Classify(c *Chunk) ClassID {
+	for _, f := range cl.filters {
+		if f.Match.Matches(c) {
+			return f.Target
+		}
+	}
+	return cl.def
+}

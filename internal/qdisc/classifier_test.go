@@ -1,0 +1,132 @@
+package qdisc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchWildcards(t *testing.T) {
+	all := MatchAll()
+	c := mkChunk(1, 5000, 10)
+	c.Mark = 3
+	if !all.Matches(c) {
+		t.Fatal("MatchAll must match everything")
+	}
+	m := MatchSrcPort(5000)
+	if !m.Matches(c) {
+		t.Fatal("sport match failed")
+	}
+	m = MatchSrcPort(5001)
+	if m.Matches(c) {
+		t.Fatal("sport mismatch matched")
+	}
+}
+
+func TestMatchEachField(t *testing.T) {
+	c := &Chunk{SrcPort: 10, DstPort: 20, JobID: 30, Mark: 40}
+	cases := []struct {
+		m    Match
+		want bool
+	}{
+		{Match{SrcPort: 10, DstPort: AnyValue, JobID: AnyValue, Mark: AnyValue}, true},
+		{Match{SrcPort: AnyValue, DstPort: 20, JobID: AnyValue, Mark: AnyValue}, true},
+		{Match{SrcPort: AnyValue, DstPort: AnyValue, JobID: 30, Mark: AnyValue}, true},
+		{Match{SrcPort: AnyValue, DstPort: AnyValue, JobID: AnyValue, Mark: 40}, true},
+		{Match{SrcPort: 11, DstPort: AnyValue, JobID: AnyValue, Mark: AnyValue}, false},
+		{Match{SrcPort: AnyValue, DstPort: 21, JobID: AnyValue, Mark: AnyValue}, false},
+		{Match{SrcPort: AnyValue, DstPort: AnyValue, JobID: 31, Mark: AnyValue}, false},
+		{Match{SrcPort: AnyValue, DstPort: AnyValue, JobID: AnyValue, Mark: 41}, false},
+		{Match{SrcPort: 10, DstPort: 20, JobID: 30, Mark: 40}, true},
+	}
+	for i, tc := range cases {
+		if got := tc.m.Matches(c); got != tc.want {
+			t.Fatalf("case %d: got %v want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if MatchAll().String() != "match all" {
+		t.Fatalf("got %q", MatchAll().String())
+	}
+	s := MatchSrcPort(5000).String()
+	if !strings.Contains(s, "sport 5000") {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestClassifierFirstMatchWins(t *testing.T) {
+	cl := NewClassifier(NoClass)
+	cl.Add(Filter{Pref: 10, Match: MatchSrcPort(5000), Target: 1})
+	cl.Add(Filter{Pref: 20, Match: MatchSrcPort(5000), Target: 2})
+	if got := cl.Classify(mkChunk(1, 5000, 10)); got != 1 {
+		t.Fatalf("classified to %d, want pref-10 target 1", got)
+	}
+}
+
+func TestClassifierPrefOrdering(t *testing.T) {
+	cl := NewClassifier(NoClass)
+	cl.Add(Filter{Pref: 20, Match: MatchSrcPort(5000), Target: 2})
+	cl.Add(Filter{Pref: 10, Match: MatchSrcPort(5000), Target: 1})
+	if got := cl.Classify(mkChunk(1, 5000, 10)); got != 1 {
+		t.Fatalf("lower pref must win, got target %d", got)
+	}
+	// Same pref: insertion order.
+	cl2 := NewClassifier(NoClass)
+	cl2.Add(Filter{Pref: 5, Match: MatchSrcPort(6000), Target: 7})
+	cl2.Add(Filter{Pref: 5, Match: MatchSrcPort(6000), Target: 8})
+	if got := cl2.Classify(mkChunk(1, 6000, 10)); got != 7 {
+		t.Fatalf("insertion order tie-break failed, got %d", got)
+	}
+}
+
+func TestClassifierDefault(t *testing.T) {
+	cl := NewClassifier(9)
+	if got := cl.Classify(mkChunk(1, 1234, 10)); got != 9 {
+		t.Fatalf("default class %d, want 9", got)
+	}
+	cl.SetDefault(4)
+	if cl.Default() != 4 {
+		t.Fatal("SetDefault")
+	}
+}
+
+func TestClassifierRemoveWhere(t *testing.T) {
+	cl := NewClassifier(NoClass)
+	for i := 0; i < 5; i++ {
+		cl.Add(Filter{Pref: i, Match: MatchSrcPort(5000 + i), Target: ClassID(i)})
+	}
+	n := cl.RemoveWhere(func(f Filter) bool { return f.Pref%2 == 0 })
+	if n != 3 || cl.Len() != 2 {
+		t.Fatalf("removed %d, left %d", n, cl.Len())
+	}
+	for _, f := range cl.Filters() {
+		if f.Pref%2 == 0 {
+			t.Fatal("even pref survived RemoveWhere")
+		}
+	}
+	cl.Clear()
+	if cl.Len() != 0 {
+		t.Fatal("Clear left filters")
+	}
+}
+
+// Property: classification is deterministic and always returns either a
+// filter's target or the default.
+func TestClassifierProperty(t *testing.T) {
+	cl := NewClassifier(99)
+	targets := map[ClassID]bool{99: true}
+	for i := 0; i < 8; i++ {
+		cl.Add(Filter{Pref: i % 3, Match: MatchSrcPort(5000 + i%4), Target: ClassID(i)})
+		targets[ClassID(i)] = true
+	}
+	f := func(sport uint8) bool {
+		c := mkChunk(1, 5000+int(sport%8), 10)
+		got := cl.Classify(c)
+		return targets[got] && got == cl.Classify(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

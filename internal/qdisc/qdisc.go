@@ -1,0 +1,109 @@
+// Package qdisc implements packet queueing disciplines modelled on the
+// Linux traffic-control (tc) qdiscs that TensorLights drives: pfifo,
+// prio, htb, tbf and sfq, plus a port-based classifier. The unit of
+// transmission is a Chunk (an application-level write of up to a few
+// hundred KB); the network fabric in internal/simnet serializes chunks
+// onto links, and the qdisc at each NIC egress decides ordering.
+package qdisc
+
+import "math"
+
+// Never is returned by ReadyAt when a qdisc holds no dequeueable chunk.
+const Never = math.MaxFloat64
+
+// Chunk is the unit queued through a qdisc. Chunks belong to a Flow (a
+// single logical transfer, e.g. one model update to one worker); the
+// classification fields mirror what tc filters can match on.
+type Chunk struct {
+	FlowID  uint64 // unique per transfer
+	JobID   int    // owning DL job, -1 if none
+	SrcPort int    // TCP source port at the sender (PS port for updates)
+	DstPort int    // TCP destination port
+	Mark    int    // fwmark analog; settable by filters
+	Bytes   int64  // payload size of this chunk
+	Seq     int    // index of this chunk within its flow
+	Last    bool   // true on the final chunk of the flow
+
+	// Payload carries opaque fabric state (e.g. delivery target);
+	// qdiscs never inspect it.
+	Payload any
+
+	enqueuedAt float64
+}
+
+// EnqueuedAt returns the time the chunk entered its current qdisc.
+func (c *Chunk) EnqueuedAt() float64 { return c.enqueuedAt }
+
+// Stats counts qdisc activity, mirroring `tc -s qdisc show`.
+type Stats struct {
+	EnqueuedPackets uint64
+	EnqueuedBytes   uint64
+	DequeuedPackets uint64
+	DequeuedBytes   uint64
+	DroppedPackets  uint64
+	DroppedBytes    uint64
+	Overlimits      uint64 // dequeue attempts gated by shaping
+}
+
+// Backlog returns queued bytes implied by the counters.
+func (s *Stats) Backlog() int64 {
+	return int64(s.EnqueuedBytes) - int64(s.DequeuedBytes) - int64(s.DroppedBytes)
+}
+
+// Qdisc is a queueing discipline. Implementations are single-threaded:
+// the simulation kernel serializes all calls.
+//
+// Enqueue may drop the chunk (bounded queues); drops are visible in
+// Stats. Dequeue returns nil if nothing may be sent at `now` (empty, or
+// gated by shaping); ReadyAt reports the earliest time a subsequent
+// Dequeue can succeed, or Never when empty.
+type Qdisc interface {
+	Enqueue(c *Chunk, now float64)
+	Dequeue(now float64) *Chunk
+	ReadyAt(now float64) float64
+	Len() int
+	BacklogBytes() int64
+	Stats() Stats
+	Kind() string
+}
+
+// fifoQueue is a simple chunk ring used by several qdiscs.
+type fifoQueue struct {
+	items []*Chunk
+	head  int
+	bytes int64
+}
+
+func (q *fifoQueue) push(c *Chunk) {
+	q.items = append(q.items, c)
+	q.bytes += c.Bytes
+}
+
+func (q *fifoQueue) pop() *Chunk {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	c := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	q.bytes -= c.Bytes
+	// Compact occasionally so memory stays proportional to occupancy.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return c
+}
+
+func (q *fifoQueue) peek() *Chunk {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+func (q *fifoQueue) len() int { return len(q.items) - q.head }

@@ -1,0 +1,90 @@
+package qdisc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSFQFairInterleaving(t *testing.T) {
+	s := NewSFQ(64)
+	// Two flows, one with 10x the chunks of the other: round robin
+	// should interleave so the small flow finishes in its first rounds.
+	for i := 0; i < 20; i++ {
+		s.Enqueue(&Chunk{FlowID: 1, Bytes: 10}, 0)
+	}
+	for i := 0; i < 2; i++ {
+		s.Enqueue(&Chunk{FlowID: 2, Bytes: 10}, 0)
+	}
+	pos2 := []int{}
+	for i := 0; s.Len() > 0; i++ {
+		c := s.Dequeue(0)
+		if c.FlowID == 2 {
+			pos2 = append(pos2, i)
+		}
+	}
+	if len(pos2) != 2 || pos2[1] > 5 {
+		t.Fatalf("small flow served at %v, want within first rounds", pos2)
+	}
+}
+
+func TestSFQPerFlowOrder(t *testing.T) {
+	s := NewSFQ(8)
+	for i := 0; i < 6; i++ {
+		s.Enqueue(&Chunk{FlowID: 3, Seq: i, Bytes: 10}, 0)
+	}
+	prev := -1
+	for s.Len() > 0 {
+		c := s.Dequeue(0)
+		if c.Seq <= prev {
+			t.Fatal("within-flow order broken")
+		}
+		prev = c.Seq
+	}
+}
+
+func TestSFQReadyAtStats(t *testing.T) {
+	s := NewSFQ(0) // defaults to 128
+	if s.Buckets() != 128 {
+		t.Fatalf("default buckets %d", s.Buckets())
+	}
+	if s.ReadyAt(2) != Never {
+		t.Fatal("empty sfq ready")
+	}
+	s.Enqueue(&Chunk{FlowID: 9, Bytes: 77}, 2)
+	if s.ReadyAt(3) != 3 {
+		t.Fatal("non-empty sfq not ready")
+	}
+	if s.BacklogBytes() != 77 || s.Len() != 1 {
+		t.Fatal("accounting")
+	}
+	if s.Kind() != "sfq" {
+		t.Fatal("kind")
+	}
+	s.Dequeue(3)
+	if s.Stats().DequeuedPackets != 1 {
+		t.Fatal("stats")
+	}
+}
+
+func TestSFQConservationProperty(t *testing.T) {
+	f := func(flows []uint8) bool {
+		s := NewSFQ(32)
+		var in, out int64
+		for i, fl := range flows {
+			b := int64(fl) + 1
+			in += b
+			s.Enqueue(&Chunk{FlowID: uint64(fl % 7), Seq: i, Bytes: b}, 0)
+		}
+		for {
+			c := s.Dequeue(0)
+			if c == nil {
+				break
+			}
+			out += c.Bytes
+		}
+		return in == out && s.Len() == 0 && s.BacklogBytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package qdisc
+
+// TBF is a token bucket filter: a single FIFO shaped to a target rate
+// with a burst allowance. It is not work-conserving — the paper's §VII
+// discusses sender rate control as an alternative to priorities and
+// notes that inaccurate rate allocation wastes bandwidth; the ablation
+// benchmarks use TBF to demonstrate exactly that.
+type TBF struct {
+	q          fifoQueue
+	rate       float64 // bytes/sec
+	burst      float64 // bytes
+	tokens     float64
+	lastUpdate float64
+	limit      int
+	stats      Stats
+}
+
+// NewTBF returns a token bucket shaping to rate bytes/sec with the given
+// burst (bytes). limit bounds queued chunks (0 = unbounded).
+func NewTBF(rate, burst float64, limit int) *TBF {
+	if rate <= 0 {
+		panic("qdisc: tbf rate must be positive")
+	}
+	if burst <= 0 {
+		burst = defaultHTBBurst
+	}
+	return &TBF{rate: rate, burst: burst, tokens: burst, limit: limit}
+}
+
+// Rate returns the shaping rate in bytes/sec.
+func (t *TBF) Rate() float64 { return t.rate }
+
+// SetRate retunes the shaping rate, keeping accumulated tokens.
+func (t *TBF) SetRate(rate float64) {
+	if rate > 0 {
+		t.rate = rate
+	}
+}
+
+func (t *TBF) refill(now float64) {
+	dt := now - t.lastUpdate
+	if dt <= 0 {
+		return
+	}
+	t.lastUpdate = now
+	t.tokens += t.rate * dt
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+}
+
+// Enqueue appends the chunk, dropping when over limit.
+func (t *TBF) Enqueue(c *Chunk, now float64) {
+	if t.limit > 0 && t.q.len() >= t.limit {
+		t.stats.DroppedPackets++
+		t.stats.DroppedBytes += uint64(c.Bytes)
+		return
+	}
+	c.enqueuedAt = now
+	t.q.push(c)
+	t.stats.EnqueuedPackets++
+	t.stats.EnqueuedBytes += uint64(c.Bytes)
+}
+
+// Dequeue returns the head chunk if the bucket permits, else nil.
+func (t *TBF) Dequeue(now float64) *Chunk {
+	if now < t.lastUpdate {
+		now = t.lastUpdate
+	}
+	t.refill(now)
+	head := t.q.peek()
+	if head == nil {
+		return nil
+	}
+	if t.tokens < -tokEps {
+		t.stats.Overlimits++
+		return nil
+	}
+	c := t.q.pop()
+	t.tokens -= float64(c.Bytes)
+	t.stats.DequeuedPackets++
+	t.stats.DequeuedBytes += uint64(c.Bytes)
+	return c
+}
+
+// ReadyAt returns when the bucket next permits a send.
+func (t *TBF) ReadyAt(now float64) float64 {
+	if t.q.len() == 0 {
+		return Never
+	}
+	if now < t.lastUpdate {
+		now = t.lastUpdate
+	}
+	t.refill(now)
+	if t.tokens >= -tokEps {
+		return now
+	}
+	return now + -t.tokens/t.rate
+}
+
+// Len returns queued chunks.
+func (t *TBF) Len() int { return t.q.len() }
+
+// BacklogBytes returns queued bytes.
+func (t *TBF) BacklogBytes() int64 { return t.q.bytes }
+
+// Stats returns counters.
+func (t *TBF) Stats() Stats { return t.stats }
+
+// Kind returns "tbf".
+func (t *TBF) Kind() string { return "tbf" }

@@ -1,0 +1,118 @@
+package qdisc
+
+import "testing"
+
+func TestTBFRateConformance(t *testing.T) {
+	rate := 1e6 // 1 MB/s
+	tb := NewTBF(rate, 100<<10, 0)
+	n := 30
+	for i := 0; i < n; i++ {
+		tb.Enqueue(mkChunk(uint64(i), 5000, 100<<10), 0)
+	}
+	now := 0.0
+	got := 0
+	for tb.Len() > 0 {
+		c := tb.Dequeue(now)
+		if c == nil {
+			at := tb.ReadyAt(now)
+			if at >= Never {
+				t.Fatal("ready never with backlog")
+			}
+			now = at
+			continue
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("dequeued %d of %d", got, n)
+	}
+	eff := float64(n*(100<<10)) / now
+	if eff < 0.8*rate || eff > 1.6*rate {
+		t.Fatalf("effective rate %.0f, configured %.0f", eff, rate)
+	}
+}
+
+func TestTBFBurstAllowsLineRate(t *testing.T) {
+	tb := NewTBF(1e6, 1<<20, 0)
+	// A full bucket lets ~1MB through back-to-back.
+	for i := 0; i < 4; i++ {
+		tb.Enqueue(mkChunk(uint64(i), 5000, 256<<10), 0)
+	}
+	sent := 0
+	for tb.Dequeue(0) != nil {
+		sent++
+	}
+	if sent < 4 {
+		t.Fatalf("burst allowed only %d chunks", sent)
+	}
+}
+
+func TestTBFGatesWhenEmptyBucket(t *testing.T) {
+	tb := NewTBF(1e6, 10<<10, 0)
+	tb.Enqueue(mkChunk(1, 5000, 100<<10), 0)
+	tb.Enqueue(mkChunk(2, 5000, 100<<10), 0)
+	if tb.Dequeue(0) == nil {
+		t.Fatal("first chunk should pass on the initial bucket")
+	}
+	if tb.Dequeue(0) != nil {
+		t.Fatal("second chunk must be gated")
+	}
+	st := tb.Stats()
+	if st.Overlimits == 0 {
+		t.Fatal("overlimit not counted")
+	}
+	at := tb.ReadyAt(0)
+	if at <= 0 || at >= Never {
+		t.Fatalf("ReadyAt %v", at)
+	}
+	if tb.Dequeue(at) == nil {
+		t.Fatal("chunk must pass at the promised time")
+	}
+}
+
+func TestTBFLimitDrops(t *testing.T) {
+	tb := NewTBF(1e6, 1<<20, 2)
+	for i := 0; i < 4; i++ {
+		tb.Enqueue(mkChunk(uint64(i), 5000, 1024), 0)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len %d", tb.Len())
+	}
+	if tb.Stats().DroppedPackets != 2 {
+		t.Fatalf("drops %+v", tb.Stats())
+	}
+}
+
+func TestTBFSetRate(t *testing.T) {
+	tb := NewTBF(1e6, 1<<20, 0)
+	tb.SetRate(2e6)
+	if tb.Rate() != 2e6 {
+		t.Fatal("SetRate")
+	}
+	tb.SetRate(-1) // ignored
+	if tb.Rate() != 2e6 {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestTBFEmptyAndKind(t *testing.T) {
+	tb := NewTBF(1e6, 0, 0)
+	if tb.Dequeue(0) != nil || tb.ReadyAt(0) != Never {
+		t.Fatal("empty tbf behaviour")
+	}
+	if tb.Kind() != "tbf" {
+		t.Fatal("kind")
+	}
+	if tb.BacklogBytes() != 0 {
+		t.Fatal("backlog")
+	}
+}
+
+func TestTBFPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTBF(0) did not panic")
+		}
+	}()
+	NewTBF(0, 0, 0)
+}

@@ -1,0 +1,196 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a simulated clock, a cancellable event queue, and seeded random number
+// streams. All simulations in this repository are single-threaded per run
+// and therefore fully reproducible given a seed; parallelism is applied
+// across independent runs by higher layers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time = float64
+
+// Forever is a sentinel meaning "never" for schedule horizons.
+const Forever Time = math.MaxFloat64
+
+// Event is a scheduled callback. Events fire in (time, priority, seq)
+// order: earlier time first, then lower priority value, then insertion
+// order. The priority field lets callers order simultaneous events
+// deterministically (e.g. "complete transfers before starting new ones").
+type Event struct {
+	at       Time
+	priority int
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Pending reports whether the event is still queued and not canceled.
+func (e *Event) Pending() bool { return !e.canceled && e.index >= 0 }
+
+// Kernel is the discrete-event engine. The zero value is not usable; use
+// NewKernel.
+type Kernel struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nFired uint64
+	// Hard safety cap on events fired in one Run; prevents runaway
+	// simulations from spinning forever. Zero means no cap.
+	MaxEvents uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events fired so far.
+func (k *Kernel) Fired() uint64 { return k.nFired }
+
+// Pending returns the number of events queued (including canceled events
+// not yet discarded).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule queues fn to run at absolute time at with priority 0.
+// Scheduling in the past panics: it always indicates a model bug.
+func (k *Kernel) Schedule(at Time, fn func()) *Event {
+	return k.SchedulePrio(at, 0, fn)
+}
+
+// ScheduleAfter queues fn to run delay seconds from now.
+func (k *Kernel) ScheduleAfter(delay Time, fn func()) *Event {
+	return k.SchedulePrio(k.now+delay, 0, fn)
+}
+
+// SchedulePrio queues fn at time at with an explicit tie-break priority.
+func (k *Kernel) SchedulePrio(at Time, priority int, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %.9f before now %.9f", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil func")
+	}
+	k.seq++
+	e := &Event{at: at, priority: priority, seq: k.seq, fn: fn, index: -1}
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Cancel marks the event canceled; it will be discarded when it reaches
+// the head of the queue. Cancelling nil or an already-fired event is a
+// no-op, so callers may cancel unconditionally.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil {
+		return
+	}
+	e.canceled = true
+}
+
+// Step fires the next pending event. It returns false when the queue is
+// empty (after discarding canceled events).
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: event queue time went backwards")
+		}
+		k.now = e.at
+		k.nFired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or until stops returns true
+// (checked before each event). It returns the number of events fired.
+func (k *Kernel) Run(stop func() bool) uint64 {
+	start := k.nFired
+	for {
+		if stop != nil && stop() {
+			break
+		}
+		if k.MaxEvents > 0 && k.nFired-start >= k.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (runaway simulation?)", k.MaxEvents))
+		}
+		if !k.Step() {
+			break
+		}
+	}
+	return k.nFired - start
+}
+
+// RunUntil fires events with timestamps <= deadline, leaving later events
+// queued and advancing the clock to deadline if it passed it.
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if e.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// eventHeap is a min-heap on (at, priority, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

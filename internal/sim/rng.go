@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded math/rand source so every model component can own an
+// independent, named random stream. Two RNGs derived from the same parent
+// seed and name always produce the same sequence, which keeps runs
+// reproducible even when components are constructed in different orders.
+type RNG struct {
+	*rand.Rand
+	seed int64
+}
+
+// NewRNG returns a deterministic stream for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this stream was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Stream derives an independent child stream identified by name. The
+// child's seed is a stable hash of (parent seed, name), so adding a new
+// stream never perturbs existing ones.
+func (r *RNG) Stream(name string) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	s := uint64(r.seed)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(s >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return NewRNG(int64(h.Sum64()))
+}
+
+// Jitter returns a multiplicative factor uniform in [1-frac, 1+frac].
+// frac outside [0,1) is clamped. Useful for perturbing service times.
+func (r *RNG) Jitter(frac float64) float64 {
+	if frac <= 0 {
+		return 1
+	}
+	if frac >= 1 {
+		frac = 0.999
+	}
+	return 1 - frac + 2*frac*r.Float64()
+}
+
+// Expo returns an exponentially distributed sample with the given mean.
+func (r *RNG) Expo(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// LogNormalFactor returns a multiplicative noise factor with median 1 and
+// the given sigma (log-space std dev). Heavy-ish upper tail, matching the
+// skew of real compute/transfer time noise.
+func (r *RNG) LogNormalFactor(sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	return math.Exp(r.NormFloat64() * sigma)
+}

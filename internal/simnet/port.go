@@ -1,0 +1,169 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+)
+
+// Port is one direction of a host NIC: a rate-limited server draining a
+// queueing discipline. Egress ports carry the configurable qdisc (where
+// tc — and thus TensorLights — operates); ingress ports are fixed FIFO,
+// matching Linux, where tc shapes only outbound traffic.
+type Port struct {
+	fabric *Fabric
+	host   *Host
+	dir    string // "egress" | "ingress"
+
+	rateBytes float64 // bytes/sec service rate
+	q         qdisc.Qdisc
+
+	busy bool
+	wake *sim.Event
+	// Accounting for utilization measurements.
+	txBytes  int64
+	txChunks int64
+	busyTime float64
+}
+
+func newPort(f *Fabric, h *Host, dir string, rateBytes float64, q qdisc.Qdisc) *Port {
+	return &Port{fabric: f, host: h, dir: dir, rateBytes: rateBytes, q: q}
+}
+
+// Qdisc returns the port's queueing discipline.
+func (p *Port) Qdisc() qdisc.Qdisc { return p.q }
+
+// RateBytes returns the service rate in bytes/sec.
+func (p *Port) RateBytes() float64 { return p.rateBytes }
+
+// Bytes returns cumulative bytes transmitted through the port.
+func (p *Port) Bytes() int64 { return p.txBytes }
+
+// Chunks returns cumulative chunks transmitted through the port.
+func (p *Port) Chunks() int64 { return p.txChunks }
+
+// BusyTime returns cumulative seconds the port spent serving chunks.
+func (p *Port) BusyTime() float64 { return p.busyTime }
+
+// QueuedBytes returns the current qdisc backlog in bytes.
+func (p *Port) QueuedBytes() int64 { return p.q.BacklogBytes() }
+
+// replaceQdisc swaps disciplines, draining queued chunks into the new
+// one in the old discipline's dequeue order. Losing a queued chunk here
+// would deadlock whichever transfer owned it, so a drain that cannot
+// make progress is a model bug and panics.
+func (p *Port) replaceQdisc(q qdisc.Qdisc) {
+	now := p.fabric.k.Now()
+	old := p.q
+	p.q = q
+	if old != nil {
+		for old.Len() > 0 {
+			c := old.Dequeue(now)
+			if c == nil {
+				// Shaped qdisc gating a non-empty queue: advance its
+				// virtual clock so tokens refill; no data may be lost
+				// on reconfiguration.
+				c = forceDrain(old, now)
+			}
+			q.Enqueue(c, now)
+		}
+	}
+	p.kick()
+}
+
+// forceDrain extracts one chunk from a gated, non-empty qdisc by
+// advancing its virtual clock until tokens refill.
+func forceDrain(q qdisc.Qdisc, now float64) *qdisc.Chunk {
+	at := q.ReadyAt(now)
+	for i := 0; i < 64; i++ {
+		if at >= qdisc.Never {
+			break
+		}
+		if c := q.Dequeue(at); c != nil {
+			return c
+		}
+		// Defensive: nudge past any residual floating-point gating.
+		at = q.ReadyAt(at) + 1e-9*float64(int64(1)<<i)
+	}
+	panic(fmt.Sprintf("simnet: cannot drain %s qdisc with %d chunks queued",
+		q.Kind(), q.Len()))
+}
+
+// enqueue inserts a chunk without kicking the server; callers batch
+// enqueues then kick once.
+func (p *Port) enqueue(c *qdisc.Chunk, now float64) {
+	p.q.Enqueue(c, now)
+}
+
+// Inject enqueues a chunk and kicks the port (used by the switch for
+// ingress delivery and by tests).
+func (p *Port) Inject(c *qdisc.Chunk) {
+	p.q.Enqueue(c, p.fabric.k.Now())
+	p.kick()
+}
+
+// kick starts service if the port is idle and the qdisc can transmit.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	now := p.fabric.k.Now()
+	at := p.q.ReadyAt(now)
+	if at >= qdisc.Never {
+		return
+	}
+	if at <= now {
+		p.serveNext()
+		return
+	}
+	// Gated by shaping: arrange a wakeup, replacing any earlier one.
+	if p.wake != nil && p.wake.Pending() && p.wake.At() <= at {
+		return
+	}
+	p.fabric.k.Cancel(p.wake)
+	p.wake = p.fabric.k.Schedule(at, func() {
+		p.wake = nil
+		p.kick()
+	})
+}
+
+// serveNext dequeues one chunk and transmits it.
+func (p *Port) serveNext() {
+	now := p.fabric.k.Now()
+	c := p.q.Dequeue(now)
+	if c == nil {
+		p.kick() // re-evaluate gating
+		return
+	}
+	p.busy = true
+	if p.dir == "egress" {
+		// The chunk left the qdisc: the owning socket may admit its
+		// next chunk into the freed space.
+		p.fabric.chunkDequeued(p, c)
+	}
+	service := float64(c.Bytes) * p.fabric.cfg.WireOverhead / p.rateBytes
+	p.busyTime += service
+	p.txBytes += c.Bytes
+	p.txChunks++
+	p.fabric.k.ScheduleAfter(service, func() {
+		p.busy = false
+		p.finishChunk(c)
+		p.kick()
+	})
+}
+
+// finishChunk routes a served chunk onward: egress hands to the switch
+// (propagation delay then the destination ingress), ingress delivers to
+// the flow.
+func (p *Port) finishChunk(c *qdisc.Chunk) {
+	if p.dir == "egress" {
+		fl := c.Payload.(*Flow)
+		dst := p.fabric.Host(fl.Spec.Dst)
+		p.fabric.k.ScheduleAfter(p.fabric.cfg.PropDelaySec, func() {
+			dst.Ingress.Inject(c)
+		})
+		return
+	}
+	p.fabric.chunkDelivered(c)
+}

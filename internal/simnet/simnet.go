@@ -1,0 +1,409 @@
+// Package simnet is a discrete-event network fabric: hosts with
+// full-duplex NIC ports connected by a non-blocking switch. Transfers
+// are flows split into chunks; each host's egress port drains a
+// configurable queueing discipline (see internal/qdisc) at link rate,
+// and each ingress port serializes arrivals FIFO at link rate. This is
+// the substrate on which the paper's contention phenomena play out: the
+// egress qdisc at a host running several parameter servers is exactly
+// where TensorLights intervenes.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config sets fabric-wide parameters.
+type Config struct {
+	// LinkRateBps is the NIC line rate in bits per second (both
+	// directions; links are full duplex). Default 10 Gbps.
+	LinkRateBps float64
+	// PropDelaySec is the one-way propagation + switching delay.
+	// Default 20 microseconds (one switch hop).
+	PropDelaySec float64
+	// ChunkBytes is the transfer granularity: the size of one
+	// application-level socket write. Default 256 KiB.
+	ChunkBytes int64
+	// WireOverhead multiplies payload bytes to account for TCP/IP and
+	// Ethernet framing plus the retransmission/goodput loss of heavily
+	// contended TCP (incast). Default 1.25, calibrated so that a fully
+	// saturated parameter-server host reproduces the paper's residual
+	// contention that egress prioritization cannot remove.
+	WireOverhead float64
+	// InjectJitter controls the randomized interleaving of concurrent
+	// flow writes from one sender (models TCP's noisy sharing).
+	// 0 disables shuffling; default 1 shuffles every round.
+	InjectJitter float64
+	// MinWindowChunks and MaxWindowChunks bound the per-flow socket
+	// window: how many chunks of one flow may sit in the egress qdisc
+	// at once. Each flow draws a window uniformly from this range at
+	// creation. Under backlogged FIFO service a flow's throughput
+	// share is proportional to its window — the same mechanism that
+	// makes concurrent TCP streams persistently unequal, and thus the
+	// source of the paper's random per-worker model-update delays.
+	// Defaults 1 and 4.
+	MinWindowChunks int
+	MaxWindowChunks int
+	// WindowWeights, when non-empty, overrides the uniform window
+	// draw: WindowWeights[i] is the relative probability of a window
+	// of i+1 chunks. This shapes the tail of TCP unfairness — a small
+	// probability of a 1-chunk window reproduces the occasional
+	// starved connection whose delay scales with queue depth.
+	// Default {0.02, 0.33, 0.25, 0.20, 0.20} for windows 1..5,
+	// calibrated against the paper's Figure 2/3 contention ratios.
+	WindowWeights []float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.LinkRateBps <= 0 {
+		c.LinkRateBps = 10e9
+	}
+	if c.PropDelaySec <= 0 {
+		c.PropDelaySec = 20e-6
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 256 * 1024
+	}
+	if c.WireOverhead < 1 {
+		c.WireOverhead = 1.25
+	}
+	if c.InjectJitter < 0 {
+		c.InjectJitter = 0
+	}
+	if len(c.WindowWeights) == 0 && c.MinWindowChunks <= 0 && c.MaxWindowChunks <= 0 {
+		c.WindowWeights = []float64{0.02, 0.33, 0.25, 0.20, 0.20}
+	}
+	if c.MinWindowChunks <= 0 {
+		c.MinWindowChunks = 1
+	}
+	if c.MaxWindowChunks < c.MinWindowChunks {
+		c.MaxWindowChunks = 4
+		if c.MaxWindowChunks < c.MinWindowChunks {
+			c.MaxWindowChunks = c.MinWindowChunks
+		}
+	}
+}
+
+// Fabric owns the hosts and moves chunks between them.
+type Fabric struct {
+	k          *sim.Kernel
+	rng        *sim.RNG
+	cfg        Config
+	hosts      []*Host
+	nextFlowID uint64
+	flows      map[uint64]*Flow
+	completed  uint64
+	// Tracer, when non-nil, receives a flow_done event per completed
+	// transfer (value = transfer seconds).
+	Tracer trace.Tracer
+}
+
+// New creates a fabric on the given kernel. rng seeds the injection
+// jitter stream; it must not be shared with other model components.
+func New(k *sim.Kernel, rng *sim.RNG, cfg Config) *Fabric {
+	cfg.fillDefaults()
+	return &Fabric{
+		k:     k,
+		rng:   rng.Stream("simnet"),
+		cfg:   cfg,
+		flows: make(map[uint64]*Flow),
+	}
+}
+
+// Config returns the fabric configuration (defaults filled).
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Kernel returns the simulation kernel the fabric runs on.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// AddHost creates a host with default (pfifo) egress.
+func (f *Fabric) AddHost(name string) *Host {
+	rateBytes := f.cfg.LinkRateBps / 8
+	h := &Host{
+		ID:     len(f.hosts),
+		Name:   name,
+		fabric: f,
+	}
+	h.Egress = newPort(f, h, "egress", rateBytes, qdisc.NewPFIFO(0))
+	h.Ingress = newPort(f, h, "ingress", rateBytes, qdisc.NewPFIFO(0))
+	f.hosts = append(f.hosts, h)
+	return h
+}
+
+// Host returns host i.
+func (f *Fabric) Host(i int) *Host {
+	if i < 0 || i >= len(f.hosts) {
+		panic(fmt.Sprintf("simnet: host %d out of range [0,%d)", i, len(f.hosts)))
+	}
+	return f.hosts[i]
+}
+
+// NumHosts returns the host count.
+func (f *Fabric) NumHosts() int { return len(f.hosts) }
+
+// Hosts returns the host slice (do not mutate).
+func (f *Fabric) Hosts() []*Host { return f.hosts }
+
+// ActiveFlows returns the number of in-flight flows.
+func (f *Fabric) ActiveFlows() int { return len(f.flows) }
+
+// CompletedFlows returns the number of flows fully delivered.
+func (f *Fabric) CompletedFlows() uint64 { return f.completed }
+
+// Host is one server with a full-duplex NIC.
+type Host struct {
+	ID      int
+	Name    string
+	fabric  *Fabric
+	Egress  *Port
+	Ingress *Port
+}
+
+// SetEgressQdisc replaces the egress queueing discipline. Any chunks in
+// the old qdisc are drained into the new one in dequeue order, so a tc
+// reconfiguration never loses in-flight data.
+func (h *Host) SetEgressQdisc(q qdisc.Qdisc) {
+	h.Egress.replaceQdisc(q)
+}
+
+// FlowSpec describes one transfer.
+type FlowSpec struct {
+	Src, Dst         int // host ids
+	SrcPort, DstPort int
+	JobID            int
+	Bytes            int64
+	// OnComplete fires when the last byte is received at Dst.
+	OnComplete func(fl *Flow)
+}
+
+// Flow is an in-flight or completed transfer.
+type Flow struct {
+	ID                uint64
+	Spec              FlowSpec
+	Started           float64
+	FirstByte         float64 // first chunk delivery time; -1 until then
+	Finished          float64 // completion time; -1 until then
+	deliveredBytes    int64
+	chunksOutstanding int
+	// window is the socket window in chunks; pending holds chunks not
+	// yet admitted to the egress qdisc.
+	window  int
+	pending []*qdisc.Chunk
+}
+
+// Window returns the flow's socket window in chunks.
+func (fl *Flow) Window() int { return fl.window }
+
+// Delivered returns bytes received so far at the destination.
+func (fl *Flow) Delivered() int64 { return fl.deliveredBytes }
+
+// Done reports whether the flow has fully arrived.
+func (fl *Flow) Done() bool { return fl.Finished >= 0 }
+
+// Send starts a single flow, enqueueing all its chunks in order.
+func (f *Fabric) Send(spec FlowSpec) *Flow {
+	return f.SendBurst(spec.Src, []FlowSpec{spec})[0]
+}
+
+// SendBurst starts several flows from one sender "simultaneously" — the
+// way a parameter server writes a model update to all of its workers'
+// sockets in one tight loop. Chunks are injected round robin across the
+// flows (with seeded shuffling when InjectJitter > 0), which reproduces
+// TCP's approximately-fair-but-noisy interleaving inside the egress
+// queue: every flow's tail chunk lands near the end of the burst, so
+// under FIFO contention the per-flow completion times spread across the
+// whole service window.
+func (f *Fabric) SendBurst(src int, specs []FlowSpec) []*Flow {
+	now := f.k.Now()
+	flows := make([]*Flow, len(specs))
+	chunkLists := make([][]*qdisc.Chunk, len(specs))
+	for i, spec := range specs {
+		if spec.Src != src {
+			panic("simnet: SendBurst specs must share src")
+		}
+		if spec.Bytes <= 0 {
+			panic("simnet: flow bytes must be positive")
+		}
+		f.nextFlowID++
+		fl := &Flow{ID: f.nextFlowID, Spec: spec, Started: now, FirstByte: -1, Finished: -1}
+		fl.window = f.sampleWindow()
+		flows[i] = fl
+		f.flows[fl.ID] = fl
+		chunks := f.makeChunks(fl)
+		fl.chunksOutstanding = len(chunks)
+		if fl.Spec.Dst == src {
+			// Loopback: bypass the NIC (and windowing) entirely.
+			for _, ch := range chunks {
+				f.deliverLoopback(fl, ch)
+			}
+			continue
+		}
+		// Admit the first window; the rest inject as chunks drain.
+		w := fl.window
+		if w > len(chunks) {
+			w = len(chunks)
+		}
+		chunkLists[i] = chunks[:w]
+		fl.pending = chunks[w:]
+	}
+	srcHost := f.Host(src)
+	for _, ch := range f.interleave(chunkLists) {
+		srcHost.Egress.enqueue(ch, now)
+	}
+	srcHost.Egress.kick()
+	return flows
+}
+
+// sampleWindow draws a flow's socket window from the configured
+// distribution.
+func (f *Fabric) sampleWindow() int {
+	if len(f.cfg.WindowWeights) > 0 {
+		total := 0.0
+		for _, w := range f.cfg.WindowWeights {
+			if w > 0 {
+				total += w
+			}
+		}
+		if total > 0 {
+			r := f.rng.Float64() * total
+			for i, w := range f.cfg.WindowWeights {
+				if w <= 0 {
+					continue
+				}
+				if r < w {
+					return i + 1
+				}
+				r -= w
+			}
+			return len(f.cfg.WindowWeights)
+		}
+	}
+	w := f.cfg.MinWindowChunks
+	if span := f.cfg.MaxWindowChunks - f.cfg.MinWindowChunks; span > 0 {
+		w += f.rng.Intn(span + 1)
+	}
+	return w
+}
+
+// chunkDequeued fires when an egress port transmits a chunk: the flow's
+// socket refills the freed qdisc space with its next pending chunk.
+func (f *Fabric) chunkDequeued(p *Port, ch *qdisc.Chunk) {
+	fl := ch.Payload.(*Flow)
+	if len(fl.pending) == 0 {
+		return
+	}
+	next := fl.pending[0]
+	fl.pending = fl.pending[1:]
+	p.enqueue(next, f.k.Now())
+}
+
+// interleave merges the per-flow chunk lists into one injection order,
+// preserving each flow's internal order. With InjectJitter > 0 the merge
+// is a weighted-random interleave (each next chunk drawn from a flow
+// with probability proportional to its remaining chunks), which models
+// the persistent unfairness of concurrent TCP streams: some sockets
+// randomly drain earlier than others, so per-flow completion times
+// spread across the burst's service window. With jitter 0 the merge is
+// a deterministic round robin.
+func (f *Fabric) interleave(chunkLists [][]*qdisc.Chunk) []*qdisc.Chunk {
+	total := 0
+	maxChunks := 0
+	for _, cl := range chunkLists {
+		total += len(cl)
+		if len(cl) > maxChunks {
+			maxChunks = len(cl)
+		}
+	}
+	out := make([]*qdisc.Chunk, 0, total)
+	if f.cfg.InjectJitter <= 0 || len(chunkLists) == 1 {
+		for r := 0; r < maxChunks; r++ {
+			for i := range chunkLists {
+				if r < len(chunkLists[i]) {
+					out = append(out, chunkLists[i][r])
+				}
+			}
+		}
+		return out
+	}
+	next := make([]int, len(chunkLists))
+	remaining := total
+	for remaining > 0 {
+		pick := f.rng.Intn(remaining)
+		for i := range chunkLists {
+			left := len(chunkLists[i]) - next[i]
+			if pick < left {
+				out = append(out, chunkLists[i][next[i]])
+				next[i]++
+				remaining--
+				break
+			}
+			pick -= left
+		}
+	}
+	return out
+}
+
+// makeChunks splits the flow into chunk descriptors.
+func (f *Fabric) makeChunks(fl *Flow) []*qdisc.Chunk {
+	n := int((fl.Spec.Bytes + f.cfg.ChunkBytes - 1) / f.cfg.ChunkBytes)
+	chunks := make([]*qdisc.Chunk, n)
+	remaining := fl.Spec.Bytes
+	for i := 0; i < n; i++ {
+		sz := f.cfg.ChunkBytes
+		if remaining < sz {
+			sz = remaining
+		}
+		remaining -= sz
+		chunks[i] = &qdisc.Chunk{
+			FlowID:  fl.ID,
+			JobID:   fl.Spec.JobID,
+			SrcPort: fl.Spec.SrcPort,
+			DstPort: fl.Spec.DstPort,
+			Bytes:   sz,
+			Seq:     i,
+			Last:    i == n-1,
+			Payload: fl,
+		}
+	}
+	return chunks
+}
+
+func (f *Fabric) deliverLoopback(fl *Flow, ch *qdisc.Chunk) {
+	// Memory-speed copy: model as propagation delay only.
+	f.k.ScheduleAfter(f.cfg.PropDelaySec, func() {
+		f.chunkDelivered(ch)
+	})
+}
+
+// chunkDelivered accounts a chunk's arrival at its destination.
+func (f *Fabric) chunkDelivered(ch *qdisc.Chunk) {
+	fl := ch.Payload.(*Flow)
+	if fl.FirstByte < 0 {
+		fl.FirstByte = f.k.Now()
+	}
+	fl.deliveredBytes += ch.Bytes
+	fl.chunksOutstanding--
+	if fl.chunksOutstanding == 0 {
+		if fl.deliveredBytes != fl.Spec.Bytes {
+			panic(fmt.Sprintf("simnet: flow %d delivered %d of %d bytes",
+				fl.ID, fl.deliveredBytes, fl.Spec.Bytes))
+		}
+		fl.Finished = f.k.Now()
+		delete(f.flows, fl.ID)
+		f.completed++
+		if f.Tracer != nil {
+			f.Tracer.Emit(trace.Event{
+				At: fl.Finished, Kind: trace.KindFlowDone,
+				Job: fl.Spec.JobID, Host: fl.Spec.Dst, Worker: -1,
+				Value:  fl.Finished - fl.Started,
+				Detail: fmt.Sprintf("bytes=%d src=%d", fl.Spec.Bytes, fl.Spec.Src),
+			})
+		}
+		if fl.Spec.OnComplete != nil {
+			fl.Spec.OnComplete(fl)
+		}
+	}
+}

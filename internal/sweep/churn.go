@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// ChurnOptions configures an arrival/departure experiment: jobs arrive
+// as a Poisson process, TensorLights reconfigures on each arrival and
+// departure, and the schedule's PS-agnosticism produces natural
+// colocation.
+type ChurnOptions struct {
+	Jobs              int
+	ArrivalRatePerSec float64
+	Steps             int // per-job global step target
+	Seed              int64
+	Policy            core.Policy
+	// Order selects the priority assignment order for TLs policies
+	// (OrderSmallestUpdate avoids head-of-line blocking in mixes).
+	Order       core.Order
+	SchedPolicy cluster.SchedPolicy
+	Templates   []workload.JobTemplate
+	Cluster     cluster.Config
+}
+
+// ChurnResult summarizes a churn run.
+type ChurnResult struct {
+	JCTs           []float64
+	AvgJCT         float64
+	P95JCT         float64
+	MakespanSec    float64
+	Reconfigs      int
+	MaxColocation  int
+	PerModelAvgJCT map[string]float64
+	Events         uint64
+}
+
+// Churn runs the arrival/departure workload to completion.
+func Churn(o ChurnOptions) (*ChurnResult, error) {
+	if o.Jobs <= 0 {
+		o.Jobs = 21
+	}
+	if o.Steps <= 0 {
+		o.Steps = 6000
+	}
+	o.Cluster.Seed = o.Seed
+	tb := cluster.NewTestbed(o.Cluster)
+	wl := workload.ChurnConfig{
+		NumJobs:           o.Jobs,
+		ArrivalRatePerSec: o.ArrivalRatePerSec,
+		Templates:         o.Templates,
+		Hosts:             tb.Cfg.Hosts,
+		SchedPolicy:       o.SchedPolicy,
+	}
+	if len(wl.Templates) == 0 {
+		wl.Templates = workload.GridSearchMix(o.Steps)
+	}
+	arrivals, err := workload.Generate(wl, tb.RNG)
+	if err != nil {
+		return nil, err
+	}
+	ctl := core.New(tb.K, tb.TC, tb.RNG, core.Config{Policy: o.Policy, Order: o.Order})
+
+	jobs := make([]*dl.Job, len(arrivals))
+	psPerHost := map[int]int{}
+	maxColoc := 0
+	for i, arr := range arrivals {
+		j, err := dl.NewJob(tb.Env, arr.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("churn job %d: %w", i, err)
+		}
+		jobs[i] = j
+		psPerHost[arr.Spec.PSHost]++
+		if psPerHost[arr.Spec.PSHost] > maxColoc {
+			maxColoc = psPerHost[arr.Spec.PSHost]
+		}
+		j.OnFinish = func(j *dl.Job) { ctl.JobDeparted(j.Spec.ID) }
+		j.OnBarrier = func(j *dl.Job, iter int) { ctl.JobProgress(j.Spec.ID, iter) }
+		spec := arr.Spec
+		job := j
+		tb.K.Schedule(arr.At, func() {
+			job.Start()
+			ctl.JobArrived(core.JobInfo{
+				ID:          spec.ID,
+				PSHost:      spec.PSHost,
+				PSPort:      spec.PSPort,
+				UpdateBytes: spec.Model.UpdateBytes(),
+			})
+		})
+	}
+	tb.RunToCompletion(jobs, 0)
+
+	res := &ChurnResult{
+		Reconfigs:      ctl.Reconfigs(),
+		MaxColocation:  maxColoc,
+		MakespanSec:    tb.K.Now(),
+		Events:         tb.K.Fired(),
+		PerModelAvgJCT: map[string]float64{},
+	}
+	perModel := map[string][]float64{}
+	for _, j := range jobs {
+		if !j.Done() {
+			return nil, fmt.Errorf("churn: job %d unfinished", j.Spec.ID)
+		}
+		res.JCTs = append(res.JCTs, j.JCT())
+		perModel[j.Spec.Model.Name] = append(perModel[j.Spec.Model.Name], j.JCT())
+	}
+	res.AvgJCT = metrics.Mean(res.JCTs)
+	res.P95JCT = metrics.Percentile(res.JCTs, 0.95)
+	for name, xs := range perModel {
+		res.PerModelAvgJCT[name] = metrics.Mean(xs)
+	}
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// csvWriter is a minimal CSV emitter (values never contain commas).
+type csvWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *csvWriter) row(cells ...any) {
+	if c.err != nil {
+		return
+	}
+	for i, cell := range cells {
+		if i > 0 {
+			if _, c.err = fmt.Fprint(c.w, ","); c.err != nil {
+				return
+			}
+		}
+		switch v := cell.(type) {
+		case float64:
+			_, c.err = fmt.Fprintf(c.w, "%g", v)
+		case string:
+			_, c.err = fmt.Fprint(c.w, strings.ReplaceAll(v, ",", ";"))
+		default:
+			_, c.err = fmt.Fprintf(c.w, "%v", v)
+		}
+		if c.err != nil {
+			return
+		}
+	}
+	_, c.err = fmt.Fprintln(c.w)
+}
+
+// WriteCSV exports Figure 2's per-placement rows.
+func (r *Figure2Result) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("placement", "groups", "avg_jct_s", "min_jct_s", "max_jct_s")
+	for _, row := range r.Rows {
+		c.row(row.Placement.Index, row.Placement.String(), row.Avg, row.Min, row.Max)
+	}
+	return c.err
+}
+
+// writeCDF exports a named empirical CDF as (series, x, p) rows.
+func writeCDF(c *csvWriter, label string, samples []float64, points int) {
+	cdf := metrics.NewCDF(samples)
+	for _, pt := range cdf.Points(points) {
+		c.row(label, pt[0], pt[1])
+	}
+}
+
+// cdfPoints is the resolution of exported CDFs.
+const cdfPoints = 200
+
+// WriteCSV exports Figure 3's four CDFs as (series, x, p) rows.
+func (r *Figure3Result) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("series", "x", "p")
+	for _, d := range []WaitDist{r.MeanP1, r.MeanP8, r.VarP1, r.VarP8} {
+		writeCDF(c, d.Label, d.Samples, cdfPoints)
+	}
+	return c.err
+}
+
+// WriteCSV exports Figure 5a's normalized JCT rows.
+func (r *Figure5aResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("placement", "fifo_avg_jct_s", "tls_one_norm", "tls_rr_norm")
+	for _, row := range r.Rows {
+		c.row(row.Placement.Index, row.FIFOAvg, row.NormOne, row.NormRR)
+	}
+	return c.err
+}
+
+// WriteCSV exports Figure 5b's batch sweep rows.
+func (r *Figure5bResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("local_batch", "fifo_avg_jct_s", "tls_one_norm", "tls_rr_norm")
+	for _, row := range r.Rows {
+		c.row(row.LocalBatch, row.FIFOAvg, row.NormOne, row.NormRR)
+	}
+	return c.err
+}
+
+// WriteCSV exports Figure 6's six CDFs as (series, x, p) rows.
+func (r *Figure6Result) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("series", "x", "p")
+	for _, pol := range []string{"FIFO", "TLs-One", "TLs-RR"} {
+		writeCDF(c, "avg_wait_"+pol, r.Means[pol].Samples, cdfPoints)
+	}
+	for _, pol := range []string{"FIFO", "TLs-One", "TLs-RR"} {
+		writeCDF(c, "wait_variance_"+pol, r.Vars[pol].Samples, cdfPoints)
+	}
+	return c.err
+}
+
+// WriteCSV exports Table II's normalized utilization rows.
+func (r *TableIIResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("resource", "host_type", "tls_one_x", "tls_rr_x")
+	for _, row := range r.Rows {
+		c.row(row.Resource, row.HostType, row.One, row.RR)
+	}
+	return c.err
+}

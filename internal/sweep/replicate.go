@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReplicateStats aggregates one headline scalar across seeds.
+type ReplicateStats struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// String renders mean ± std.
+func (r ReplicateStats) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", r.Mean, r.Std, r.N)
+}
+
+// Replicate evaluates metric for n consecutive seeds starting at
+// baseSeed and aggregates the results. Use it to put error bars on any
+// headline number (performance gap, improvement percentage, ratio):
+//
+//	stats, err := sweep.Replicate(3, 1, func(seed int64) (float64, error) {
+//	    r, err := sweep.Figure2(sweep.Options{Steps: 3000, Seed: seed})
+//	    if err != nil {
+//	        return 0, err
+//	    }
+//	    return r.PerformanceGap(), nil
+//	})
+func Replicate(n int, baseSeed int64, metric func(seed int64) (float64, error)) (ReplicateStats, error) {
+	if n < 1 {
+		return ReplicateStats{}, fmt.Errorf("sweep: replicate needs n >= 1")
+	}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := metric(baseSeed + int64(i))
+		if err != nil {
+			return ReplicateStats{}, fmt.Errorf("sweep: replicate seed %d: %w", baseSeed+int64(i), err)
+		}
+		vals = append(vals, v)
+	}
+	stats := ReplicateStats{N: n, Min: vals[0], Max: vals[0]}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < stats.Min {
+			stats.Min = v
+		}
+		if v > stats.Max {
+			stats.Max = v
+		}
+	}
+	stats.Mean = sum / float64(n)
+	if n > 1 {
+		ss := 0.0
+		for _, v := range vals {
+			d := v - stats.Mean
+			ss += d * d
+		}
+		stats.Std = math.Sqrt(ss / float64(n-1)) // sample std
+	}
+	return stats, nil
+}

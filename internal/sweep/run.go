@@ -1,0 +1,232 @@
+// Package sweep is the experiment harness: it defines one runnable
+// experiment per table and figure in the paper's evaluation, drives the
+// simulator across the required parameter sweeps (placements, policies,
+// local batch sizes, seeds), and renders the same rows and series the
+// paper reports. Independent runs execute in parallel on a worker pool;
+// each run is internally single-threaded and deterministic.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// RunConfig fully describes one simulation run.
+type RunConfig struct {
+	Label       string
+	Cluster     cluster.Config
+	Model       dl.Model
+	NumJobs     int
+	LocalBatch  int
+	TargetSteps int
+	Placement   cluster.Placement
+	TLs         core.Config
+	StaggerSec  float64
+	Async       bool
+	// SampleUtilEvery enables utilization sampling at this interval
+	// (seconds); 0 disables.
+	SampleUtilEvery float64
+	// ProgressEvery records job progress points (global steps).
+	ProgressEvery int
+	// ComputeJitterSigma overrides the default per-step jitter.
+	ComputeJitterSigma float64
+	// GradCompression divides gradient-update bytes (1/0 = none).
+	GradCompression float64
+	// Tracer, when non-nil, receives job, barrier, flow and tc events
+	// from all layers of the run.
+	Tracer trace.Tracer
+}
+
+func (rc *RunConfig) fillDefaults() {
+	if rc.NumJobs <= 0 {
+		rc.NumJobs = 21
+	}
+	if rc.LocalBatch <= 0 {
+		rc.LocalBatch = 4
+	}
+	if rc.TargetSteps <= 0 {
+		rc.TargetSteps = 30_000
+	}
+	if rc.Model.Params == 0 {
+		rc.Model = dl.ResNet32
+	}
+	if rc.StaggerSec <= 0 {
+		rc.StaggerSec = 0.1
+	}
+	if len(rc.Placement.Groups) == 0 {
+		rc.Placement, _ = cluster.PlacementByIndex(1)
+	}
+}
+
+// RunResult aggregates everything the paper's figures need from one run.
+type RunResult struct {
+	Config RunConfig
+
+	JCTs         []float64 // per job, in job-id order
+	BarrierMeans []float64 // per-barrier mean wait, all jobs pooled
+	BarrierVars  []float64 // per-barrier wait variance, all jobs pooled
+
+	SimTime   float64
+	Events    uint64
+	Wall      time.Duration
+	Reconfigs int
+
+	// Utilization over the active window (when sampling was enabled).
+	Utils      []metrics.HostUtil
+	UtilWindow [2]float64
+
+	// Progress[jobID] holds (time, step) points when ProgressEvery > 0.
+	Progress map[int][]dl.ProgressPoint
+
+	// PSHosts is the set of hosts running at least one PS.
+	PSHosts []int
+}
+
+// AvgJCT returns the mean job completion time.
+func (r *RunResult) AvgJCT() float64 { return metrics.Mean(r.JCTs) }
+
+// Run executes one simulation to completion.
+func Run(rc RunConfig) (*RunResult, error) {
+	rc.fillDefaults()
+	start := time.Now()
+	tb := cluster.NewTestbed(rc.Cluster)
+	specs, err := cluster.GridSearchSpecs(rc.Cluster, rc.Model, rc.NumJobs,
+		rc.LocalBatch, rc.TargetSteps, rc.Placement)
+	if err != nil {
+		return nil, err
+	}
+	for i := range specs {
+		specs[i].Async = rc.Async
+		specs[i].ProgressEvery = rc.ProgressEvery
+		specs[i].ComputeJitterSigma = rc.ComputeJitterSigma
+		specs[i].GradCompression = rc.GradCompression
+	}
+	ctl := core.New(tb.K, tb.TC, tb.RNG, rc.TLs)
+	if rc.Tracer != nil {
+		tb.Env.Tracer = rc.Tracer
+		tb.Fabric.Tracer = rc.Tracer
+		ctl.Tracer = rc.Tracer
+	}
+	jobs, err := tb.Launch(specs, rc.StaggerSec, func(j *dl.Job) {
+		ctl.JobArrived(core.JobInfo{
+			ID:          j.Spec.ID,
+			PSHost:      j.Spec.PSHost,
+			PSPort:      j.Spec.PSPort,
+			UpdateBytes: j.Spec.Model.UpdateBytes(),
+		})
+		j.OnFinish = func(j *dl.Job) { ctl.JobDeparted(j.Spec.ID) }
+		j.OnBarrier = func(j *dl.Job, iter int) { ctl.JobProgress(j.Spec.ID, iter) }
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sampler *metrics.UtilizationSampler
+	if rc.SampleUtilEvery > 0 {
+		sampler = metrics.NewUtilizationSampler(tb.K, tb.Fabric, tb.CPUs, rc.SampleUtilEvery)
+		sampler.Start()
+	}
+	tb.RunToCompletion(jobs, 0)
+	if sampler != nil {
+		sampler.Stop()
+	}
+
+	res := &RunResult{
+		Config:    rc,
+		SimTime:   tb.K.Now(),
+		Events:    tb.K.Fired(),
+		Wall:      time.Since(start),
+		Reconfigs: ctl.Reconfigs(),
+		Progress:  map[int][]dl.ProgressPoint{},
+	}
+	psSet := map[int]bool{}
+	for _, j := range jobs {
+		if !j.Done() {
+			return nil, fmt.Errorf("sweep: job %d did not finish (step %d/%d)",
+				j.Spec.ID, j.GlobalStep(), j.Spec.TargetGlobalSteps)
+		}
+		res.JCTs = append(res.JCTs, j.JCT())
+		for _, bs := range j.BarrierStats() {
+			res.BarrierMeans = append(res.BarrierMeans, bs.Mean)
+			res.BarrierVars = append(res.BarrierVars, bs.Variance)
+		}
+		if rc.ProgressEvery > 0 {
+			res.Progress[j.Spec.ID] = j.Progress()
+		}
+		psSet[j.Spec.PSHost] = true
+	}
+	for h := 0; h < tb.Fabric.NumHosts(); h++ {
+		if psSet[h] {
+			res.PSHosts = append(res.PSHosts, h)
+		}
+	}
+	if sampler != nil {
+		// Active window: the paper uses [100 s, 1250 s] after launch,
+		// a period when all jobs are running. Scale it to the actual
+		// run length so short (test-sized) runs still measure steady
+		// state: [10%, 90%] of the earliest job finish, capped at the
+		// paper's window.
+		earliest := res.JCTs[0]
+		for _, j := range res.JCTs {
+			if j < earliest {
+				earliest = j
+			}
+		}
+		wStart, wEnd := 0.1*earliest, 0.9*earliest
+		if wStart > 100 {
+			wStart = 100
+		}
+		if wEnd > 1250 {
+			wEnd = 1250
+		}
+		utils, err := sampler.Window(wStart, wEnd)
+		if err != nil {
+			return nil, err
+		}
+		res.Utils = utils
+		res.UtilWindow = [2]float64{wStart, wEnd}
+	}
+	return res, nil
+}
+
+// RunMany executes runs concurrently (each run is single-threaded) and
+// returns results in input order. parallelism <= 0 uses GOMAXPROCS.
+func RunMany(rcs []RunConfig, parallelism int) ([]*RunResult, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(rcs) {
+		parallelism = len(rcs)
+	}
+	results := make([]*RunResult, len(rcs))
+	errs := make([]error, len(rcs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = Run(rcs[i])
+			}
+		}()
+	}
+	for i := range rcs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: run %d (%s): %w", i, rcs[i].Label, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,569 @@
+// Package tc emulates the Linux traffic-control command-line interface
+// over the simulated network fabric. TensorLights' entire actuation path
+// in the paper is "run tc on the hosts with contending parameter
+// servers"; this package provides the same surface — qdisc/class/filter
+// add/change/del plus a `-s`-style stats dump — applied to the egress
+// port of a simulated host.
+package tc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/qdisc"
+	"repro/internal/simnet"
+)
+
+// Controller applies tc commands to hosts in a fabric.
+type Controller struct {
+	fabric *simnet.Fabric
+	// execCount tracks configuration commands applied, a proxy for the
+	// "amount of tc reconfigurations" the paper tries to limit.
+	execCount int
+}
+
+// NewController creates a controller over the fabric.
+func NewController(f *simnet.Fabric) *Controller {
+	return &Controller{fabric: f}
+}
+
+// ExecCount returns how many state-changing commands have been applied.
+func (c *Controller) ExecCount() int { return c.execCount }
+
+// LinkRateBps returns the host NIC's line rate in bits/sec, which
+// callers use to set work-conserving ceils.
+func (c *Controller) LinkRateBps(hostID int) float64 {
+	return c.fabric.Host(hostID).Egress.RateBytes() * 8
+}
+
+// Exec parses and applies one tc command on the given host, e.g.:
+//
+//	qdisc add dev eth0 root htb default 5
+//	qdisc add dev eth0 root prio bands 6
+//	qdisc del dev eth0 root
+//	class add dev eth0 classid 3 rate 1mbit ceil 10gbit prio 2
+//	class change dev eth0 classid 3 prio 4
+//	class del dev eth0 classid 3
+//	filter add dev eth0 pref 10 match sport 5001 flowid 3
+//	filter del dev eth0 pref 10
+//	filter del dev eth0 all
+//
+// The leading "tc" word is optional. Only dev eth0 exists per host.
+func (c *Controller) Exec(hostID int, cmd string) error {
+	toks := strings.Fields(cmd)
+	if len(toks) > 0 && toks[0] == "tc" {
+		toks = toks[1:]
+	}
+	if len(toks) < 2 {
+		return fmt.Errorf("tc: short command %q", cmd)
+	}
+	host := c.fabric.Host(hostID)
+	var err error
+	switch toks[0] {
+	case "qdisc":
+		err = c.execQdisc(host, toks[1:])
+	case "class":
+		err = c.execClass(host, toks[1:])
+	case "filter":
+		err = c.execFilter(host, toks[1:])
+	default:
+		err = fmt.Errorf("tc: unknown object %q", toks[0])
+	}
+	if err == nil {
+		c.execCount++
+	}
+	return err
+}
+
+// MustExec is Exec that panics on error, for static configuration code.
+func (c *Controller) MustExec(hostID int, cmd string) {
+	if err := c.Exec(hostID, cmd); err != nil {
+		panic(err)
+	}
+}
+
+// args provides keyword-value scanning over a token list.
+type args struct {
+	toks []string
+	pos  int
+}
+
+func (a *args) next() (string, bool) {
+	if a.pos >= len(a.toks) {
+		return "", false
+	}
+	t := a.toks[a.pos]
+	a.pos++
+	return t, true
+}
+
+func (a *args) expect(what string) (string, error) {
+	t, ok := a.next()
+	if !ok {
+		return "", fmt.Errorf("tc: missing %s", what)
+	}
+	return t, nil
+}
+
+func (a *args) expectInt(what string) (int, error) {
+	t, err := a.expect(what)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("tc: bad %s %q", what, t)
+	}
+	return n, nil
+}
+
+// consumeDev checks the "dev eth0" pair.
+func (a *args) consumeDev() error {
+	t, ok := a.next()
+	if !ok || t != "dev" {
+		return fmt.Errorf("tc: expected 'dev', got %q", t)
+	}
+	name, ok := a.next()
+	if !ok {
+		return fmt.Errorf("tc: missing device name")
+	}
+	if name != "eth0" {
+		return fmt.Errorf("tc: unknown device %q (only eth0 exists)", name)
+	}
+	return nil
+}
+
+// ParseRate converts tc rate syntax to bytes/sec. Accepted suffixes:
+// bit, kbit, mbit, gbit (decimal, bits/sec) and bps, kbps, mbps, gbps
+// (bytes/sec ×1000^k, matching tc's meaning of "bps" = bytes/sec).
+func ParseRate(s string) (float64, error) {
+	ls := strings.ToLower(s)
+	suffixes := []struct {
+		suf  string
+		mult float64 // to bytes/sec
+	}{
+		{"gbit", 1e9 / 8}, {"mbit", 1e6 / 8}, {"kbit", 1e3 / 8}, {"bit", 1.0 / 8},
+		{"gbps", 1e9}, {"mbps", 1e6}, {"kbps", 1e3}, {"bps", 1},
+	}
+	for _, sf := range suffixes {
+		if strings.HasSuffix(ls, sf.suf) {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(ls, sf.suf), 64)
+			if err != nil {
+				return 0, fmt.Errorf("tc: bad rate %q", s)
+			}
+			if v <= 0 {
+				return 0, fmt.Errorf("tc: non-positive rate %q", s)
+			}
+			return v * sf.mult, nil
+		}
+	}
+	v, err := strconv.ParseFloat(ls, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("tc: bad rate %q", s)
+	}
+	return v / 8, nil // bare numbers are bits/sec, like tc
+}
+
+// ParseSize converts tc size syntax ("32kb", "1mb", plain bytes) to bytes.
+func ParseSize(s string) (float64, error) {
+	ls := strings.ToLower(s)
+	suffixes := []struct {
+		suf  string
+		mult float64
+	}{
+		{"mb", 1 << 20}, {"kb", 1 << 10}, {"b", 1},
+	}
+	for _, sf := range suffixes {
+		if strings.HasSuffix(ls, sf.suf) {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(ls, sf.suf), 64)
+			if err != nil {
+				return 0, fmt.Errorf("tc: bad size %q", s)
+			}
+			return v * sf.mult, nil
+		}
+	}
+	v, err := strconv.ParseFloat(ls, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tc: bad size %q", s)
+	}
+	return v, nil
+}
+
+func (c *Controller) execQdisc(host *simnet.Host, toks []string) error {
+	a := &args{toks: toks}
+	verb, err := a.expect("verb")
+	if err != nil {
+		return err
+	}
+	if err := a.consumeDev(); err != nil {
+		return err
+	}
+	if t, ok := a.next(); !ok || t != "root" {
+		return fmt.Errorf("tc: only root qdiscs are supported")
+	}
+	switch verb {
+	case "del":
+		host.SetEgressQdisc(qdisc.NewPFIFO(0))
+		return nil
+	case "add", "replace":
+	default:
+		return fmt.Errorf("tc: unknown qdisc verb %q", verb)
+	}
+	kind, err := a.expect("qdisc kind")
+	if err != nil {
+		return err
+	}
+	linkRate := host.Egress.RateBytes()
+	switch kind {
+	case "pfifo":
+		limit := 0
+		for {
+			t, ok := a.next()
+			if !ok {
+				break
+			}
+			if t == "limit" {
+				if limit, err = a.expectInt("limit"); err != nil {
+					return err
+				}
+			} else {
+				return fmt.Errorf("tc: pfifo: unknown option %q", t)
+			}
+		}
+		host.SetEgressQdisc(qdisc.NewPFIFO(limit))
+	case "pfifo_fast":
+		host.SetEgressQdisc(qdisc.NewPFIFOFast())
+	case "prio":
+		bands := 3
+		for {
+			t, ok := a.next()
+			if !ok {
+				break
+			}
+			if t == "bands" {
+				if bands, err = a.expectInt("bands"); err != nil {
+					return err
+				}
+			} else {
+				return fmt.Errorf("tc: prio: unknown option %q", t)
+			}
+		}
+		if bands < 1 || bands > 16 {
+			return fmt.Errorf("tc: prio: bands %d out of range [1,16]", bands)
+		}
+		host.SetEgressQdisc(qdisc.NewPrio(bands))
+	case "sfq":
+		buckets := 128
+		for {
+			t, ok := a.next()
+			if !ok {
+				break
+			}
+			if t == "buckets" || t == "divisor" {
+				if buckets, err = a.expectInt("buckets"); err != nil {
+					return err
+				}
+			} else {
+				return fmt.Errorf("tc: sfq: unknown option %q", t)
+			}
+		}
+		host.SetEgressQdisc(qdisc.NewSFQ(buckets))
+	case "tbf":
+		rate := 0.0
+		burst := 0.0
+		limit := 0
+		for {
+			t, ok := a.next()
+			if !ok {
+				break
+			}
+			switch t {
+			case "rate":
+				rs, err := a.expect("rate value")
+				if err != nil {
+					return err
+				}
+				if rate, err = ParseRate(rs); err != nil {
+					return err
+				}
+			case "burst":
+				bs, err := a.expect("burst value")
+				if err != nil {
+					return err
+				}
+				if burst, err = ParseSize(bs); err != nil {
+					return err
+				}
+			case "limit":
+				if limit, err = a.expectInt("limit"); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("tc: tbf: unknown option %q", t)
+			}
+		}
+		if rate <= 0 {
+			return fmt.Errorf("tc: tbf requires a rate")
+		}
+		host.SetEgressQdisc(qdisc.NewTBF(rate, burst, limit))
+	case "htb":
+		def := -1
+		for {
+			t, ok := a.next()
+			if !ok {
+				break
+			}
+			if t == "default" {
+				if def, err = a.expectInt("default class"); err != nil {
+					return err
+				}
+			} else {
+				return fmt.Errorf("tc: htb: unknown option %q", t)
+			}
+		}
+		host.SetEgressQdisc(qdisc.NewHTB(linkRate, qdisc.ClassID(def)))
+	default:
+		return fmt.Errorf("tc: unknown qdisc kind %q", kind)
+	}
+	return nil
+}
+
+func (c *Controller) execClass(host *simnet.Host, toks []string) error {
+	a := &args{toks: toks}
+	verb, err := a.expect("verb")
+	if err != nil {
+		return err
+	}
+	if err := a.consumeDev(); err != nil {
+		return err
+	}
+	htb, ok := host.Egress.Qdisc().(*qdisc.HTB)
+	if !ok {
+		return fmt.Errorf("tc: class commands require an htb root (have %s)",
+			host.Egress.Qdisc().Kind())
+	}
+	if t, e := a.expect("classid keyword"); e != nil || t != "classid" {
+		return fmt.Errorf("tc: expected 'classid'")
+	}
+	id, err := a.expectInt("classid")
+	if err != nil {
+		return err
+	}
+	if verb == "del" {
+		return htb.DeleteClass(qdisc.ClassID(id))
+	}
+	var cfg qdisc.HTBClassConfig
+	cfg.Prio = -1 // "unspecified" for change
+	for {
+		t, ok := a.next()
+		if !ok {
+			break
+		}
+		switch t {
+		case "rate":
+			rs, e := a.expect("rate value")
+			if e != nil {
+				return e
+			}
+			if cfg.Rate, err = ParseRate(rs); err != nil {
+				return err
+			}
+		case "ceil":
+			rs, e := a.expect("ceil value")
+			if e != nil {
+				return e
+			}
+			if cfg.Ceil, err = ParseRate(rs); err != nil {
+				return err
+			}
+		case "prio":
+			if cfg.Prio, err = a.expectInt("prio"); err != nil {
+				return err
+			}
+		case "burst":
+			bs, e := a.expect("burst value")
+			if e != nil {
+				return e
+			}
+			if cfg.Burst, err = ParseSize(bs); err != nil {
+				return err
+			}
+		case "cburst":
+			bs, e := a.expect("cburst value")
+			if e != nil {
+				return e
+			}
+			if cfg.CBurst, err = ParseSize(bs); err != nil {
+				return err
+			}
+		case "quantum":
+			qs, e := a.expect("quantum value")
+			if e != nil {
+				return e
+			}
+			if cfg.Quantum, err = ParseSize(qs); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("tc: class: unknown option %q", t)
+		}
+	}
+	switch verb {
+	case "add":
+		if cfg.Prio < 0 {
+			cfg.Prio = 0
+		}
+		return htb.AddClass(qdisc.ClassID(id), cfg)
+	case "change":
+		return htb.ChangeClass(qdisc.ClassID(id), cfg)
+	default:
+		return fmt.Errorf("tc: unknown class verb %q", verb)
+	}
+}
+
+// classifierOf returns the filter chain of a classful root qdisc.
+func classifierOf(host *simnet.Host) (*qdisc.Classifier, error) {
+	switch q := host.Egress.Qdisc().(type) {
+	case *qdisc.HTB:
+		return q.Classifier(), nil
+	case *qdisc.Prio:
+		return q.Classifier(), nil
+	default:
+		return nil, fmt.Errorf("tc: filters require a classful root (have %s)", q.Kind())
+	}
+}
+
+func (c *Controller) execFilter(host *simnet.Host, toks []string) error {
+	a := &args{toks: toks}
+	verb, err := a.expect("verb")
+	if err != nil {
+		return err
+	}
+	if err := a.consumeDev(); err != nil {
+		return err
+	}
+	cl, err := classifierOf(host)
+	if err != nil {
+		return err
+	}
+	pref := 0
+	hasPref := false
+	match := qdisc.MatchAll()
+	target := qdisc.NoClass
+	hasTarget := false
+	all := false
+	for {
+		t, ok := a.next()
+		if !ok {
+			break
+		}
+		switch t {
+		case "pref", "prio":
+			if pref, err = a.expectInt("pref"); err != nil {
+				return err
+			}
+			hasPref = true
+		case "match":
+			// Consume key/value pairs until a non-match keyword.
+			done := false
+			for !done {
+				key, ok := a.next()
+				if !ok {
+					break
+				}
+				switch key {
+				case "sport":
+					if match.SrcPort, err = a.expectInt("sport"); err != nil {
+						return err
+					}
+				case "dport":
+					if match.DstPort, err = a.expectInt("dport"); err != nil {
+						return err
+					}
+				case "job":
+					if match.JobID, err = a.expectInt("job"); err != nil {
+						return err
+					}
+				case "mark":
+					if match.Mark, err = a.expectInt("mark"); err != nil {
+						return err
+					}
+				default:
+					a.pos-- // not ours; let the outer loop handle it
+					done = true
+				}
+			}
+		case "flowid", "classid":
+			id, e := a.expectInt("flowid")
+			if e != nil {
+				return e
+			}
+			target = qdisc.ClassID(id)
+			hasTarget = true
+		case "all":
+			all = true
+		default:
+			return fmt.Errorf("tc: filter: unknown option %q", t)
+		}
+	}
+	switch verb {
+	case "add":
+		if !hasTarget {
+			return fmt.Errorf("tc: filter add needs flowid")
+		}
+		cl.Add(qdisc.Filter{Pref: pref, Match: match, Target: target})
+		return nil
+	case "del":
+		if all {
+			cl.Clear()
+			return nil
+		}
+		if !hasPref {
+			return fmt.Errorf("tc: filter del needs pref or 'all'")
+		}
+		n := cl.RemoveWhere(func(f qdisc.Filter) bool { return f.Pref == pref })
+		if n == 0 {
+			return fmt.Errorf("tc: no filter with pref %d", pref)
+		}
+		return nil
+	default:
+		return fmt.Errorf("tc: unknown filter verb %q", verb)
+	}
+}
+
+// Show renders a `tc -s qdisc show dev eth0` style summary for a host.
+func (c *Controller) Show(hostID int) string {
+	host := c.fabric.Host(hostID)
+	q := host.Egress.Qdisc()
+	var b strings.Builder
+	st := q.Stats()
+	fmt.Fprintf(&b, "qdisc %s root dev eth0\n", q.Kind())
+	fmt.Fprintf(&b, " Sent %d bytes %d pkt (dropped %d, overlimits %d)\n",
+		st.DequeuedBytes, st.DequeuedPackets, st.DroppedPackets, st.Overlimits)
+	fmt.Fprintf(&b, " backlog %db %dp\n", q.BacklogBytes(), q.Len())
+	if htb, ok := q.(*qdisc.HTB); ok {
+		for _, id := range htb.Classes() {
+			cls := htb.Class(id)
+			cs := cls.Stats()
+			cfg := cls.Config()
+			fmt.Fprintf(&b, "class htb 1:%d prio %d rate %.0fbps ceil %.0fbps\n",
+				id, cfg.Prio, cfg.Rate, cfg.Ceil)
+			fmt.Fprintf(&b, " Sent %d bytes %d pkt backlog %dp\n",
+				cs.DequeuedBytes, cs.DequeuedPackets, cls.Len())
+		}
+	}
+	if pr, ok := q.(*qdisc.Prio); ok {
+		for i := 0; i < pr.Bands(); i++ {
+			bs := pr.Band(i).Stats()
+			fmt.Fprintf(&b, "band %d: Sent %d bytes %d pkt backlog %dp\n",
+				i, bs.DequeuedBytes, bs.DequeuedPackets, pr.Band(i).Len())
+		}
+	}
+	if cl, err := classifierOf(host); err == nil {
+		for _, f := range cl.Filters() {
+			fmt.Fprintf(&b, "filter pref %d %s flowid %d\n", f.Pref, f.Match, f.Target)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+// Package trace provides structured event recording for simulation runs
+// and CSV/JSON exporters for experiment records. Tracing is optional:
+// model components emit events only when a Tracer is installed, so the
+// hot path pays a single nil check when tracing is off.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind classifies events.
+type Kind string
+
+// Event kinds emitted by the simulation layers.
+const (
+	KindJobStart       Kind = "job_start"
+	KindJobFinish      Kind = "job_finish"
+	KindBarrierRelease Kind = "barrier_release"
+	KindGradientRecv   Kind = "gradient_recv"
+	KindModelRecv      Kind = "model_recv"
+	KindFlowDone       Kind = "flow_done"
+	KindTcConfig       Kind = "tc_config"
+	KindPriorityRotate Kind = "priority_rotate"
+	KindCustom         Kind = "custom"
+)
+
+// Event is one trace record.
+type Event struct {
+	At     float64 `json:"at"`
+	Kind   Kind    `json:"kind"`
+	Job    int     `json:"job"`
+	Host   int     `json:"host"`
+	Worker int     `json:"worker"`
+	Value  float64 `json:"value"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Tracer receives events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Buffer is an in-memory tracer. The zero value is ready to use. When
+// Cap > 0 it keeps only the most recent Cap events (ring semantics).
+type Buffer struct {
+	Cap    int
+	events []Event
+	start  int
+	total  uint64
+}
+
+// Emit records the event.
+func (b *Buffer) Emit(e Event) {
+	b.total++
+	if b.Cap > 0 && len(b.events) == b.Cap {
+		b.events[b.start] = e
+		b.start = (b.start + 1) % b.Cap
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Total returns the number of events ever emitted.
+func (b *Buffer) Total() uint64 { return b.total }
+
+// Events returns retained events in emission order.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.start:]...)
+	out = append(out, b.events[:b.start]...)
+	return out
+}
+
+// Filter returns retained events matching the predicate, in order.
+func (b *Buffer) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset drops all retained events.
+func (b *Buffer) Reset() {
+	b.events = b.events[:0]
+	b.start = 0
+}
+
+// WriteCSV writes retained events as CSV with a header row.
+func (b *Buffer) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at,kind,job,host,worker,value,detail"); err != nil {
+		return err
+	}
+	for _, e := range b.Events() {
+		detail := strings.ReplaceAll(e.Detail, ",", ";")
+		if _, err := fmt.Fprintf(w, "%.9f,%s,%d,%d,%d,%g,%s\n",
+			e.At, e.Kind, e.Job, e.Host, e.Worker, e.Value, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes retained events as a JSON array.
+func (b *Buffer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(b.Events())
+}
+
+// CountByKind tallies retained events per kind, sorted by kind name.
+func (b *Buffer) CountByKind() []struct {
+	Kind  Kind
+	Count int
+} {
+	m := map[Kind]int{}
+	for _, e := range b.Events() {
+		m[e.Kind]++
+	}
+	kinds := make([]Kind, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	out := make([]struct {
+		Kind  Kind
+		Count int
+	}, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, struct {
+			Kind  Kind
+			Count int
+		}{k, m[k]})
+	}
+	return out
+}
+
+// MultiTracer fans events out to several tracers.
+type MultiTracer []Tracer
+
+// Emit forwards to every child tracer.
+func (m MultiTracer) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// FuncTracer adapts a function to the Tracer interface.
+type FuncTracer func(Event)
+
+// Emit calls the wrapped function.
+func (f FuncTracer) Emit(e Event) { f(e) }

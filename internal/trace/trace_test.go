@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func ev(at float64, kind Kind, job int) Event {
+	return Event{At: at, Kind: kind, Job: job, Host: -1, Worker: -1}
+}
+
+func TestBufferBasics(t *testing.T) {
+	b := &Buffer{}
+	for i := 0; i < 5; i++ {
+		b.Emit(ev(float64(i), KindJobStart, i))
+	}
+	if b.Len() != 5 || b.Total() != 5 {
+		t.Fatalf("len %d total %d", b.Len(), b.Total())
+	}
+	events := b.Events()
+	for i, e := range events {
+		if e.Job != i {
+			t.Fatal("order broken")
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestBufferRing(t *testing.T) {
+	b := &Buffer{Cap: 3}
+	for i := 0; i < 10; i++ {
+		b.Emit(ev(float64(i), KindCustom, i))
+	}
+	if b.Len() != 3 || b.Total() != 10 {
+		t.Fatalf("len %d total %d", b.Len(), b.Total())
+	}
+	events := b.Events()
+	want := []int{7, 8, 9}
+	for i, e := range events {
+		if e.Job != want[i] {
+			t.Fatalf("ring order %v", events)
+		}
+	}
+}
+
+func TestBufferFilter(t *testing.T) {
+	b := &Buffer{}
+	b.Emit(ev(1, KindJobStart, 0))
+	b.Emit(ev(2, KindJobFinish, 0))
+	b.Emit(ev(3, KindJobStart, 1))
+	starts := b.Filter(func(e Event) bool { return e.Kind == KindJobStart })
+	if len(starts) != 2 {
+		t.Fatalf("filter %d", len(starts))
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	b := &Buffer{}
+	b.Emit(ev(1, KindJobStart, 0))
+	b.Emit(ev(2, KindJobStart, 1))
+	b.Emit(ev(3, KindBarrierRelease, 0))
+	counts := b.CountByKind()
+	if len(counts) != 2 {
+		t.Fatalf("%v", counts)
+	}
+	// Sorted by kind name: barrier_release < job_start.
+	if counts[0].Kind != KindBarrierRelease || counts[0].Count != 1 {
+		t.Fatalf("%v", counts)
+	}
+	if counts[1].Kind != KindJobStart || counts[1].Count != 2 {
+		t.Fatalf("%v", counts)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	b := &Buffer{}
+	b.Emit(Event{At: 1.5, Kind: KindTcConfig, Job: -1, Host: 3, Worker: -1, Value: 2, Detail: "a,b"})
+	var out bytes.Buffer
+	if err := b.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "at,kind,job,host,worker,value,detail\n") {
+		t.Fatalf("header missing: %q", s)
+	}
+	if !strings.Contains(s, "tc_config") || !strings.Contains(s, "a;b") {
+		t.Fatalf("row wrong: %q", s)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	b := &Buffer{}
+	b.Emit(ev(1, KindFlowDone, 7))
+	var out bytes.Buffer
+	if err := b.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(out.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Job != 7 || events[0].Kind != KindFlowDone {
+		t.Fatalf("%+v", events)
+	}
+}
+
+func TestMultiAndFuncTracer(t *testing.T) {
+	var got []Event
+	fn := FuncTracer(func(e Event) { got = append(got, e) })
+	buf := &Buffer{}
+	m := MultiTracer{fn, buf}
+	m.Emit(ev(1, KindModelRecv, 2))
+	if len(got) != 1 || buf.Len() != 1 {
+		t.Fatal("fan-out failed")
+	}
+}

@@ -1,0 +1,146 @@
+// Package workload generates DL job workloads beyond the paper's
+// simultaneous grid search: Poisson job arrivals, heterogeneous model
+// mixes, and production-style PS placement through the cluster
+// scheduler. This exercises the "batch processing mode" of §IV-B —
+// jobs arriving and departing over time, with TensorLights
+// reconfiguring priorities on each arrival and departure.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dl"
+	"repro/internal/sim"
+)
+
+// JobTemplate is one entry of a heterogeneous job mix.
+type JobTemplate struct {
+	Model             dl.Model
+	LocalBatch        int
+	TargetGlobalSteps int
+	// Weight is the template's relative draw probability.
+	Weight float64
+}
+
+// ChurnConfig describes a Poisson arrival workload.
+type ChurnConfig struct {
+	// NumJobs is how many jobs arrive in total.
+	NumJobs int
+	// ArrivalRatePerSec is the Poisson arrival rate (jobs/second).
+	ArrivalRatePerSec float64
+	// Templates is the job mix; empty selects the paper's ResNet-32
+	// grid-search job.
+	Templates []JobTemplate
+	// Hosts is the cluster size (default 21).
+	Hosts int
+	// SchedPolicy places each arriving job's PS (production clusters
+	// are PS-agnostic, so colocation arises naturally under
+	// PolicyRandom; PolicyPSAware is the paper's §VII fix).
+	SchedPolicy cluster.SchedPolicy
+}
+
+func (c *ChurnConfig) fillDefaults() {
+	if c.NumJobs <= 0 {
+		c.NumJobs = 21
+	}
+	if c.ArrivalRatePerSec <= 0 {
+		c.ArrivalRatePerSec = 0.1
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 21
+	}
+	if len(c.Templates) == 0 {
+		c.Templates = []JobTemplate{{
+			Model:             dl.ResNet32,
+			LocalBatch:        4,
+			TargetGlobalSteps: 6000,
+			Weight:            1,
+		}}
+	}
+}
+
+// Arrival is one job arrival event.
+type Arrival struct {
+	At   float64
+	Spec dl.JobSpec
+}
+
+// Generate builds the arrival sequence. It is deterministic for a
+// given rng stream.
+func Generate(cfg ChurnConfig, rng *sim.RNG) ([]Arrival, error) {
+	cfg.fillDefaults()
+	stream := rng.Stream("workload")
+	sched := cluster.NewScheduler(cfg.SchedPolicy, cfg.Hosts, 12, stream)
+	totalWeight := 0.0
+	for _, tpl := range cfg.Templates {
+		if tpl.Weight <= 0 {
+			return nil, fmt.Errorf("workload: template %q needs positive weight", tpl.Model.Name)
+		}
+		if tpl.LocalBatch < 1 || tpl.TargetGlobalSteps < 1 {
+			return nil, fmt.Errorf("workload: template %q incomplete", tpl.Model.Name)
+		}
+		totalWeight += tpl.Weight
+	}
+	arrivals := make([]Arrival, 0, cfg.NumJobs)
+	at := 0.0
+	for id := 0; id < cfg.NumJobs; id++ {
+		at += stream.Expo(1 / cfg.ArrivalRatePerSec)
+		tpl := pickTemplate(cfg.Templates, totalWeight, stream)
+		psHost, err := sched.Place(cluster.TaskReq{
+			JobID: id, Kind: cluster.KindPS, CPUDemand: 0.5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var workers []int
+		for h := 0; h < cfg.Hosts; h++ {
+			if h != psHost {
+				workers = append(workers, h)
+			}
+		}
+		arrivals = append(arrivals, Arrival{
+			At: at,
+			Spec: dl.JobSpec{
+				ID:                id,
+				Name:              fmt.Sprintf("churn-%02d-%s", id, tpl.Model.Name),
+				Model:             tpl.Model,
+				NumWorkers:        len(workers),
+				LocalBatch:        tpl.LocalBatch,
+				TargetGlobalSteps: tpl.TargetGlobalSteps,
+				PSHost:            psHost,
+				PSPort:            5000 + id,
+				WorkerHosts:       workers,
+			},
+		})
+	}
+	return arrivals, nil
+}
+
+func pickTemplate(templates []JobTemplate, total float64, rng *sim.RNG) JobTemplate {
+	r := rng.Float64() * total
+	for _, tpl := range templates {
+		if r < tpl.Weight {
+			return tpl
+		}
+		r -= tpl.Weight
+	}
+	return templates[len(templates)-1]
+}
+
+// GridSearchMix is the paper's homogeneous workload as a template set.
+func GridSearchMix(steps int) []JobTemplate {
+	return []JobTemplate{{
+		Model: dl.ResNet32, LocalBatch: 4, TargetGlobalSteps: steps, Weight: 1,
+	}}
+}
+
+// HeterogeneousMix mixes small and large models, where the paper's
+// smallest-update-first priority order avoids head-of-line blocking.
+func HeterogeneousMix(steps int) []JobTemplate {
+	return []JobTemplate{
+		{Model: dl.ResNet32, LocalBatch: 4, TargetGlobalSteps: steps, Weight: 0.5},
+		{Model: dl.ResNet56, LocalBatch: 4, TargetGlobalSteps: steps, Weight: 0.3},
+		{Model: dl.InceptionV3, LocalBatch: 4, TargetGlobalSteps: steps / 4, Weight: 0.2},
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/dl"
+	"repro/internal/sim"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	arrivals, err := Generate(ChurnConfig{}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 21 {
+		t.Fatalf("arrivals %d", len(arrivals))
+	}
+	prev := -1.0
+	for i, a := range arrivals {
+		if a.At <= prev {
+			t.Fatal("arrival times not strictly increasing")
+		}
+		prev = a.At
+		if a.Spec.ID != i {
+			t.Fatal("job ids not sequential")
+		}
+		if err := a.Spec.Validate(); err != nil {
+			t.Fatalf("arrival %d: %v", i, err)
+		}
+		if a.Spec.NumWorkers != 20 {
+			t.Fatalf("workers %d", a.Spec.NumWorkers)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a1, _ := Generate(ChurnConfig{NumJobs: 10}, sim.NewRNG(5))
+	a2, _ := Generate(ChurnConfig{NumJobs: 10}, sim.NewRNG(5))
+	for i := range a1 {
+		if a1[i].At != a2[i].At || a1[i].Spec.PSHost != a2[i].Spec.PSHost {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateArrivalRate(t *testing.T) {
+	cfg := ChurnConfig{NumJobs: 400, ArrivalRatePerSec: 2}
+	arrivals, err := Generate(cfg, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := arrivals[len(arrivals)-1].At
+	rate := float64(len(arrivals)) / span
+	if rate < 1.5 || rate > 2.5 {
+		t.Fatalf("empirical rate %.2f, want ~2", rate)
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	cfg := ChurnConfig{
+		NumJobs:   300,
+		Templates: HeterogeneousMix(4000),
+	}
+	arrivals, err := Generate(cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, a := range arrivals {
+		counts[a.Spec.Model.Name]++
+	}
+	if counts[dl.ResNet32.Name] < 100 || counts[dl.ResNet56.Name] < 40 ||
+		counts[dl.InceptionV3.Name] < 20 {
+		t.Fatalf("mix skewed: %v", counts)
+	}
+}
+
+func TestGeneratePSAwareAvoidsColocation(t *testing.T) {
+	cfg := ChurnConfig{NumJobs: 21, SchedPolicy: cluster.PolicyPSAware}
+	arrivals, err := Generate(cfg, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHost := map[int]int{}
+	for _, a := range arrivals {
+		perHost[a.Spec.PSHost]++
+	}
+	for h, n := range perHost {
+		if n > 1 {
+			t.Fatalf("ps-aware colocated %d PSes on host %d", n, h)
+		}
+	}
+}
+
+func TestGenerateRandomProducesColocation(t *testing.T) {
+	cfg := ChurnConfig{NumJobs: 21, SchedPolicy: cluster.PolicyRandom}
+	arrivals, err := Generate(cfg, sim.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHost := map[int]int{}
+	maxColoc := 0
+	for _, a := range arrivals {
+		perHost[a.Spec.PSHost]++
+		if perHost[a.Spec.PSHost] > maxColoc {
+			maxColoc = perHost[a.Spec.PSHost]
+		}
+	}
+	// Birthday bound: 21 random picks of 21 hosts collide with
+	// overwhelming probability.
+	if maxColoc < 2 {
+		t.Fatal("random placement produced no colocation")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(ChurnConfig{
+		Templates: []JobTemplate{{Model: dl.ResNet32, Weight: 0}},
+	}, sim.NewRNG(1)); err == nil {
+		t.Fatal("zero-weight template accepted")
+	}
+	if _, err := Generate(ChurnConfig{
+		Templates: []JobTemplate{{Model: dl.ResNet32, Weight: 1}},
+	}, sim.NewRNG(1)); err == nil {
+		t.Fatal("incomplete template accepted")
+	}
+}
+
+// Property: every generated spec is valid and every job's workers avoid
+// its PS host, for any job count and rate.
+func TestGenerateProperty(t *testing.T) {
+	f := func(jobsRaw uint8, rateRaw uint8, seed int64) bool {
+		cfg := ChurnConfig{
+			NumJobs:           int(jobsRaw%30) + 1,
+			ArrivalRatePerSec: float64(rateRaw%20)/10 + 0.05,
+		}
+		arrivals, err := Generate(cfg, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		for _, a := range arrivals {
+			if a.Spec.Validate() != nil {
+				return false
+			}
+		}
+		return len(arrivals) == cfg.NumJobs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package tensorlights reproduces "Green, Yellow, Yield: End-Host
+// Traffic Scheduling for Distributed Deep Learning with TensorLights"
+// (Huang, Chen & Ng, IPDPS 2019) as a discrete-event simulation study.
+//
+// The package is a façade over the internal engine:
+//
+//   - internal/sim      — deterministic discrete-event kernel
+//   - internal/qdisc    — pfifo / prio / htb / tbf / sfq disciplines
+//   - internal/tc       — Linux-tc-style configuration layer
+//   - internal/simnet   — host NICs, switch, chunked transfers
+//   - internal/cpusim   — processor-sharing host CPUs
+//   - internal/dl       — parameter-server training jobs
+//   - internal/cluster  — testbed, Table I placements, scheduler
+//   - internal/core     — the TensorLights controller (TLs-One, TLs-RR)
+//   - internal/sweep    — per-figure experiment harness
+//
+// Quick start:
+//
+//	res, err := tensorlights.RunExperiment(tensorlights.ExperimentConfig{
+//	    Policy:         tensorlights.TLsOne,
+//	    PlacementIndex: 1,
+//	    Steps:          3000,
+//	})
+//	fmt.Println(res.AvgJCT)
+package tensorlights
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+// Policy selects the end-host traffic scheduling policy.
+type Policy int
+
+// The three policies evaluated in the paper.
+const (
+	// FIFO is the kernel default: first-come-first-serve at the NIC.
+	FIFO Policy = iota
+	// TLsOne assigns each contending job a static priority.
+	TLsOne
+	// TLsRR rotates priorities every RotateIntervalSec for fairness.
+	TLsRR
+	// TLsLPF re-ranks contending jobs least-progress-first every
+	// RotateIntervalSec (an adaptive fairness extension beyond the
+	// paper).
+	TLsLPF
+	// StaticRate pins each contending job to an equal static rate
+	// share — the paper's §VII rate-control alternative, which is not
+	// work-conserving.
+	StaticRate
+)
+
+// String names the policy as the paper does.
+func (p Policy) String() string { return p.core().String() }
+
+func (p Policy) core() core.Policy {
+	switch p {
+	case TLsOne:
+		return core.PolicyOne
+	case TLsRR:
+		return core.PolicyRR
+	case TLsLPF:
+		return core.PolicyLPF
+	case StaticRate:
+		return core.PolicyStaticRate
+	default:
+		return core.PolicyFIFO
+	}
+}
+
+// ExperimentConfig describes one grid-search experiment: NumJobs
+// identical synchronous training jobs on a 21-host cluster, PSes placed
+// per Table I's placement index.
+type ExperimentConfig struct {
+	// Policy is the end-host scheduling policy (default FIFO).
+	Policy Policy
+	// PlacementIndex selects Table I's placement #1..#8 (default 1,
+	// all PSes colocated — the heaviest contention).
+	PlacementIndex int
+	// Placement, when non-empty (e.g. "5, 16"), overrides the index.
+	Placement string
+	// Model names a model from the zoo (default "resnet32").
+	Model string
+	// NumJobs, LocalBatch and Steps default to the paper's 21, 4 and
+	// 30000. Tests should pass smaller Steps.
+	NumJobs    int
+	LocalBatch int
+	Steps      int
+	// Bands is the number of priority bands (default 6).
+	Bands int
+	// RotateIntervalSec is TLs-RR's interval T (default 20 s).
+	RotateIntervalSec float64
+	// Async selects asynchronous training.
+	Async bool
+	// Seed makes the run reproducible.
+	Seed int64
+	// MeasureUtilization enables CPU/NIC sampling.
+	MeasureUtilization bool
+	// TraceCSV, when non-nil, receives a CSV dump of all simulation
+	// events (job lifecycle, barriers, flows, tc reconfigurations)
+	// after the run.
+	TraceCSV io.Writer
+}
+
+// Result summarizes one experiment.
+type Result struct {
+	// JCTs holds each job's completion time in seconds.
+	JCTs []float64
+	// AvgJCT is the mean of JCTs — the paper's headline metric.
+	AvgJCT float64
+	// BarrierWaitMean and BarrierWaitVariance summarize the pooled
+	// per-barrier wait distributions (straggler indicators).
+	BarrierWaitMean     float64
+	BarrierWaitVariance float64
+	// Utilization holds per-host active-window utilization when
+	// MeasureUtilization was set.
+	Utilization []HostUtilization
+	// SimulatedSeconds is the simulated makespan.
+	SimulatedSeconds float64
+	// Events is the number of discrete events fired.
+	Events uint64
+	// TcReconfigurations counts TensorLights host reconfigurations.
+	TcReconfigurations int
+}
+
+// HostUtilization is one host's active-window utilization in [0,1].
+type HostUtilization struct {
+	Host   int
+	CPU    float64
+	NetIn  float64
+	NetOut float64
+}
+
+// RunExperiment executes one experiment to completion.
+func RunExperiment(cfg ExperimentConfig) (*Result, error) {
+	rc, err := toRunConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf *trace.Buffer
+	if cfg.TraceCSV != nil {
+		buf = &trace.Buffer{}
+		rc.Tracer = buf
+	}
+	res, err := sweep.Run(rc)
+	if err != nil {
+		return nil, err
+	}
+	if buf != nil {
+		if err := buf.WriteCSV(cfg.TraceCSV); err != nil {
+			return nil, fmt.Errorf("tensorlights: trace dump: %w", err)
+		}
+	}
+	out := &Result{
+		JCTs:                res.JCTs,
+		AvgJCT:              res.AvgJCT(),
+		BarrierWaitMean:     metrics.Mean(res.BarrierMeans),
+		BarrierWaitVariance: metrics.Mean(res.BarrierVars),
+		SimulatedSeconds:    res.SimTime,
+		Events:              res.Events,
+		TcReconfigurations:  res.Reconfigs,
+	}
+	for _, u := range res.Utils {
+		out.Utilization = append(out.Utilization, HostUtilization{
+			Host: u.Host, CPU: u.CPU, NetIn: u.NetIn, NetOut: u.NetOut,
+		})
+	}
+	return out, nil
+}
+
+func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
+	var zero sweep.RunConfig
+	if cfg.PlacementIndex == 0 {
+		cfg.PlacementIndex = 1
+	}
+	placement, err := cluster.PlacementByIndex(cfg.PlacementIndex)
+	if err != nil {
+		return zero, err
+	}
+	if cfg.Placement != "" {
+		placement, err = cluster.ParsePlacement(cfg.Placement)
+		if err != nil {
+			return zero, err
+		}
+	}
+	model := dl.ResNet32
+	if cfg.Model != "" {
+		model, err = dl.ModelByName(cfg.Model)
+		if err != nil {
+			return zero, err
+		}
+	}
+	rc := sweep.RunConfig{
+		Label:       fmt.Sprintf("%s-p%d", cfg.Policy, cfg.PlacementIndex),
+		Cluster:     cluster.Config{Seed: cfg.Seed},
+		Model:       model,
+		NumJobs:     cfg.NumJobs,
+		LocalBatch:  cfg.LocalBatch,
+		TargetSteps: cfg.Steps,
+		Placement:   placement,
+		Async:       cfg.Async,
+		TLs: core.Config{
+			Policy:      cfg.Policy.core(),
+			Bands:       cfg.Bands,
+			IntervalSec: cfg.RotateIntervalSec,
+		},
+	}
+	if cfg.MeasureUtilization {
+		rc.SampleUtilEvery = 1
+	}
+	return rc, nil
+}
+
+// ReproOptions scales the per-figure reproduction runs. Zero values run
+// the paper's full scale (30 000 global steps).
+type ReproOptions struct {
+	Steps       int
+	Seed        int64
+	Parallelism int
+}
+
+func (o ReproOptions) sweep() sweep.Options {
+	return sweep.Options{Steps: o.Steps, Seed: o.Seed, Parallelism: o.Parallelism}
+}
+
+// ReproduceFigure2 regenerates Figure 2 (JCT vs placement under FIFO)
+// and returns its rendered table.
+func ReproduceFigure2(o ReproOptions) (string, error) {
+	r, err := sweep.Figure2(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceFigure3 regenerates Figure 3 (barrier wait distributions,
+// placements #1 vs #8).
+func ReproduceFigure3(o ReproOptions) (string, error) {
+	r, err := sweep.Figure3(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceFigure5a regenerates Figure 5a (normalized JCT by placement).
+func ReproduceFigure5a(o ReproOptions) (string, error) {
+	r, err := sweep.Figure5a(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceFigure5b regenerates Figure 5b (normalized JCT by batch).
+func ReproduceFigure5b(o ReproOptions) (string, error) {
+	r, err := sweep.Figure5b(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceFigure6 regenerates Figure 6 (wait distributions by policy).
+func ReproduceFigure6(o ReproOptions) (string, error) {
+	r, err := sweep.Figure6(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceTableII regenerates Table II (normalized utilization).
+func ReproduceTableII(o ReproOptions) (string, error) {
+	r, err := sweep.TableII(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// Models lists the built-in model zoo names.
+func Models() []string {
+	var names []string
+	for _, m := range dl.Zoo() {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// Placements renders Table I: the studied PS placements.
+func Placements() string {
+	t := ""
+	for _, p := range cluster.Placements21() {
+		t += fmt.Sprintf("#%d: %s\n", p.Index, p.String())
+	}
+	return t
+}

@@ -1,0 +1,249 @@
+package tensorlights
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSteps = 600
+
+func TestRunExperimentFIFO(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Policy:         FIFO,
+		PlacementIndex: 8,
+		Steps:          testSteps,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JCTs) != 21 || res.AvgJCT <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.TcReconfigurations != 0 {
+		t.Fatal("FIFO must not touch tc")
+	}
+	if res.Events == 0 || res.SimulatedSeconds <= 0 {
+		t.Fatal("bookkeeping")
+	}
+}
+
+func TestRunExperimentTensorLightsWins(t *testing.T) {
+	base := ExperimentConfig{PlacementIndex: 1, Steps: testSteps, Seed: 42}
+	fifoCfg := base
+	fifoCfg.Policy = FIFO
+	fifo, err := RunExperiment(fifoCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneCfg := base
+	oneCfg.Policy = TLsOne
+	one, err := RunExperiment(oneCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.AvgJCT >= fifo.AvgJCT {
+		t.Fatalf("TLs-One (%.1f) not faster than FIFO (%.1f) under full colocation",
+			one.AvgJCT, fifo.AvgJCT)
+	}
+	if one.BarrierWaitVariance >= fifo.BarrierWaitVariance {
+		t.Fatalf("TLs-One variance %.5f not below FIFO %.5f",
+			one.BarrierWaitVariance, fifo.BarrierWaitVariance)
+	}
+	if one.TcReconfigurations == 0 {
+		t.Fatal("TLs-One never configured tc")
+	}
+}
+
+func TestRunExperimentCustomPlacement(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Policy:    TLsRR,
+		Placement: "10, 11",
+		Steps:     300,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JCTs) != 21 {
+		t.Fatal("custom placement run")
+	}
+}
+
+func TestRunExperimentUtilization(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Policy:             FIFO,
+		PlacementIndex:     1,
+		Steps:              300,
+		Seed:               1,
+		MeasureUtilization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilization) != 21 {
+		t.Fatalf("utilization hosts %d", len(res.Utilization))
+	}
+}
+
+func TestRunExperimentAsync(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Policy:         FIFO,
+		PlacementIndex: 8,
+		Steps:          300,
+		Async:          true,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgJCT <= 0 {
+		t.Fatal("async run")
+	}
+}
+
+func TestRunExperimentErrors(t *testing.T) {
+	if _, err := RunExperiment(ExperimentConfig{PlacementIndex: 99, Steps: 10}); err == nil {
+		t.Fatal("bad placement index accepted")
+	}
+	if _, err := RunExperiment(ExperimentConfig{Placement: "nope", Steps: 10}); err == nil {
+		t.Fatal("bad custom placement accepted")
+	}
+	if _, err := RunExperiment(ExperimentConfig{Model: "gpt5", Steps: 10}); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if FIFO.String() != "FIFO" || TLsOne.String() != "TLs-One" || TLsRR.String() != "TLs-RR" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestModelsAndPlacements(t *testing.T) {
+	models := Models()
+	if len(models) < 5 {
+		t.Fatal("models")
+	}
+	found := false
+	for _, m := range models {
+		if m == "resnet32" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("resnet32 missing from zoo")
+	}
+	p := Placements()
+	if !strings.Contains(p, "#1: 21") || !strings.Contains(p, "#4: 7, 7, 7") {
+		t.Fatalf("placements:\n%s", p)
+	}
+}
+
+func TestReproduceFunctionsSmall(t *testing.T) {
+	o := ReproOptions{Steps: 400, Seed: 42}
+	for name, fn := range map[string]func(ReproOptions) (string, error){
+		"fig3":   ReproduceFigure3,
+		"fig6":   ReproduceFigure6,
+		"table2": ReproduceTableII,
+	} {
+		out, err := fn(o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) < 50 {
+			t.Fatalf("%s output too small:\n%s", name, out)
+		}
+	}
+}
+
+func TestToRunConfigMapping(t *testing.T) {
+	rc, err := toRunConfig(ExperimentConfig{
+		Policy:            TLsRR,
+		PlacementIndex:    3,
+		Model:             "alexnet",
+		NumJobs:           5,
+		LocalBatch:        8,
+		Steps:             1000,
+		Bands:             4,
+		RotateIntervalSec: 7,
+		Seed:              9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Placement.Index != 3 || rc.Model.Name != "alexnet" || rc.NumJobs != 5 ||
+		rc.LocalBatch != 8 || rc.TargetSteps != 1000 || rc.Cluster.Seed != 9 {
+		t.Fatalf("%+v", rc)
+	}
+	if rc.TLs.Bands != 4 || rc.TLs.IntervalSec != 7 {
+		t.Fatalf("TLs config %+v", rc.TLs)
+	}
+	if rc.TLs.Policy.String() != "TLs-RR" {
+		t.Fatal("policy mapping")
+	}
+}
+
+func TestNewPolicyFacadeMapping(t *testing.T) {
+	if TLsLPF.String() != "TLs-LPF" || StaticRate.String() != "StaticRate" {
+		t.Fatal("extended policy names")
+	}
+	res, err := RunExperiment(ExperimentConfig{
+		Policy:         TLsLPF,
+		PlacementIndex: 1,
+		Steps:          300,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TcReconfigurations == 0 {
+		t.Fatal("LPF never reconfigured")
+	}
+}
+
+func TestTraceCSVOutput(t *testing.T) {
+	var buf strings.Builder
+	_, err := RunExperiment(ExperimentConfig{
+		PlacementIndex: 8,
+		Steps:          300,
+		Seed:           1,
+		TraceCSV:       &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "at,kind,job,host,worker,value,detail\n") {
+		t.Fatalf("trace header missing:\n%.120s", out)
+	}
+	if !strings.Contains(out, "job_finish") || !strings.Contains(out, "flow_done") {
+		t.Fatal("trace missing event kinds")
+	}
+}
+
+func TestReproduceRemainingFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run reproduction in -short mode")
+	}
+	o := ReproOptions{Steps: 300, Seed: 42}
+	for name, fn := range map[string]func(ReproOptions) (string, error){
+		"fig2":  ReproduceFigure2,
+		"fig5a": ReproduceFigure5a,
+		"fig5b": ReproduceFigure5b,
+	} {
+		out, err := fn(o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) < 100 {
+			t.Fatalf("%s output too small", name)
+		}
+	}
+}
+
+func TestVersion(t *testing.T) {
+	if Version == "" {
+		t.Fatal("version")
+	}
+}
