@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The psrpc package runs real goroutines and sockets; it is the one
+# place data races could hide, so it gets a dedicated race-detector run.
+race:
+	$(GO) test -race ./internal/psrpc/...
+
+check: build vet test race

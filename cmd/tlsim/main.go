@@ -6,6 +6,8 @@
 //
 //	tlsim -policy tls-one -placement 1 -steps 3000 -batch 4 -seed 42
 //	tlsim -policy fifo -custom-placement "5, 16" -util
+//	tlsim -policy tls-rr -steps 3000 -fault-flap-ps -fault-tc-outage \
+//	    -fault-flap-every 30 -fault-crash "0:3:60"
 package main
 
 import (
@@ -13,9 +15,33 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	tensorlights "repro"
 )
+
+// parseCrashes parses "job:worker:atSec" triples, comma-separated.
+func parseCrashes(s string) ([]tensorlights.WorkerCrash, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []tensorlights.WorkerCrash
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad -fault-crash element %q, want job:worker:atSec", part)
+		}
+		job, err1 := strconv.Atoi(fields[0])
+		worker, err2 := strconv.Atoi(fields[1])
+		at, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad -fault-crash element %q, want job:worker:atSec", part)
+		}
+		out = append(out, tensorlights.WorkerCrash{Job: job, Worker: worker, AtSec: at})
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -34,6 +60,19 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a CSV event trace to this file")
 		listModel = flag.Bool("models", false, "list available models and exit")
 		listPlace = flag.Bool("placements", false, "list Table I placements and exit")
+
+		faultFlapPS   = flag.Bool("fault-flap-ps", false, "periodically flap every PS host's NIC (deterministic, seeded)")
+		faultFirst    = flag.Float64("fault-flap-first", 10, "first flap time (seconds)")
+		faultEvery    = flag.Float64("fault-flap-every", 60, "flap period (seconds)")
+		faultDur      = flag.Float64("fault-flap-dur", 3, "flap duration (seconds)")
+		faultJitter   = flag.Float64("fault-flap-jitter", 1, "per-flap seeded jitter (seconds)")
+		faultHorizon  = flag.Float64("fault-horizon", 600, "stop scheduling flaps after this time (seconds)")
+		faultDrop     = flag.Float64("fault-drop", 0, "chunk-loss probability in the window after each flap")
+		faultTC       = flag.Bool("fault-tc-outage", false, "fail tc actuation on the host during each flap")
+		faultCrash    = flag.String("fault-crash", "", `worker crashes as "job:worker:atSec", comma-separated`)
+		faultDetect   = flag.Float64("fault-detect", 5, "crashed-worker detection timeout (seconds)")
+		faultBackoff  = flag.Float64("fault-restart-backoff", 2, "worker restart backoff after detection (seconds)")
+		faultRestarts = flag.Int("fault-max-restarts", 2, "restart budget per worker before the job degrades")
 	)
 	flag.Parse()
 
@@ -65,6 +104,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	crashes, err := parseCrashes(*faultCrash)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsim: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := tensorlights.ExperimentConfig{
 		Policy:             pol,
 		PlacementIndex:     *placement,
@@ -78,6 +122,24 @@ func main() {
 		Async:              *async,
 		Seed:               *seed,
 		MeasureUtilization: *util,
+	}
+	if *faultFlapPS || len(crashes) > 0 {
+		cfg.Faults = tensorlights.FaultConfig{
+			Crashes:           crashes,
+			DetectTimeoutSec:  *faultDetect,
+			RestartBackoffSec: *faultBackoff,
+			MaxRestarts:       *faultRestarts,
+		}
+		if *faultFlapPS {
+			cfg.Faults.FlapPSHosts = true
+			cfg.Faults.FlapFirstAtSec = *faultFirst
+			cfg.Faults.FlapEverySec = *faultEvery
+			cfg.Faults.FlapDurationSec = *faultDur
+			cfg.Faults.FlapJitterSec = *faultJitter
+			cfg.Faults.HorizonSec = *faultHorizon
+			cfg.Faults.DropProb = *faultDrop
+			cfg.Faults.TCOutage = *faultTC
+		}
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -106,10 +168,18 @@ func main() {
 	fmt.Printf("avg JCT: %.1f s\n", res.AvgJCT)
 	jcts := append([]float64(nil), res.JCTs...)
 	sort.Float64s(jcts)
-	fmt.Printf("JCT min/median/max: %.1f / %.1f / %.1f s\n",
-		jcts[0], jcts[len(jcts)/2], jcts[len(jcts)-1])
+	if len(jcts) > 0 {
+		fmt.Printf("JCT min/median/max: %.1f / %.1f / %.1f s\n",
+			jcts[0], jcts[len(jcts)/2], jcts[len(jcts)-1])
+	}
 	fmt.Printf("barrier wait: mean %.3f s, variance %.5f s^2\n",
 		res.BarrierWaitMean, res.BarrierWaitVariance)
+	if *faultFlapPS || len(crashes) > 0 {
+		fmt.Printf("fault recovery: %d worker restarts, %d degraded, %d jobs lost, %d chunks dropped\n",
+			res.WorkerRestarts, res.DegradedWorkers, len(res.FailedJobs), res.DroppedChunks)
+		fmt.Printf("tc recovery: %d retries, %d FIFO fallbacks, %d reconcile repairs\n",
+			res.TcRetries, res.TcFallbacks, res.TcRepairs)
+	}
 	if *util {
 		fmt.Println("per-host utilization (active window):")
 		for _, u := range res.Utilization {

@@ -127,7 +127,8 @@ func (tb *Testbed) Launch(specs []dl.JobSpec, staggerSec float64, onStart func(*
 	return jobs, nil
 }
 
-// RunToCompletion drives the kernel until every job finishes. maxEvents
+// RunToCompletion drives the kernel until every job finishes or fails
+// (a job that lost all its workers never reaches Done). maxEvents
 // guards against runaway simulations (0 = default guard).
 func (tb *Testbed) RunToCompletion(jobs []*dl.Job, maxEvents uint64) {
 	if maxEvents == 0 {
@@ -136,7 +137,7 @@ func (tb *Testbed) RunToCompletion(jobs []*dl.Job, maxEvents uint64) {
 	tb.K.MaxEvents = maxEvents
 	tb.K.Run(func() bool {
 		for _, j := range jobs {
-			if !j.Done() {
+			if !j.Done() && !j.Failed() {
 				return false
 			}
 		}

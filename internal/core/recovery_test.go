@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// failWindow installs an exec hook on the controller's tc layer that
+// fails every command on the given host while *failing is true.
+func failWindow(ctl *Controller, host int, failing *bool) {
+	ctl.tcc.SetExecHook(func(h int, cmd string) error {
+		if h == host && *failing {
+			return fmt.Errorf("tc: injected outage on host %d", h)
+		}
+		return nil
+	})
+}
+
+func TestApplyRetriesThroughTransientFailure(t *testing.T) {
+	k, fab, ctl := newHarness(2, Config{
+		Policy: PolicyOne, RetryBackoffSec: 0.1, MaxExecRetries: 4,
+	})
+	failing := true
+	failWindow(ctl, 0, &failing)
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0)) // apply fails, retry scheduled
+	if fab.Host(0).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatal("failed apply left state installed")
+	}
+	if ctl.Stats().Retries == 0 {
+		t.Fatal("no retry scheduled")
+	}
+	// Outage clears before the first retry fires.
+	k.Schedule(0.05, func() { failing = false })
+	k.RunUntil(1)
+	if fab.Host(0).Egress.Qdisc().Kind() != "htb" {
+		t.Fatalf("retry did not install htb (have %s)", fab.Host(0).Egress.Qdisc().Kind())
+	}
+	if ctl.Stats().Fallbacks != 0 {
+		t.Fatal("transient failure escalated to fallback")
+	}
+}
+
+func TestRetryBackoffIsExponential(t *testing.T) {
+	k, _, ctl := newHarness(2, Config{
+		Policy: PolicyOne, RetryBackoffSec: 0.1, MaxExecRetries: 3,
+		ReconcileIntervalSec: -1,
+	})
+	buf := &trace.Buffer{}
+	ctl.Tracer = buf
+	failing := true
+	failWindow(ctl, 0, &failing)
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	k.RunUntil(10)
+	var errAt []float64
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindTcError {
+			errAt = append(errAt, e.At)
+		}
+	}
+	// Initial failure + 3 retries, at 0, 0.1, 0.3, 0.7.
+	if len(errAt) != 4 {
+		t.Fatalf("tc_error events %d, want 4: %v", len(errAt), errAt)
+	}
+	gaps := []float64{errAt[1] - errAt[0], errAt[2] - errAt[1], errAt[3] - errAt[2]}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] < gaps[i-1]*1.9 {
+			t.Fatalf("backoff not doubling: gaps %v", gaps)
+		}
+	}
+}
+
+func TestPersistentFailureFallsBackToFIFO(t *testing.T) {
+	k, fab, ctl := newHarness(2, Config{
+		Policy: PolicyOne, RetryBackoffSec: 0.05, MaxExecRetries: 2,
+		ReconcileIntervalSec: -1,
+	})
+	buf := &trace.Buffer{}
+	ctl.Tracer = buf
+	failing := true
+	failWindow(ctl, 0, &failing)
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	k.RunUntil(10)
+	st := ctl.Stats()
+	if st.Fallbacks != 1 || st.Retries != 2 {
+		t.Fatalf("stats %+v, want 1 fallback after 2 retries", st)
+	}
+	if got := ctl.FallbackHosts(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("fallback hosts %v", got)
+	}
+	if fab.Host(0).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatalf("fallback host not on FIFO (have %s)", fab.Host(0).Egress.Qdisc().Kind())
+	}
+	var fb int
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindTcFallback {
+			fb++
+		}
+	}
+	if fb != 1 {
+		t.Fatalf("fallback events %d", fb)
+	}
+}
+
+func TestReconcileRestoresFallbackHost(t *testing.T) {
+	k, fab, ctl := newHarness(2, Config{
+		Policy: PolicyOne, RetryBackoffSec: 0.05, MaxExecRetries: 1,
+		ReconcileIntervalSec: 1,
+	})
+	buf := &trace.Buffer{}
+	ctl.Tracer = buf
+	failing := true
+	failWindow(ctl, 0, &failing)
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	k.RunUntil(0.5) // retries exhausted, host in fallback
+	if len(ctl.FallbackHosts()) != 1 {
+		t.Fatal("host not in fallback")
+	}
+	// Actuation heals; the next reconcile tick restores the bands.
+	failing = false
+	k.RunUntil(3)
+	if len(ctl.FallbackHosts()) != 0 {
+		t.Fatal("reconcile did not clear fallback")
+	}
+	if fab.Host(0).Egress.Qdisc().Kind() != "htb" {
+		t.Fatalf("priority bands not restored (have %s)", fab.Host(0).Egress.Qdisc().Kind())
+	}
+	if ctl.Stats().Repairs == 0 {
+		t.Fatal("repair not counted")
+	}
+	var repairs int
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindTcRepair {
+			repairs++
+		}
+	}
+	if repairs == 0 {
+		t.Fatal("no tc_repair trace event")
+	}
+}
+
+func TestReconcileRepairsDrift(t *testing.T) {
+	k, fab, ctl := newHarness(2, Config{
+		Policy: PolicyOne, ReconcileIntervalSec: 1,
+	})
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(job(1, 0))
+	if fab.Host(0).Egress.Qdisc().Kind() != "htb" {
+		t.Fatal("setup failed")
+	}
+	// Something outside the controller wipes the qdisc tree (an operator
+	// running `tc qdisc del`, a NIC reset restoring defaults).
+	k.Schedule(0.5, func() {
+		if err := ctl.tcc.Exec(0, "qdisc del dev eth0 root"); err != nil {
+			t.Errorf("drift injection failed: %v", err)
+		}
+	})
+	k.RunUntil(0.9)
+	if fab.Host(0).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatal("drift not in effect")
+	}
+	k.RunUntil(2)
+	if fab.Host(0).Egress.Qdisc().Kind() != "htb" {
+		t.Fatalf("reconcile did not repair drift (have %s)", fab.Host(0).Egress.Qdisc().Kind())
+	}
+	if ctl.Stats().Repairs == 0 {
+		t.Fatal("drift repair not counted")
+	}
+}
+
+func TestRotationDuringOutageRecovers(t *testing.T) {
+	// TLs-RR rotating while the host's tc is down: the rotation's filter
+	// rewrite fails, and once the outage clears the retry/reconcile path
+	// must install the CURRENT rotation's assignment.
+	k, fab, ctl := newHarness(2, Config{
+		Policy: PolicyRR, IntervalSec: 1, Bands: 6,
+		RetryBackoffSec: 0.2, MaxExecRetries: 2, ReconcileIntervalSec: 1,
+	})
+	for i := 0; i < 3; i++ {
+		ctl.JobArrived(job(i, 0))
+	}
+	failing := false
+	failWindow(ctl, 0, &failing)
+	k.Schedule(0.9, func() { failing = true })  // down across the t=1 rotation
+	k.Schedule(2.5, func() { failing = false }) // heals before t=3
+	k.RunUntil(10)
+	if fab.Host(0).Egress.Qdisc().Kind() != "htb" {
+		t.Fatalf("bands not restored after outage (have %s)", fab.Host(0).Egress.Qdisc().Kind())
+	}
+	if len(ctl.FallbackHosts()) != 0 {
+		t.Fatal("host stuck in fallback after outage cleared")
+	}
+}
+
+func TestRecoveryIsDeterministic(t *testing.T) {
+	run := func() (int, int, int, string) {
+		k, _, ctl := newHarness(2, Config{
+			Policy: PolicyRR, IntervalSec: 1,
+			RetryBackoffSec: 0.1, MaxExecRetries: 2, ReconcileIntervalSec: 0.7,
+		})
+		failing := false
+		failWindow(ctl, 0, &failing)
+		ctl.JobArrived(job(0, 0))
+		ctl.JobArrived(job(1, 0))
+		k.Schedule(0.5, func() { failing = true })
+		k.Schedule(2.0, func() { failing = false })
+		k.RunUntil(8)
+		st := ctl.Stats()
+		return st.Retries, st.Fallbacks, st.Repairs, ctl.tcc.Fingerprint(0)
+	}
+	r1, f1, p1, fp1 := run()
+	r2, f2, p2, fp2 := run()
+	if r1 != r2 || f1 != f2 || p1 != p2 || fp1 != fp2 {
+		t.Fatalf("same-seed recovery diverged: (%d,%d,%d,%q) vs (%d,%d,%d,%q)",
+			r1, f1, p1, fp1, r2, f2, p2, fp2)
+	}
+	if p1 == 0 {
+		t.Fatal("scenario produced no repairs")
+	}
+}

@@ -15,7 +15,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/sim"
 	"repro/internal/tc"
@@ -110,6 +112,17 @@ type Config struct {
 	// plain prio qdisc — an ablation showing the mechanism is qdisc-
 	// agnostic.
 	UsePrioQdisc bool
+	// MaxExecRetries bounds re-application attempts after a failed tc
+	// command before the host falls back to plain FIFO (default 4).
+	MaxExecRetries int
+	// RetryBackoffSec is the delay before the first re-application
+	// attempt; each further attempt doubles it (default 0.5 s).
+	RetryBackoffSec float64
+	// ReconcileIntervalSec is the period of the reconcile loop, which
+	// re-reads each managed host's installed qdisc state, repairs drift
+	// and retries hosts stuck in FIFO fallback (default 10 s; negative
+	// disables reconciliation).
+	ReconcileIntervalSec float64
 }
 
 func (c *Config) fillDefaults() {
@@ -122,6 +135,52 @@ func (c *Config) fillDefaults() {
 	if c.GuaranteeRateBps <= 0 {
 		c.GuaranteeRateBps = 1e6
 	}
+	if c.MaxExecRetries <= 0 {
+		c.MaxExecRetries = 4
+	}
+	if c.RetryBackoffSec <= 0 {
+		c.RetryBackoffSec = 0.5
+	}
+	if c.ReconcileIntervalSec == 0 {
+		c.ReconcileIntervalSec = 10
+	}
+}
+
+// RecoveryStats counts the controller's actuation-failure handling.
+type RecoveryStats struct {
+	// Retries is how many delayed re-application attempts were scheduled
+	// after a tc command failed.
+	Retries int
+	// Fallbacks is how many times a host was dropped to plain FIFO after
+	// exhausting its retry budget.
+	Fallbacks int
+	// Repairs is how many times the reconcile loop restored a host whose
+	// installed state had drifted from the desired state, or that had
+	// been in FIFO fallback.
+	Repairs int
+}
+
+// hostState is the controller's per-host desired/installed bookkeeping.
+type hostState struct {
+	// desired is the full tc command list realizing the host's target
+	// configuration; empty means the default FIFO.
+	desired []string
+	// firstFilter indexes the first filter command within desired, so
+	// rotations can rewrite the filter chain without a rebuild.
+	firstFilter int
+	// njobs is the contending-job count desired was built for.
+	njobs int
+	// installedFP is the tc fingerprint recorded after the last
+	// successful apply; "" when nothing is installed.
+	installedFP string
+	// attempts counts consecutive failed applies of the current desired
+	// state.
+	attempts int
+	// retryEv is the pending backoff retry, if any.
+	retryEv *sim.Event
+	// fallback marks a host degraded to FIFO after exhausting retries;
+	// the reconcile loop keeps trying to restore it.
+	fallback bool
 }
 
 // JobInfo is what TensorLights needs to know about a job — all of it
@@ -142,12 +201,14 @@ type Controller struct {
 	tcc *tc.Controller
 	rng *sim.RNG
 
-	jobs       map[int]*JobInfo
-	nextSeq    int
-	rotation   int
-	rotateEv   *sim.Event
-	configured map[int]bool // hosts currently carrying a TLs config
-	reconfigs  int
+	jobs        map[int]*JobInfo
+	nextSeq     int
+	rotation    int
+	rotateEv    *sim.Event
+	reconcileEv *sim.Event
+	hosts       map[int]*hostState // hosts with a managed (non-FIFO) desired state
+	reconfigs   int
+	stats       RecoveryStats
 
 	// Tracer, when non-nil, receives tc_config and priority_rotate
 	// events.
@@ -164,12 +225,12 @@ func (c *Controller) emit(ev trace.Event) {
 func New(k *sim.Kernel, tcc *tc.Controller, rng *sim.RNG, cfg Config) *Controller {
 	cfg.fillDefaults()
 	return &Controller{
-		cfg:        cfg,
-		k:          k,
-		tcc:        tcc,
-		rng:        rng.Stream("tensorlights"),
-		jobs:       make(map[int]*JobInfo),
-		configured: make(map[int]bool),
+		cfg:   cfg,
+		k:     k,
+		tcc:   tcc,
+		rng:   rng.Stream("tensorlights"),
+		jobs:  make(map[int]*JobInfo),
+		hosts: make(map[int]*hostState),
 	}
 }
 
@@ -179,6 +240,22 @@ func (c *Controller) Config() Config { return c.cfg }
 // Reconfigs returns how many host reconfigurations have been applied —
 // the paper's cost metric for tc churn.
 func (c *Controller) Reconfigs() int { return c.reconfigs }
+
+// Stats returns the actuation-failure recovery counters.
+func (c *Controller) Stats() RecoveryStats { return c.stats }
+
+// FallbackHosts lists hosts currently degraded to FIFO because tc
+// actuation kept failing, in ascending order.
+func (c *Controller) FallbackHosts() []int {
+	var out []int
+	for h, st := range c.hosts {
+		if st.fallback {
+			out = append(out, h)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
 
 // JobArrived registers a job and reconfigures its PS host if needed.
 func (c *Controller) JobArrived(info JobInfo) {
@@ -191,8 +268,9 @@ func (c *Controller) JobArrived(info JobInfo) {
 	info.arrivalSeq = c.nextSeq
 	c.nextSeq++
 	c.jobs[info.ID] = &info
-	c.reconfigureHost(info.PSHost)
+	c.setDesired(info.PSHost)
 	c.armRotation()
+	c.armReconcile()
 }
 
 // JobDeparted deregisters a job; its PS host is reconfigured (and the
@@ -206,10 +284,18 @@ func (c *Controller) JobDeparted(id int) {
 		return
 	}
 	delete(c.jobs, id)
-	c.reconfigureHost(info.PSHost)
-	if len(c.jobs) == 0 && c.rotateEv != nil {
-		c.k.Cancel(c.rotateEv)
-		c.rotateEv = nil
+	c.setDesired(info.PSHost)
+	if len(c.jobs) == 0 {
+		if c.rotateEv != nil {
+			c.k.Cancel(c.rotateEv)
+			c.rotateEv = nil
+		}
+		if c.reconcileEv != nil && len(c.hosts) == 0 {
+			// Keep reconciling while any host still carries (or failed
+			// to shed) managed state; stop once everything is clean.
+			c.k.Cancel(c.reconcileEv)
+			c.reconcileEv = nil
+		}
 	}
 }
 
@@ -248,15 +334,7 @@ func (c *Controller) rotate() {
 		Job: -1, Host: -1, Worker: -1, Value: float64(c.rotation),
 	})
 	for _, host := range c.contendedHosts() {
-		// A rotation only re-maps jobs to bands, so rewrite the filter
-		// chain in place rather than rebuilding the qdisc tree —
-		// queued traffic keeps flowing under the existing classes,
-		// and the tc churn per rotation stays minimal.
-		if c.configured[host] {
-			c.rewriteFilters(host)
-		} else {
-			c.reconfigureHost(host)
-		}
+		c.rotateHost(host)
 	}
 	c.rotateEv = c.k.ScheduleAfter(c.cfg.IntervalSec, c.rotate)
 }
@@ -324,76 +402,235 @@ func (c *Controller) bandOf(rank, njobs int) int {
 	return r * c.cfg.Bands / njobs
 }
 
-// reconfigureHost (re)installs the TensorLights qdisc tree on one host.
-// Hosts with fewer than two local PSes revert to the default FIFO — the
-// paper configures tc only where PSes contend.
-func (c *Controller) reconfigureHost(host int) {
+// stateOf returns (creating on demand) the host's bookkeeping record.
+func (c *Controller) stateOf(host int) *hostState {
+	st, ok := c.hosts[host]
+	if !ok {
+		st = &hostState{}
+		c.hosts[host] = st
+	}
+	return st
+}
+
+// setDesired recomputes a host's target configuration after a
+// membership change and starts applying it. Hosts with fewer than two
+// local PSes desire the default FIFO — the paper configures tc only
+// where PSes contend.
+func (c *Controller) setDesired(host int) {
+	cmds, firstFilter, njobs := c.desiredCommands(host)
+	if len(cmds) == 0 {
+		st, ok := c.hosts[host]
+		if !ok {
+			return // never managed: already FIFO
+		}
+		st.desired, st.firstFilter, st.njobs = nil, 0, 0
+		c.cancelRetry(st)
+		st.attempts = 0
+		c.tryApply(host)
+		return
+	}
+	st := c.stateOf(host)
+	st.desired, st.firstFilter, st.njobs = cmds, firstFilter, njobs
+	c.cancelRetry(st)
+	st.attempts = 0
+	c.tryApply(host)
+}
+
+// rotateHost re-applies a host's configuration for the new rotation.
+// On a healthy, installed host only the filter chain is rewritten — the
+// qdisc tree stays, so queued traffic keeps flowing in its classes and
+// tc churn per rotation stays minimal. Hosts mid-retry or in fallback
+// just get their desired state refreshed; the retry/reconcile paths
+// will install it.
+func (c *Controller) rotateHost(host int) {
+	cmds, firstFilter, njobs := c.desiredCommands(host)
+	if len(cmds) == 0 {
+		c.setDesired(host)
+		return
+	}
+	st := c.stateOf(host)
+	st.desired, st.firstFilter, st.njobs = cmds, firstFilter, njobs
+	if st.installedFP == "" || st.fallback || st.retryEv != nil {
+		return
+	}
+	rewrite := append([]string{"filter del dev eth0 all"}, cmds[firstFilter:]...)
+	for _, cmd := range rewrite {
+		if err := c.tcc.Exec(host, cmd); err != nil {
+			c.applyFailed(host, st, err)
+			return
+		}
+	}
+	st.installedFP = c.tcc.Fingerprint(host)
+	c.reconfigs++
+}
+
+// desiredCommands builds the tc command list realizing TensorLights'
+// target state for one host, plus the index of the first filter command
+// and the contending-job count. An empty list means default FIFO.
+func (c *Controller) desiredCommands(host int) (cmds []string, firstFilter, njobs int) {
 	jobs := c.jobsOnHost(host)
 	if len(jobs) < 2 {
-		if c.configured[host] {
-			c.tcc.MustExec(host, "qdisc del dev eth0 root")
-			delete(c.configured, host)
-			c.reconfigs++
-		}
-		return
+		return nil, 0, len(jobs)
 	}
 	switch {
 	case c.cfg.Policy == PolicyStaticRate:
-		c.configureStaticRate(host, jobs)
+		cmds = c.staticRateCommands(host, jobs)
 	case c.cfg.UsePrioQdisc:
-		c.configurePrio(host, jobs)
+		cmds = c.prioCommands(jobs)
 	default:
-		c.configureHTB(host, jobs)
+		cmds = c.htbCommands(host, jobs)
 	}
-	c.configured[host] = true
+	firstFilter = len(cmds)
+	for i, cmd := range cmds {
+		if strings.HasPrefix(cmd, "filter ") {
+			firstFilter = i
+			break
+		}
+	}
+	return cmds, firstFilter, len(jobs)
+}
+
+// tryApply executes the host's desired command list. Installing a root
+// qdisc atomically replaces the previous tree, so a full apply needs no
+// teardown; an empty desired state is realized by deleting the root.
+// Any command failure routes to the retry/backoff/fallback path.
+func (c *Controller) tryApply(host int) {
+	st := c.stateOf(host)
+	st.retryEv = nil
+	if len(st.desired) == 0 {
+		if st.installedFP != "" || st.fallback {
+			if err := c.tcc.Exec(host, "qdisc del dev eth0 root"); err != nil {
+				c.applyFailed(host, st, err)
+				return
+			}
+			c.reconfigs++
+		}
+		delete(c.hosts, host)
+		return
+	}
+	for _, cmd := range st.desired {
+		if err := c.tcc.Exec(host, cmd); err != nil {
+			c.applyFailed(host, st, err)
+			return
+		}
+	}
+	st.attempts = 0
+	st.fallback = false
+	st.installedFP = c.tcc.Fingerprint(host)
 	c.reconfigs++
 	c.emit(trace.Event{
 		At: c.k.Now(), Kind: trace.KindTcConfig,
-		Job: -1, Host: host, Worker: -1, Value: float64(len(jobs)),
-		Detail: fmt.Sprintf("policy=%s jobs=%d", c.cfg.Policy, len(jobs)),
+		Job: -1, Host: host, Worker: -1, Value: float64(st.njobs),
+		Detail: fmt.Sprintf("policy=%s jobs=%d", c.cfg.Policy, st.njobs),
 	})
 }
 
-// rewriteFilters re-maps each contending job's PS port to its rotated
-// band without touching the qdisc tree.
-func (c *Controller) rewriteFilters(host int) {
-	jobs := c.jobsOnHost(host)
-	if len(jobs) < 2 {
-		c.reconfigureHost(host)
+// applyFailed handles one failed tc command: schedule a backoff retry,
+// or fall back to FIFO once the budget is exhausted.
+func (c *Controller) applyFailed(host int, st *hostState, err error) {
+	st.attempts++
+	st.installedFP = "" // unknown, possibly partial state
+	c.emit(trace.Event{
+		At: c.k.Now(), Kind: trace.KindTcError,
+		Job: -1, Host: host, Worker: -1, Value: float64(st.attempts),
+		Detail: err.Error(),
+	})
+	if st.attempts > c.cfg.MaxExecRetries {
+		c.fallbackToFIFO(host, st)
 		return
 	}
-	bands := c.cfg.Bands
-	if len(jobs) < bands {
-		bands = len(jobs)
-	}
-	c.tcc.MustExec(host, "filter del dev eth0 all")
-	for rank, j := range jobs {
-		band := c.bandOf(rank, len(jobs))
-		if band >= bands {
-			band = bands - 1
-		}
-		c.tcc.MustExec(host, fmt.Sprintf(
-			"filter add dev eth0 pref %d match sport %d flowid %d",
-			rank, j.PSPort, band))
-	}
-	c.reconfigs++
+	c.stats.Retries++
+	backoff := c.cfg.RetryBackoffSec * math.Pow(2, float64(st.attempts-1))
+	st.retryEv = c.k.ScheduleAfter(backoff, func() { c.tryApply(host) })
 }
 
-// configureHTB builds the paper's implementation: htb root, one class
+// fallbackToFIFO degrades a host whose actuation keeps failing: clear
+// whatever half-installed tree remains (best effort) so traffic at
+// least flows FIFO instead of through a partial class structure. The
+// reconcile loop keeps retrying the desired state.
+func (c *Controller) fallbackToFIFO(host int, st *hostState) {
+	st.fallback = true
+	st.attempts = 0
+	st.installedFP = ""
+	c.stats.Fallbacks++
+	_ = c.tcc.Exec(host, "qdisc del dev eth0 root")
+	c.emit(trace.Event{
+		At: c.k.Now(), Kind: trace.KindTcFallback,
+		Job: -1, Host: host, Worker: -1,
+	})
+}
+
+// cancelRetry cancels a pending backoff retry, if any.
+func (c *Controller) cancelRetry(st *hostState) {
+	if st.retryEv != nil {
+		c.k.Cancel(st.retryEv)
+		st.retryEv = nil
+	}
+}
+
+// armReconcile starts the periodic reconcile loop on first demand.
+func (c *Controller) armReconcile() {
+	if c.cfg.ReconcileIntervalSec < 0 || c.reconcileEv != nil {
+		return
+	}
+	c.reconcileEv = c.k.ScheduleAfter(c.cfg.ReconcileIntervalSec, c.reconcile)
+}
+
+// reconcile is the drift-repair loop: for every managed host, compare
+// the installed qdisc state (read back via fingerprint) against what
+// the controller last applied, and re-apply on mismatch. Hosts in FIFO
+// fallback get a fresh attempt each period, so priority bands are
+// restored as soon as actuation heals. Hosts are visited in ascending
+// id order to keep runs deterministic.
+func (c *Controller) reconcile() {
+	c.reconcileEv = nil
+	ids := make([]int, 0, len(c.hosts))
+	for h := range c.hosts {
+		ids = append(ids, h)
+	}
+	sort.Ints(ids)
+	for _, host := range ids {
+		st := c.hosts[host]
+		if st.retryEv != nil {
+			continue // a backoff retry is already in flight
+		}
+		needsRepair := st.fallback
+		if !needsRepair && c.tcc.Fingerprint(host) != st.installedFP {
+			needsRepair = true // drift: installed state changed under us
+		}
+		if !needsRepair {
+			continue
+		}
+		st.attempts = 0
+		c.tryApply(host)
+		if st, ok := c.hosts[host]; !ok || (st.installedFP != "" && !st.fallback) {
+			c.stats.Repairs++
+			c.emit(trace.Event{
+				At: c.k.Now(), Kind: trace.KindTcRepair,
+				Job: -1, Host: host, Worker: -1,
+			})
+		}
+	}
+	if len(c.jobs) > 0 || len(c.hosts) > 0 {
+		c.reconcileEv = c.k.ScheduleAfter(c.cfg.ReconcileIntervalSec, c.reconcile)
+	}
+}
+
+// htbCommands builds the paper's implementation: htb root, one class
 // per band with a tiny guaranteed rate and full-link ceil, and one
 // filter per job mapping its PS source port to its band's class.
 // Unclassified traffic (gradient pushes from any colocated workers,
 // background flows) falls into the last class.
-func (c *Controller) configureHTB(host int, jobs []*JobInfo) {
+func (c *Controller) htbCommands(host int, jobs []*JobInfo) []string {
 	bands := c.cfg.Bands
 	if len(jobs) < bands {
 		bands = len(jobs)
 	}
 	def := bands - 1
 	ceil := c.tcc.LinkRateBps(host)
-	c.tcc.MustExec(host, fmt.Sprintf("qdisc add dev eth0 root htb default %d", def))
+	cmds := []string{fmt.Sprintf("qdisc add dev eth0 root htb default %d", def)}
 	for b := 0; b < bands; b++ {
-		c.tcc.MustExec(host, fmt.Sprintf(
+		cmds = append(cmds, fmt.Sprintf(
 			"class add dev eth0 classid %d rate %.0fbps ceil %.0fbit prio %d",
 			b, c.cfg.GuaranteeRateBps/8, ceil, b))
 	}
@@ -402,44 +639,49 @@ func (c *Controller) configureHTB(host int, jobs []*JobInfo) {
 		if band >= bands {
 			band = bands - 1
 		}
-		c.tcc.MustExec(host, fmt.Sprintf(
+		cmds = append(cmds, fmt.Sprintf(
 			"filter add dev eth0 pref %d match sport %d flowid %d",
 			rank, j.PSPort, band))
 	}
+	return cmds
 }
 
-// configureStaticRate pins each contending job to an equal static rate
+// staticRateCommands pins each contending job to an equal static rate
 // share: one htb class per job with rate = ceil = link/N and equal
 // priority. Without borrowing headroom the allocation is not
 // work-conserving; an idle job's share is simply lost.
-func (c *Controller) configureStaticRate(host int, jobs []*JobInfo) {
+func (c *Controller) staticRateCommands(host int, jobs []*JobInfo) []string {
 	link := c.tcc.LinkRateBps(host)
 	share := link / float64(len(jobs))
-	c.tcc.MustExec(host, fmt.Sprintf("qdisc add dev eth0 root htb default %d", len(jobs)-1))
-	for rank, j := range jobs {
-		c.tcc.MustExec(host, fmt.Sprintf(
+	cmds := []string{fmt.Sprintf("qdisc add dev eth0 root htb default %d", len(jobs)-1)}
+	for rank := range jobs {
+		cmds = append(cmds, fmt.Sprintf(
 			"class add dev eth0 classid %d rate %.0fbit ceil %.0fbit prio 0",
 			rank, share, share))
-		c.tcc.MustExec(host, fmt.Sprintf(
+	}
+	for rank, j := range jobs {
+		cmds = append(cmds, fmt.Sprintf(
 			"filter add dev eth0 pref %d match sport %d flowid %d",
 			rank, j.PSPort, rank))
 	}
+	return cmds
 }
 
-// configurePrio is the ablation variant using a plain prio qdisc.
-func (c *Controller) configurePrio(host int, jobs []*JobInfo) {
+// prioCommands is the ablation variant using a plain prio qdisc.
+func (c *Controller) prioCommands(jobs []*JobInfo) []string {
 	bands := c.cfg.Bands
 	if len(jobs) < bands {
 		bands = len(jobs)
 	}
-	c.tcc.MustExec(host, fmt.Sprintf("qdisc add dev eth0 root prio bands %d", bands))
+	cmds := []string{fmt.Sprintf("qdisc add dev eth0 root prio bands %d", bands)}
 	for rank, j := range jobs {
 		band := c.bandOf(rank, len(jobs))
 		if band >= bands {
 			band = bands - 1
 		}
-		c.tcc.MustExec(host, fmt.Sprintf(
+		cmds = append(cmds, fmt.Sprintf(
 			"filter add dev eth0 pref %d match sport %d flowid %d",
 			rank, j.PSPort, band))
 	}
+	return cmds
 }

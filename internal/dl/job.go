@@ -60,6 +60,43 @@ type JobSpec struct {
 	// paper's related work positions as complementary to TensorLights.
 	// 1 (or 0) means uncompressed; must be >= 1.
 	GradCompression float64
+	// Recovery configures crash detection and handling for worker
+	// tasks (see Job.CrashWorker). The zero value disables detection:
+	// a crashed worker's barrier peers block until the simulation's
+	// event queue drains.
+	Recovery RecoveryConfig
+}
+
+// RecoveryConfig tunes how a job reacts to a crashed worker task. The
+// PS runs a failure detector (in a real deployment: a heartbeat or
+// barrier watchdog); DetectTimeoutSec after a worker dies, the job
+// either restarts it or degrades to continuing without it.
+type RecoveryConfig struct {
+	// DetectTimeoutSec is how long a crashed worker goes unnoticed
+	// while its barrier peers block. 0 disables detection entirely.
+	DetectTimeoutSec float64
+	// RestartBackoffSec delays the restart after detection (task
+	// rescheduling + process start). Only meaningful with MaxRestarts
+	// greater than zero.
+	RestartBackoffSec float64
+	// MaxRestarts bounds restarts per worker. A worker that crashes
+	// more than MaxRestarts times is abandoned and the job degrades,
+	// continuing the barrier with the remaining workers.
+	MaxRestarts int
+}
+
+// Validate reports recovery configuration errors.
+func (r RecoveryConfig) Validate() error {
+	if r.DetectTimeoutSec < 0 {
+		return fmt.Errorf("dl: negative DetectTimeoutSec %g", r.DetectTimeoutSec)
+	}
+	if r.RestartBackoffSec < 0 {
+		return fmt.Errorf("dl: negative RestartBackoffSec %g", r.RestartBackoffSec)
+	}
+	if r.MaxRestarts < 0 {
+		return fmt.Errorf("dl: negative MaxRestarts %d", r.MaxRestarts)
+	}
+	return nil
 }
 
 // Validate reports spec errors.
@@ -87,6 +124,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.GradCompression != 0 && s.GradCompression < 1 {
 		return fmt.Errorf("dl: job %d gradient compression %.2f < 1", s.ID, s.GradCompression)
+	}
+	if err := s.Recovery.Validate(); err != nil {
+		return fmt.Errorf("dl: job %d: %w", s.ID, err)
 	}
 	return nil
 }
@@ -117,10 +157,17 @@ type Job struct {
 
 	StartedAt  float64
 	FinishedAt float64 // -1 while running
+	FailedAt   float64 // -1 unless every worker was lost
 
 	globalStep int
 	iteration  int // barrier index for the PS
 	applied    int // gradients applied in the current iteration
+	// barrierSize is how many workers the synchronous barrier waits
+	// for; it shrinks when a worker is permanently degraded away.
+	barrierSize int
+
+	restarts      int // total worker restarts performed
+	degradedCount int // workers permanently removed from the job
 
 	workers []*worker
 
@@ -131,6 +178,9 @@ type Job struct {
 
 	// OnFinish fires once when the job reaches its step target.
 	OnFinish func(*Job)
+	// OnFail fires once if the job loses every worker and stops short of
+	// its target.
+	OnFail func(*Job)
 	// OnBarrier fires at each synchronous barrier release with the
 	// just-completed iteration index; controllers use it to track job
 	// progress without touching application internals.
@@ -148,7 +198,20 @@ type worker struct {
 	enterAt   float64
 	enterIter int
 	compute   *cpusim.Task
+
+	// Failure state. A dead worker may come back via restart; a
+	// degraded worker is out of the job for good.
+	dead     bool
+	degraded bool
+	restarts int
+	// lastAppliedIter is the barrier iteration this worker's gradient
+	// was last applied in; -1 before the first. It tells recovery
+	// whether the worker already contributed to the open barrier.
+	lastAppliedIter int
 }
+
+// active reports whether the worker currently participates in the job.
+func (w *worker) active() bool { return !w.dead && !w.degraded }
 
 // NewJob builds a job in the environment. Call Start to launch it.
 func NewJob(env *Env, spec JobSpec) (*Job, error) {
@@ -159,28 +222,58 @@ func NewJob(env *Env, spec JobSpec) (*Job, error) {
 		spec.ComputeJitterSigma = 0.15
 	}
 	j := &Job{
-		Spec:       spec,
-		env:        env,
-		rng:        env.RNG.Stream(fmt.Sprintf("job-%d", spec.ID)),
-		StartedAt:  -1,
-		FinishedAt: -1,
+		Spec:        spec,
+		env:         env,
+		rng:         env.RNG.Stream(fmt.Sprintf("job-%d", spec.ID)),
+		StartedAt:   -1,
+		FinishedAt:  -1,
+		FailedAt:    -1,
+		barrierSize: spec.NumWorkers,
 	}
 	for i := 0; i < spec.NumWorkers; i++ {
 		j.workers = append(j.workers, &worker{
-			idx:     i,
-			host:    spec.WorkerHosts[i],
-			port:    30000 + spec.ID*100 + i,
-			enterAt: -1,
+			idx:             i,
+			host:            spec.WorkerHosts[i],
+			port:            30000 + spec.ID*100 + i,
+			enterAt:         -1,
+			lastAppliedIter: -1,
 		})
 	}
 	return j, nil
 }
 
-// Running reports whether the job has started and not finished.
-func (j *Job) Running() bool { return j.StartedAt >= 0 && j.FinishedAt < 0 }
+// Running reports whether the job has started and neither finished nor
+// failed.
+func (j *Job) Running() bool {
+	return j.StartedAt >= 0 && j.FinishedAt < 0 && j.FailedAt < 0
+}
 
 // Done reports whether the job reached its step target.
 func (j *Job) Done() bool { return j.FinishedAt >= 0 }
+
+// Failed reports whether the job lost every worker and stopped.
+func (j *Job) Failed() bool { return j.FailedAt >= 0 }
+
+// halted reports whether the job stopped for any reason; event callbacks
+// landing after this point are ignored.
+func (j *Job) halted() bool { return j.FinishedAt >= 0 || j.FailedAt >= 0 }
+
+// Restarts returns the total worker restarts performed so far.
+func (j *Job) Restarts() int { return j.restarts }
+
+// DegradedWorkers returns how many workers were permanently removed.
+func (j *Job) DegradedWorkers() int { return j.degradedCount }
+
+// AliveWorkers counts workers currently participating in the job.
+func (j *Job) AliveWorkers() int {
+	n := 0
+	for _, w := range j.workers {
+		if w.active() {
+			n++
+		}
+	}
+	return n
+}
 
 // GlobalStep returns the current global step.
 func (j *Job) GlobalStep() int { return j.globalStep }
@@ -215,9 +308,9 @@ func (j *Job) Start() {
 // scales with fan-out and colocation: on a host packed with parameter
 // servers it is a contended-CPU floor that no NIC scheduling removes.
 func (j *Job) serializeAndBroadcast() {
-	work := float64(j.Spec.NumWorkers) * j.Spec.Model.SerializeSec()
+	work := float64(j.AliveWorkers()) * j.Spec.Model.SerializeSec()
 	j.env.CPUs[j.Spec.PSHost].Submit(work, 1, func() {
-		if j.Done() {
+		if j.halted() {
 			return
 		}
 		j.broadcastModel()
@@ -227,10 +320,15 @@ func (j *Job) serializeAndBroadcast() {
 // broadcastModel sends the current model to every worker in one burst —
 // the bursty, high-fan-out traffic at the heart of the paper.
 func (j *Job) broadcastModel() {
-	specs := make([]simnet.FlowSpec, len(j.workers))
-	for i, w := range j.workers {
+	specs := make([]simnet.FlowSpec, 0, len(j.workers))
+	for _, w := range j.workers {
+		if !w.active() {
+			// A dead worker rejoins via restartWorker; a degraded one
+			// never does.
+			continue
+		}
 		w := w
-		specs[i] = simnet.FlowSpec{
+		specs = append(specs, simnet.FlowSpec{
 			Src:     j.Spec.PSHost,
 			Dst:     w.host,
 			SrcPort: j.Spec.PSPort,
@@ -240,7 +338,10 @@ func (j *Job) broadcastModel() {
 			OnComplete: func(*simnet.Flow) {
 				j.workerGotModel(w)
 			},
-		}
+		})
+	}
+	if len(specs) == 0 {
+		return
 	}
 	j.env.Fabric.SendBurst(j.Spec.PSHost, specs)
 }
@@ -269,7 +370,10 @@ func (j *Job) workerGotModel(w *worker) {
 		j.recordWait(w.enterIter, w.idx, now-w.enterAt)
 		w.enterAt = -1
 	}
-	if j.Done() {
+	if j.halted() || !w.active() || w.compute != nil {
+		// A model copy may land on a crashed worker (it was in flight
+		// at the crash) or race a restart's re-send; never double-start
+		// the local computation.
 		return
 	}
 	j.startCompute(w)
@@ -287,7 +391,7 @@ func (j *Job) startCompute(w *worker) {
 
 // computeDone pushes the worker's gradient update to the PS.
 func (j *Job) computeDone(w *worker) {
-	if j.Done() {
+	if j.halted() || !w.active() {
 		return
 	}
 	w.localStep++
@@ -309,7 +413,10 @@ func (j *Job) computeDone(w *worker) {
 // on its host CPU and, in synchronous mode, releases the barrier once
 // every worker's gradient has been applied.
 func (j *Job) psGotGradient(w *worker) {
-	if j.Done() {
+	if j.halted() || w.degraded {
+		// A degraded worker's in-flight gradient is discarded; one from
+		// a merely dead worker still applies — the bytes reached the PS
+		// before the crash took effect.
 		return
 	}
 	now := j.env.K.Now()
@@ -330,23 +437,35 @@ func (j *Job) psGotGradient(w *worker) {
 // gradientApplied advances the barrier (sync) or answers the worker
 // immediately (async).
 func (j *Job) gradientApplied(w *worker) {
-	if j.Done() {
+	if j.halted() || w.degraded {
 		return
 	}
 	if j.Spec.Async {
 		j.env.CPUs[j.Spec.PSHost].Submit(j.Spec.Model.SerializeSec(), 1, func() {
-			if j.Done() {
+			if j.halted() || !w.active() {
 				return
 			}
 			j.sendModelTo(w)
 		})
 		return
 	}
-	j.applied++
-	if j.applied < j.Spec.NumWorkers {
+	if w.lastAppliedIter == j.iteration {
+		// Duplicate contribution: a restarted worker raced its own
+		// in-flight gradient. The barrier counts each worker once.
 		return
 	}
-	// Barrier complete: one iteration ends for every worker.
+	w.lastAppliedIter = j.iteration
+	j.applied++
+	j.maybeReleaseBarrier()
+}
+
+// maybeReleaseBarrier ends the iteration once every participating
+// worker's gradient has been applied. The barrier size tracks live
+// membership: it shrinks when a worker is degraded away.
+func (j *Job) maybeReleaseBarrier() {
+	if j.applied < j.barrierSize {
+		return
+	}
 	j.applied = 0
 	j.iteration++
 	j.env.emit(trace.Event{
@@ -376,6 +495,130 @@ func (j *Job) finish(now float64) {
 	}
 	if j.OnFinish != nil {
 		j.OnFinish(j)
+	}
+}
+
+// CrashWorker kills worker idx now: its in-flight local computation is
+// lost and it stops participating until restarted. Bytes already handed
+// to the network still arrive (TCP delivers what reached the wire).
+// With Recovery.DetectTimeoutSec > 0 the PS's failure detector notices
+// the crash after that timeout and either restarts the worker (after
+// RestartBackoffSec) or, past MaxRestarts, degrades the job to continue
+// without it. With detection disabled, a synchronous job's surviving
+// workers block at the barrier indefinitely.
+func (j *Job) CrashWorker(idx int) {
+	if idx < 0 || idx >= len(j.workers) {
+		panic(fmt.Sprintf("dl: job %d has no worker %d", j.Spec.ID, idx))
+	}
+	w := j.workers[idx]
+	if j.halted() || !w.active() {
+		return
+	}
+	now := j.env.K.Now()
+	w.dead = true
+	if w.compute != nil {
+		j.env.CPUs[w.host].Cancel(w.compute)
+		w.compute = nil
+	}
+	j.env.emit(trace.Event{
+		At: now, Kind: trace.KindWorkerCrash,
+		Job: j.Spec.ID, Host: w.host, Worker: w.idx,
+	})
+	if d := j.Spec.Recovery.DetectTimeoutSec; d > 0 {
+		j.env.K.ScheduleAfter(d, func() { j.workerFailureDetected(w) })
+	}
+}
+
+// workerFailureDetected is the PS's failure detector firing: restart
+// the worker if it has restart budget left, otherwise abandon it.
+func (j *Job) workerFailureDetected(w *worker) {
+	if j.halted() || !w.dead || w.degraded {
+		return
+	}
+	if w.restarts >= j.Spec.Recovery.MaxRestarts {
+		j.degradeWorker(w)
+		return
+	}
+	j.env.K.ScheduleAfter(j.Spec.Recovery.RestartBackoffSec, func() {
+		j.restartWorker(w)
+	})
+}
+
+// restartWorker brings a crashed worker back. If its gradient already
+// counts toward the open barrier it simply rejoins and receives the
+// model at the next release like any waiting worker; otherwise the PS
+// re-serializes and resends the current model so it can resume.
+func (j *Job) restartWorker(w *worker) {
+	if j.halted() || !w.dead || w.degraded {
+		return
+	}
+	w.dead = false
+	w.restarts++
+	j.restarts++
+	j.env.emit(trace.Event{
+		At: j.env.K.Now(), Kind: trace.KindWorkerRestart,
+		Job: j.Spec.ID, Host: w.host, Worker: w.idx,
+		Value: float64(w.restarts),
+	})
+	if !j.Spec.Async && w.lastAppliedIter == j.iteration {
+		return
+	}
+	j.env.CPUs[j.Spec.PSHost].Submit(j.Spec.Model.SerializeSec(), 1, func() {
+		if j.halted() || !w.active() {
+			return
+		}
+		j.sendModelTo(w)
+	})
+}
+
+// degradeWorker permanently removes a worker that exhausted its restart
+// budget; the barrier shrinks to the survivors. A job whose last worker
+// is removed fails.
+func (j *Job) degradeWorker(w *worker) {
+	if j.halted() || w.degraded {
+		return
+	}
+	w.degraded = true
+	j.degradedCount++
+	j.barrierSize--
+	now := j.env.K.Now()
+	j.env.emit(trace.Event{
+		At: now, Kind: trace.KindWorkerDegrade,
+		Job: j.Spec.ID, Host: w.host, Worker: w.idx,
+		Value: float64(j.barrierSize),
+	})
+	if j.barrierSize <= 0 {
+		j.fail(now)
+		return
+	}
+	if !j.Spec.Async {
+		if w.lastAppliedIter == j.iteration && j.applied > 0 {
+			// Its gradient counted toward the open barrier; the count
+			// now tracks survivors only.
+			j.applied--
+		}
+		// The departed worker may have been the last one the barrier
+		// was waiting for.
+		j.maybeReleaseBarrier()
+	}
+}
+
+// fail marks the job permanently failed: every worker was lost.
+func (j *Job) fail(now float64) {
+	j.FailedAt = now
+	j.env.emit(trace.Event{
+		At: now, Kind: trace.KindJobFail,
+		Job: j.Spec.ID, Host: j.Spec.PSHost, Worker: -1,
+		Value: now - j.StartedAt,
+	})
+	for _, w := range j.workers {
+		if w.compute != nil {
+			j.env.CPUs[w.host].Cancel(w.compute)
+			w.compute = nil
+		}
+	}
+	if j.OnFail != nil {
+		j.OnFail(j)
 	}
 }
 

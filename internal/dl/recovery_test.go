@@ -1,0 +1,267 @@
+package dl
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// soloJCT runs the reference scenario untouched and returns its JCT, so
+// fault times below can be placed mid-run regardless of model timings.
+func soloJCT(t *testing.T, spec JobSpec) float64 {
+	t.Helper()
+	env := newEnv(99)
+	j, err := NewJob(env, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Start()
+	env.K.Run(nil)
+	if !j.Done() {
+		t.Fatal("reference job did not finish")
+	}
+	return j.JCT()
+}
+
+func recoverySpec(steps int) JobSpec {
+	s := smallSpec(0, steps)
+	s.Recovery = RecoveryConfig{
+		DetectTimeoutSec:  0.05,
+		RestartBackoffSec: 0.02,
+		MaxRestarts:       3,
+	}
+	return s
+}
+
+func TestRecoveryConfigValidate(t *testing.T) {
+	bad := []RecoveryConfig{
+		{DetectTimeoutSec: -1},
+		{RestartBackoffSec: -1},
+		{MaxRestarts: -1},
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Fatalf("case %d: invalid recovery config accepted", i)
+		}
+		s := smallSpec(0, 10)
+		s.Recovery = r
+		if s.Validate() == nil {
+			t.Fatalf("case %d: job spec did not surface recovery error", i)
+		}
+	}
+	if (RecoveryConfig{}).Validate() != nil {
+		t.Fatal("zero recovery config rejected")
+	}
+}
+
+func TestCrashWithoutDetectionBlocks(t *testing.T) {
+	spec := smallSpec(0, 60) // zero Recovery: no detection
+	ref := soloJCT(t, spec)
+	env := newEnv(99)
+	j, _ := NewJob(env, spec)
+	j.Start()
+	env.K.Schedule(ref/3, func() { j.CrashWorker(1) })
+	env.K.Run(nil)
+	if j.Done() || j.Failed() {
+		t.Fatalf("undetected crash should block the barrier forever: done=%v failed=%v",
+			j.Done(), j.Failed())
+	}
+	if j.AliveWorkers() != 2 {
+		t.Fatalf("alive workers %d, want 2", j.AliveWorkers())
+	}
+}
+
+func TestWorkerCrashRestartCompletes(t *testing.T) {
+	spec := recoverySpec(60)
+	ref := soloJCT(t, spec)
+	env := newEnv(99)
+	buf := &trace.Buffer{}
+	env.Tracer = buf
+	j, _ := NewJob(env, spec)
+	j.Start()
+	env.K.Schedule(ref/3, func() { j.CrashWorker(1) })
+	env.K.Run(nil)
+	if !j.Done() {
+		t.Fatal("job did not recover from a restartable crash")
+	}
+	if j.GlobalStep() != 60 {
+		t.Fatalf("global step %d, want 60", j.GlobalStep())
+	}
+	if j.Restarts() != 1 || j.DegradedWorkers() != 0 {
+		t.Fatalf("restarts %d degraded %d, want 1/0", j.Restarts(), j.DegradedWorkers())
+	}
+	if j.JCT() <= ref {
+		t.Fatalf("crashed run JCT %v not slower than healthy %v", j.JCT(), ref)
+	}
+	var crashes, restarts int
+	for _, e := range buf.Events() {
+		switch e.Kind {
+		case trace.KindWorkerCrash:
+			crashes++
+		case trace.KindWorkerRestart:
+			restarts++
+		}
+	}
+	if crashes != 1 || restarts != 1 {
+		t.Fatalf("trace crashes %d restarts %d", crashes, restarts)
+	}
+}
+
+func TestWorkerCrashDegradesToSurvivors(t *testing.T) {
+	spec := recoverySpec(60)
+	spec.Recovery.MaxRestarts = 0 // first detection abandons the worker
+	ref := soloJCT(t, spec)
+	env := newEnv(99)
+	buf := &trace.Buffer{}
+	env.Tracer = buf
+	j, _ := NewJob(env, spec)
+	j.Start()
+	env.K.Schedule(ref/3, func() { j.CrashWorker(2) })
+	env.K.Run(nil)
+	if !j.Done() {
+		t.Fatal("degraded job did not finish")
+	}
+	if j.DegradedWorkers() != 1 || j.AliveWorkers() != 2 {
+		t.Fatalf("degraded %d alive %d, want 1/2", j.DegradedWorkers(), j.AliveWorkers())
+	}
+	if j.Restarts() != 0 {
+		t.Fatalf("restarts %d, want 0", j.Restarts())
+	}
+	var degrades int
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindWorkerDegrade {
+			degrades++
+		}
+	}
+	if degrades != 1 {
+		t.Fatalf("degrade events %d", degrades)
+	}
+	// The abandoned worker performed no further local steps after the
+	// crash; survivors carried the job to the target.
+	dead := j.workers[2]
+	if !dead.degraded {
+		t.Fatal("worker 2 not marked degraded")
+	}
+	total := 0
+	for _, w := range j.workers {
+		total += w.localStep
+	}
+	if total < 60 {
+		t.Fatalf("local steps sum %d < target", total)
+	}
+}
+
+func TestRepeatedCrashesExhaustRestartBudget(t *testing.T) {
+	spec := recoverySpec(90)
+	spec.Recovery.MaxRestarts = 1
+	ref := soloJCT(t, spec)
+	env := newEnv(99)
+	j, _ := NewJob(env, spec)
+	j.Start()
+	// Crash the same worker twice: the first detection restarts it, the
+	// second abandons it.
+	env.K.Schedule(ref/4, func() { j.CrashWorker(0) })
+	env.K.Schedule(ref/2, func() { j.CrashWorker(0) })
+	env.K.Run(nil)
+	if !j.Done() {
+		t.Fatal("job did not finish")
+	}
+	if j.Restarts() != 1 || j.DegradedWorkers() != 1 {
+		t.Fatalf("restarts %d degraded %d, want 1/1", j.Restarts(), j.DegradedWorkers())
+	}
+}
+
+func TestAllWorkersLostFailsJob(t *testing.T) {
+	spec := recoverySpec(600)
+	spec.Recovery.MaxRestarts = 0
+	ref := soloJCT(t, recoverySpec(60)) // short reference for timing only
+	env := newEnv(99)
+	buf := &trace.Buffer{}
+	env.Tracer = buf
+	j, _ := NewJob(env, spec)
+	j.Start()
+	for i := 0; i < 3; i++ {
+		i := i
+		env.K.Schedule(ref/3+float64(i)*0.01, func() { j.CrashWorker(i) })
+	}
+	env.K.Run(nil)
+	if !j.Failed() || j.Done() || j.Running() {
+		t.Fatalf("job state after losing all workers: failed=%v done=%v running=%v",
+			j.Failed(), j.Done(), j.Running())
+	}
+	if j.JCT() != -1 {
+		t.Fatalf("failed job reported JCT %v", j.JCT())
+	}
+	var fails int
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindJobFail {
+			fails++
+		}
+	}
+	if fails != 1 {
+		t.Fatalf("job fail events %d", fails)
+	}
+}
+
+func TestAsyncCrashRestartCompletes(t *testing.T) {
+	spec := recoverySpec(90)
+	spec.Async = true
+	ref := soloJCT(t, spec)
+	env := newEnv(99)
+	j, _ := NewJob(env, spec)
+	j.Start()
+	env.K.Schedule(ref/3, func() { j.CrashWorker(1) })
+	env.K.Run(nil)
+	if !j.Done() {
+		t.Fatal("async job did not recover")
+	}
+	if j.Restarts() != 1 {
+		t.Fatalf("restarts %d, want 1", j.Restarts())
+	}
+}
+
+func TestCrashRecoveryDeterministic(t *testing.T) {
+	run := func() (float64, int) {
+		env := newEnv(123)
+		spec := recoverySpec(60)
+		j, _ := NewJob(env, spec)
+		j.Start()
+		env.K.Schedule(0.5, func() { j.CrashWorker(0) })
+		env.K.Schedule(1.0, func() { j.CrashWorker(2) })
+		env.K.Run(nil)
+		return j.FinishedAt, j.Restarts()
+	}
+	f1, r1 := run()
+	f2, r2 := run()
+	if f1 != f2 || r1 != r2 {
+		t.Fatalf("same seed diverged: (%v,%d) vs (%v,%d)", f1, r1, f2, r2)
+	}
+}
+
+func TestCrashOnDeadWorkerIsIdempotent(t *testing.T) {
+	spec := recoverySpec(60)
+	ref := soloJCT(t, spec)
+	env := newEnv(99)
+	j, _ := NewJob(env, spec)
+	j.Start()
+	at := ref / 3
+	env.K.Schedule(at, func() {
+		j.CrashWorker(1)
+		j.CrashWorker(1) // second crash of a dead worker: no-op
+	})
+	env.K.Run(nil)
+	if !j.Done() || j.Restarts() != 1 {
+		t.Fatalf("done=%v restarts=%d, want true/1", j.Done(), j.Restarts())
+	}
+}
+
+func TestCrashWorkerOutOfRangePanics(t *testing.T) {
+	env := newEnv(99)
+	j, _ := NewJob(env, recoverySpec(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range worker index accepted")
+		}
+	}()
+	j.CrashWorker(7)
+}

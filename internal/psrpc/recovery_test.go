@@ -1,0 +1,310 @@
+package psrpc
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base, failing the test if it does not settle.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+		runtime.NumGoroutine(), base, buf[:n])
+}
+
+func TestDialRetriesUntilServerUp(t *testing.T) {
+	// Reserve an address, free it, and bring the listener up only after
+	// the worker's first dial attempts have failed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	accepted := make(chan struct{})
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		defer ln2.Close()
+		conn, err := ln2.Accept()
+		if err == nil {
+			conn.Close()
+			close(accepted)
+		}
+	}()
+	conn, err := Dial(addr, DialConfig{Timeout: time.Second, Retries: 8, Backoff: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial did not survive a late-starting PS: %v", err)
+	}
+	conn.Close()
+	select {
+	case <-accepted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("listener never accepted")
+	}
+}
+
+func TestDialFailsAfterRetryBudget(t *testing.T) {
+	// Reserve-then-close: nothing listens here during the attempts.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	start := time.Now()
+	if _, err := Dial(addr, DialConfig{Timeout: 200 * time.Millisecond, Retries: 2, Backoff: 10 * time.Millisecond}); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	// 3 attempts with 10ms+20ms backoff: well under a second.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dial retry budget not honored: took %v", elapsed)
+	}
+}
+
+// serveWith runs a server plus custom worker goroutines and returns the
+// serve result.
+func serveWith(t *testing.T, cfg ServerConfig, workers []func(addr string)) (*ServerResult, error) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w(addr)
+		}()
+	}
+	res, serveErr := srv.Serve(ln)
+	wg.Wait()
+	return res, serveErr
+}
+
+func TestWorkerDeathDegradesBarrier(t *testing.T) {
+	const iters = 6
+	shard, _ := MakeLinRegData(3, 32, 4, 0.01)
+	normal := func(id int) func(string) {
+		return func(addr string) {
+			_, _ = RunWorker(addr, id, shard.Compute(8))
+		}
+	}
+	// Worker 2 participates for two iterations, then its process dies.
+	flaky := func(addr string) {
+		conn, err := Dial(addr, DialConfig{})
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = WriteMessage(conn, &Message{Type: MsgHello, Worker: 2})
+		compute := shard.Compute(8)
+		for i := 0; i < 2; i++ {
+			m, err := ReadMessage(conn)
+			if err != nil || m.Type != MsgModel {
+				return
+			}
+			grad, loss := compute(m.Vec, i)
+			_ = WriteMessage(conn, &Message{
+				Type: MsgGradient, Worker: 2, Step: m.Step, Aux: loss, Vec: grad,
+			})
+		}
+	}
+	res, err := serveWith(t, ServerConfig{
+		Workers: 3, InitialModel: make([]float32, 4), LearningRate: 0.05,
+		Iterations: iters, TolerateFailures: true,
+	}, []func(string){normal(0), normal(1), flaky})
+	if err != nil {
+		t.Fatalf("server did not tolerate the worker death: %v", err)
+	}
+	if len(res.Losses) != iters {
+		t.Fatalf("completed %d iterations, want %d", len(res.Losses), iters)
+	}
+	if len(res.LostWorkers) != 1 || res.LostWorkers[0] != 2 {
+		t.Fatalf("lost workers %v, want [2]", res.LostWorkers)
+	}
+	// Worker 2 contributed 2 gradients; the survivors all 6.
+	if res.GlobalStep >= 3*iters || res.GlobalStep < 2*iters {
+		t.Fatalf("global step %d outside degraded range [%d,%d)", res.GlobalStep, 2*iters, 3*iters)
+	}
+}
+
+func TestStalledWorkerHitsRPCDeadline(t *testing.T) {
+	const iters = 4
+	shard, _ := MakeLinRegData(4, 32, 4, 0.01)
+	normal := func(id int) func(string) {
+		return func(addr string) {
+			_, _ = RunWorker(addr, id, shard.Compute(8))
+		}
+	}
+	// Worker 2 registers, then never sends a single gradient. Without
+	// the per-RPC deadline the barrier would wedge forever. It unblocks
+	// only when the server gives up on it and closes the connection.
+	stalled := func(addr string) {
+		conn, err := Dial(addr, DialConfig{})
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = WriteMessage(conn, &Message{Type: MsgHello, Worker: 2})
+		buf := make([]byte, 256)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}
+	res, err := serveWith(t, ServerConfig{
+		Workers: 3, InitialModel: make([]float32, 4), LearningRate: 0.05,
+		Iterations: iters, TolerateFailures: true, RPCTimeout: 150 * time.Millisecond,
+	}, []func(string){normal(0), normal(1), stalled})
+	if err != nil {
+		t.Fatalf("server did not survive the stalled worker: %v", err)
+	}
+	if len(res.LostWorkers) != 1 || res.LostWorkers[0] != 2 {
+		t.Fatalf("lost workers %v, want [2]", res.LostWorkers)
+	}
+	if len(res.Losses) != iters {
+		t.Fatalf("completed %d iterations, want %d", len(res.Losses), iters)
+	}
+}
+
+func TestWorkerDeathWithoutToleranceAborts(t *testing.T) {
+	dieNow := func(addr string) {
+		conn, err := Dial(addr, DialConfig{})
+		if err != nil {
+			return
+		}
+		_ = WriteMessage(conn, &Message{Type: MsgHello, Worker: 0})
+		conn.Close()
+	}
+	_, err := serveWith(t, ServerConfig{
+		Workers: 1, InitialModel: make([]float32, 4), LearningRate: 0.05,
+		Iterations: 50,
+	}, []func(string){dieNow})
+	if err == nil {
+		t.Fatal("strict server accepted a dead worker")
+	}
+}
+
+func TestShutdownMidTrainingDrains(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const iters = 10_000 // far more than can run before shutdown
+	shard, _ := MakeLinRegData(5, 32, 4, 0.01)
+	inner := shard.Compute(8)
+	slow := func(model []float32, step int) ([]float32, float32) {
+		time.Sleep(time.Millisecond)
+		return inner(model, step)
+	}
+	srv, err := NewServer(ServerConfig{
+		Workers: 2, InitialModel: make([]float32, 4), LearningRate: 0.05,
+		Iterations: iters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, workerErrs[w] = RunWorker(addr, w, slow)
+		}()
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		srv.Shutdown()
+	}()
+	res, err := srv.Serve(ln)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("graceful shutdown surfaced an error: %v", err)
+	}
+	if res.GlobalStep == 0 {
+		t.Fatal("shutdown before any progress")
+	}
+	if res.GlobalStep >= 2*iters {
+		t.Fatal("shutdown did not stop training early")
+	}
+	for w, werr := range workerErrs {
+		if werr != nil {
+			t.Fatalf("worker %d did not exit cleanly: %v", w, werr)
+		}
+	}
+	srv.Shutdown() // idempotent
+	waitGoroutines(t, base)
+}
+
+func TestShutdownWhileAccepting(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, err := NewServer(ServerConfig{
+		Workers: 2, InitialModel: make([]float32, 4), LearningRate: 0.05,
+		Iterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ln)
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	srv.Shutdown()
+	select {
+	case err := <-errCh:
+		if err != ErrShutdown {
+			t.Fatalf("serve returned %v, want ErrShutdown", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve did not unblock on shutdown")
+	}
+	waitGoroutines(t, base)
+}
+
+func TestTrainLocalLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	shard, _ := MakeLinRegData(6, 32, 4, 0.01)
+	if _, err := TrainLocal(ServerConfig{
+		Workers: 3, InitialModel: make([]float32, 4), LearningRate: 0.05,
+		Iterations: 20,
+	}, []ComputeFunc{shard.Compute(8), shard.Compute(8), shard.Compute(8)}); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+}

@@ -1,12 +1,17 @@
 package psrpc
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
 )
+
+// ErrShutdown is returned by Serve when Shutdown is called before
+// training started (while still accepting workers).
+var ErrShutdown = errors.New("psrpc: server shut down")
 
 // ServerConfig configures a parameter server.
 type ServerConfig struct {
@@ -23,6 +28,17 @@ type ServerConfig struct {
 	// (e.g. through a SharedLink priority band); inbound reads always
 	// use the raw connection, mirroring tc's egress-only shaping.
 	WrapConn func(net.Conn) io.Writer
+	// RPCTimeout bounds each barrier's gradient collection: any worker
+	// whose gradient has not arrived this long after the model
+	// broadcast is treated as dead. Zero disables the deadline (a
+	// stalled worker blocks the barrier forever, matching plain
+	// synchronous training).
+	RPCTimeout time.Duration
+	// TolerateFailures keeps training going when a worker connection
+	// dies or times out mid-run: the barrier degrades to the surviving
+	// workers instead of aborting the job. The run still fails if every
+	// worker is lost.
+	TolerateFailures bool
 }
 
 // Validate reports configuration errors.
@@ -38,6 +54,9 @@ func (c ServerConfig) Validate() error {
 	}
 	if c.LearningRate <= 0 {
 		return fmt.Errorf("psrpc: learning rate must be positive")
+	}
+	if c.RPCTimeout < 0 {
+		return fmt.Errorf("psrpc: negative RPCTimeout")
 	}
 	return nil
 }
@@ -55,16 +74,24 @@ type BarrierRecord struct {
 type ServerResult struct {
 	FinalModel []float32
 	GlobalStep int
-	// Waits holds Workers*(Iterations) barrier records.
+	// Waits holds one barrier record per applied gradient.
 	Waits []BarrierRecord
 	// Losses[iteration] is the mean worker-reported loss.
 	Losses []float32
+	// LostWorkers lists worker ids whose connections died mid-run (only
+	// populated with TolerateFailures; otherwise a death aborts Serve).
+	LostWorkers []int
 }
 
 // Server is a synchronous parameter server.
 type Server struct {
 	cfg   ServerConfig
 	model []float32
+
+	mu      sync.Mutex
+	ln      net.Listener
+	stopped bool
+	stopCh  chan struct{}
 }
 
 // NewServer validates the config and builds a server.
@@ -72,34 +99,96 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, model: make([]float32, len(cfg.InitialModel))}
+	s := &Server{
+		cfg:    cfg,
+		model:  make([]float32, len(cfg.InitialModel)),
+		stopCh: make(chan struct{}),
+	}
 	copy(s.model, cfg.InitialModel)
 	return s, nil
 }
 
-// gradMsg pairs a decoded gradient with its arrival time.
+// Shutdown stops the server gracefully. If Serve is still accepting
+// workers it unblocks with ErrShutdown; if training is underway, the
+// in-flight barrier drains, workers get a Done message, reader
+// goroutines exit, and Serve returns the partial result. Safe to call
+// from any goroutine, and more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+}
+
+func (s *Server) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// wkr is the server's per-worker connection state.
+type wkr struct {
+	id    uint32
+	conn  net.Conn
+	out   io.Writer
+	alive bool
+}
+
+// gradMsg pairs a decoded gradient (or a terminal read error) with its
+// arrival time and originating worker slot.
 type gradMsg struct {
+	idx     int
 	msg     *Message
 	arrived time.Time
 	err     error
 }
 
+// failWorker marks a worker dead and closes its connection (unblocking
+// its reader). With TolerateFailures it records the loss and training
+// continues on the survivors; otherwise it returns the fatal error.
+func (s *Server) failWorker(res *ServerResult, w *wkr, err error) error {
+	w.alive = false
+	w.conn.Close()
+	if !s.cfg.TolerateFailures {
+		return fmt.Errorf("psrpc: worker %d: %w", w.id, err)
+	}
+	res.LostWorkers = append(res.LostWorkers, int(w.id))
+	return nil
+}
+
 // Serve accepts exactly cfg.Workers connections on ln and runs the
-// synchronous training loop to completion. It closes the listener when
-// done.
+// synchronous training loop to completion (or until Shutdown). It
+// closes the listener when done.
 func (s *Server) Serve(ln net.Listener) (*ServerResult, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrShutdown
+	}
+	s.ln = ln
+	s.mu.Unlock()
 	defer ln.Close()
-	conns := make([]net.Conn, 0, s.cfg.Workers)
-	outs := make([]io.Writer, 0, s.cfg.Workers)
+
+	workers := make([]*wkr, 0, s.cfg.Workers)
 	defer func() {
-		for _, c := range conns {
-			c.Close()
+		for _, w := range workers {
+			w.conn.Close()
 		}
 	}()
 	seen := make(map[uint32]bool)
-	for len(conns) < s.cfg.Workers {
+	for len(workers) < s.cfg.Workers {
 		conn, err := ln.Accept()
 		if err != nil {
+			if s.isStopped() {
+				return nil, ErrShutdown
+			}
 			return nil, fmt.Errorf("psrpc: accept: %w", err)
 		}
 		hello, err := ReadMessage(conn)
@@ -112,85 +201,167 @@ func (s *Server) Serve(ln net.Listener) (*ServerResult, error) {
 			return nil, fmt.Errorf("psrpc: duplicate worker %d", hello.Worker)
 		}
 		seen[hello.Worker] = true
-		conns = append(conns, conn)
 		var out io.Writer = conn
 		if s.cfg.WrapConn != nil {
 			out = s.cfg.WrapConn(conn)
 		}
-		outs = append(outs, out)
+		workers = append(workers, &wkr{id: hello.Worker, conn: conn, out: out, alive: true})
 	}
 
 	// One reader goroutine per worker feeds gradients into a channel;
-	// the barrier is the PS collecting one gradient per worker.
-	grads := make(chan gradMsg, s.cfg.Workers)
+	// the barrier is the PS collecting one gradient per live worker. The
+	// channel is buffered for the worst case (every reader delivering a
+	// final error on top of unconsumed gradients) so readers never block
+	// on exit and wg.Wait below cannot deadlock.
+	grads := make(chan gradMsg, 2*s.cfg.Workers+2)
 	var wg sync.WaitGroup
-	for _, conn := range conns {
-		conn := conn
+	for i, w := range workers {
+		i, conn := i, w.conn
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				m, err := ReadMessage(conn)
 				if err != nil {
-					grads <- gradMsg{err: err}
+					grads <- gradMsg{idx: i, err: err}
 					return
 				}
 				if m.Type == MsgDone {
 					return
 				}
-				grads <- gradMsg{msg: m, arrived: time.Now()}
+				grads <- gradMsg{idx: i, msg: m, arrived: time.Now()}
 			}
 		}()
 	}
 
-	res := &ServerResult{}
-	globalStep := 0
-	for iter := 0; iter < s.cfg.Iterations; iter++ {
-		// Model update: broadcast to every worker.
-		for _, out := range outs {
-			if err := WriteMessage(out, &Message{
-				Type: MsgModel, Step: uint32(iter), Vec: s.model,
-			}); err != nil {
-				return nil, fmt.Errorf("psrpc: broadcast: %w", err)
+	alive := func() int {
+		n := 0
+		for _, w := range workers {
+			if w.alive {
+				n++
 			}
 		}
-		// Barrier: collect one gradient per worker.
+		return n
+	}
+
+	res := &ServerResult{}
+	globalStep := 0
+	stopped := false
+	for iter := 0; iter < s.cfg.Iterations && !stopped; iter++ {
+		select {
+		case <-s.stopCh:
+			stopped = true
+			continue
+		default:
+		}
+		// Model update: broadcast to every live worker.
+		for _, w := range workers {
+			if !w.alive {
+				continue
+			}
+			if err := WriteMessage(w.out, &Message{
+				Type: MsgModel, Step: uint32(iter), Vec: s.model,
+			}); err != nil {
+				if ferr := s.failWorker(res, w, err); ferr != nil {
+					return nil, ferr
+				}
+			}
+		}
+		// Barrier: collect one gradient per live worker. A worker dying
+		// mid-barrier shrinks the barrier rather than wedging it.
+		need := alive()
+		if need == 0 {
+			return nil, fmt.Errorf("psrpc: all %d workers lost at iteration %d",
+				s.cfg.Workers, iter)
+		}
 		sum := make([]float64, len(s.model))
-		arrivals := make([]gradMsg, 0, s.cfg.Workers)
+		arrivals := make([]gradMsg, 0, need)
+		contributed := make([]bool, len(workers))
 		var lossSum float64
-		for n := 0; n < s.cfg.Workers; n++ {
-			g := <-grads
+		got := 0
+		handle := func(g gradMsg) error {
 			if g.err != nil {
-				return nil, fmt.Errorf("psrpc: worker read: %w", g.err)
+				w := workers[g.idx]
+				if !w.alive {
+					return nil // already handled (e.g. closed by failWorker)
+				}
+				if ferr := s.failWorker(res, w, g.err); ferr != nil {
+					return ferr
+				}
+				if !contributed[g.idx] {
+					need--
+				}
+				return nil
 			}
 			if len(g.msg.Vec) != len(s.model) {
-				return nil, fmt.Errorf("psrpc: gradient length %d != model %d",
+				return fmt.Errorf("psrpc: gradient length %d != model %d",
 					len(g.msg.Vec), len(s.model))
 			}
+			contributed[g.idx] = true
 			for i, v := range g.msg.Vec {
 				sum[i] += float64(v)
 			}
 			lossSum += float64(g.msg.Aux)
 			arrivals = append(arrivals, g)
+			got++
 			globalStep++
+			return nil
+		}
+		var deadline <-chan time.Time
+		var timer *time.Timer
+		if s.cfg.RPCTimeout > 0 {
+			timer = time.NewTimer(s.cfg.RPCTimeout)
+			deadline = timer.C
+		}
+		for got < need {
+			select {
+			case g := <-grads:
+				if err := handle(g); err != nil {
+					return nil, err
+				}
+			case <-deadline:
+				// Per-RPC deadline: every worker still owing a gradient
+				// for this barrier is declared dead. failWorker closes
+				// its connection, unblocking its reader.
+				for idx, w := range workers {
+					if !w.alive || contributed[idx] {
+						continue
+					}
+					err := fmt.Errorf("no gradient within %v at iteration %d",
+						s.cfg.RPCTimeout, iter)
+					if ferr := s.failWorker(res, w, err); ferr != nil {
+						return nil, ferr
+					}
+					need--
+				}
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		if got == 0 {
+			return nil, fmt.Errorf("psrpc: all %d workers lost at iteration %d",
+				s.cfg.Workers, iter)
 		}
 		release := time.Now()
 		for _, g := range arrivals {
 			res.Waits = append(res.Waits, BarrierRecord{
 				Iteration: iter,
-				Worker:    int(g.msg.Worker),
+				Worker:    int(workers[g.idx].id),
 				Wait:      release.Sub(g.arrived),
 			})
 		}
-		res.Losses = append(res.Losses, float32(lossSum/float64(s.cfg.Workers)))
-		// Apply the averaged gradient.
-		n := float32(s.cfg.Workers)
+		res.Losses = append(res.Losses, float32(lossSum/float64(got)))
+		// Apply the gradient averaged over actual contributors.
+		n := float32(got)
 		for i := range s.model {
 			s.model[i] -= s.cfg.LearningRate * float32(sum[i]) / n
 		}
 	}
-	for _, out := range outs {
-		_ = WriteMessage(out, &Message{Type: MsgDone})
+	for _, w := range workers {
+		if w.alive {
+			_ = WriteMessage(w.out, &Message{Type: MsgDone})
+		}
 	}
 	wg.Wait()
 	res.FinalModel = append([]float32(nil), s.model...)

@@ -5,19 +5,69 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"time"
 )
 
 // ComputeFunc produces a gradient (and reported loss) for the given
 // model at one local step — the worker's "process one local batch".
 type ComputeFunc func(model []float32, step int) (grad []float32, loss float32)
 
-// RunWorker connects to the PS at addr, registers as worker id, and
-// participates in synchronous training until the PS sends Done. It
-// returns the per-iteration losses this worker reported.
+// DialConfig tunes Dial's retry behavior. The zero value uses the
+// defaults noted per field.
+type DialConfig struct {
+	// Timeout bounds each connection attempt. Default 2s.
+	Timeout time.Duration
+	// Retries is how many times to retry after the first failed
+	// attempt. Default 4.
+	Retries int
+	// Backoff is the wait before the first retry; it doubles on each
+	// subsequent retry. Default 50ms.
+	Backoff time.Duration
+}
+
+func (c *DialConfig) fillDefaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 4
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+}
+
+// Dial connects to the PS with per-attempt timeouts and exponential
+// backoff between attempts. A worker task restarted by its job's
+// recovery path races the PS coming (back) up, so a refused connection
+// is usually transient.
+func Dial(addr string, cfg DialConfig) (net.Conn, error) {
+	cfg.fillDefaults()
+	backoff := cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("psrpc: dial %s: %d attempts failed: %w",
+		addr, cfg.Retries+1, lastErr)
+}
+
+// RunWorker connects to the PS at addr (retrying with backoff while the
+// PS comes up), registers as worker id, and participates in synchronous
+// training until the PS sends Done. It returns the per-iteration losses
+// this worker reported.
 func RunWorker(addr string, id int, compute ComputeFunc) ([]float32, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := Dial(addr, DialConfig{})
 	if err != nil {
-		return nil, fmt.Errorf("psrpc: dial %s: %w", addr, err)
+		return nil, err
 	}
 	defer conn.Close()
 	return RunWorkerConn(conn, id, compute)

@@ -23,6 +23,7 @@ type Chunk struct {
 	Bytes   int64  // payload size of this chunk
 	Seq     int    // index of this chunk within its flow
 	Last    bool   // true on the final chunk of the flow
+	Retrans bool   // true when re-injected after a wire loss
 
 	// Payload carries opaque fabric state (e.g. delivery target);
 	// qdiscs never inspect it.

@@ -1,0 +1,184 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" = valid
+	}{
+		{"zero value", Config{}, ""},
+		{"negative weight", Config{WindowWeights: []float64{0.5, -0.1}}, "WindowWeights[1]"},
+		{"zero sum", Config{WindowWeights: []float64{0, 0}}, "sum"},
+		{"zero entries ok", Config{WindowWeights: []float64{0, 1, 0, 1}}, ""},
+		{"min over max", Config{MinWindowChunks: 5, MaxWindowChunks: 2}, "MinWindowChunks 5 > MaxWindowChunks 2"},
+		{"min only ok", Config{MinWindowChunks: 8}, ""},
+		{"negative rto", Config{RetransmitTimeoutSec: -1}, "RetransmitTimeoutSec"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted MinWindowChunks > MaxWindowChunks")
+		}
+	}()
+	New(sim.NewKernel(), sim.NewRNG(1), Config{MinWindowChunks: 9, MaxWindowChunks: 1})
+}
+
+func TestNICDownDelaysButDeliversFlow(t *testing.T) {
+	cfg := Config{
+		LinkRateBps:     8e9,
+		PropDelaySec:    1e-3,
+		ChunkBytes:      1 << 20,
+		WireOverhead:    1.0,
+		MinWindowChunks: 4,
+		MaxWindowChunks: 4,
+	}
+	k, f := newFabric(t, cfg, 2)
+	var finished float64
+	f.Send(FlowSpec{Src: 0, Dst: 1, Bytes: 4 << 20, OnComplete: func(fl *Flow) {
+		finished = fl.Finished
+	}})
+	// Take host 0's NIC down from t=1ms to t=51ms: the flow (which
+	// would finish at ~6ms, see TestSingleFlowTiming) stalls and
+	// resumes, losing no data.
+	h := f.Host(0)
+	k.Schedule(1e-3, func() { h.SetNICDown(true) })
+	k.Schedule(51e-3, func() { h.SetNICDown(false) })
+	k.Run(nil)
+	if finished == 0 {
+		t.Fatal("flow never finished with a flapped NIC")
+	}
+	if finished < 51e-3 {
+		t.Fatalf("flow finished at %v, before the NIC came back up", finished)
+	}
+	if finished > 60e-3 {
+		t.Fatalf("flow finished at %v, long after recovery", finished)
+	}
+	if h.NICDown() {
+		t.Fatal("NIC still reported down")
+	}
+}
+
+func TestRateFactorSlowsService(t *testing.T) {
+	cfg := Config{
+		LinkRateBps:     8e9,
+		PropDelaySec:    1e-6,
+		ChunkBytes:      1 << 20,
+		WireOverhead:    1.0,
+		MinWindowChunks: 8,
+		MaxWindowChunks: 8,
+	}
+	k, f := newFabric(t, cfg, 2)
+	f.Host(0).Egress.SetRateFactor(0.1) // 10x slower egress
+	var finished float64
+	f.Send(FlowSpec{Src: 0, Dst: 1, Bytes: 4 << 20, OnComplete: func(fl *Flow) {
+		finished = fl.Finished
+	}})
+	k.Run(nil)
+	// Healthy egress drains 4MB in 4ms; at 0.1x it takes ~40ms.
+	if finished < 35e-3 {
+		t.Fatalf("flow finished at %v; degraded rate not applied", finished)
+	}
+	if f.Host(0).Egress.RateFactor() != 0.1 {
+		t.Fatal("rate factor not recorded")
+	}
+}
+
+func TestChunkDropRetransmitsAndDelivers(t *testing.T) {
+	cfg := Config{
+		LinkRateBps:          8e9,
+		ChunkBytes:           64 << 10,
+		WireOverhead:         1.0,
+		MinWindowChunks:      2,
+		MaxWindowChunks:      2,
+		RetransmitTimeoutSec: 1e-3,
+	}
+	k, f := newFabric(t, cfg, 2)
+	f.Host(0).SetChunkDropProb(0.3)
+	var done int
+	const bytes = 8 << 20
+	fl := f.Send(FlowSpec{Src: 0, Dst: 1, Bytes: bytes, OnComplete: func(*Flow) { done++ }})
+	k.Run(nil)
+	if done != 1 || !fl.Done() {
+		t.Fatal("lossy flow did not complete")
+	}
+	if fl.Delivered() != bytes {
+		t.Fatalf("delivered %d of %d bytes", fl.Delivered(), bytes)
+	}
+	if f.DroppedChunks() == 0 {
+		t.Fatal("no chunks dropped at p=0.3 over 128 chunks")
+	}
+}
+
+func TestChunkDropDeterministicAcrossRuns(t *testing.T) {
+	run := func() (float64, uint64) {
+		k := sim.NewKernel()
+		f := New(k, sim.NewRNG(42), Config{
+			ChunkBytes: 64 << 10, MinWindowChunks: 2, MaxWindowChunks: 2,
+		})
+		f.AddHost("a")
+		f.AddHost("b")
+		f.Host(0).SetChunkDropProb(0.25)
+		var finished float64
+		f.Send(FlowSpec{Src: 0, Dst: 1, Bytes: 4 << 20, OnComplete: func(fl *Flow) {
+			finished = fl.Finished
+		}})
+		k.Run(nil)
+		return finished, f.DroppedChunks()
+	}
+	t1, d1 := run()
+	t2, d2 := run()
+	if t1 != t2 || d1 != d2 {
+		t.Fatalf("same seed diverged: (%v,%d) vs (%v,%d)", t1, d1, t2, d2)
+	}
+	if d1 == 0 {
+		t.Fatal("expected drops at p=0.25")
+	}
+}
+
+func TestDropStreamDoesNotPerturbHealthyRuns(t *testing.T) {
+	// A run with drop probability 0 must be byte-identical to the
+	// pre-fault-injection behaviour: the drop RNG is a separate stream
+	// and is never consulted when no drop probability is set.
+	run := func(touchDropHost bool) float64 {
+		k := sim.NewKernel()
+		f := New(k, sim.NewRNG(7), Config{InjectJitter: 1})
+		f.AddHost("a")
+		f.AddHost("b")
+		f.AddHost("c")
+		if touchDropHost {
+			f.Host(2).SetChunkDropProb(0.5) // host 2 sends nothing
+		}
+		var last float64
+		specs := []FlowSpec{
+			{Src: 0, Dst: 1, Bytes: 3 << 20, OnComplete: func(fl *Flow) { last = fl.Finished }},
+			{Src: 0, Dst: 1, Bytes: 2 << 20},
+		}
+		f.SendBurst(0, specs)
+		k.Run(nil)
+		return last
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("idle drop config changed results: %v vs %v", a, b)
+	}
+}

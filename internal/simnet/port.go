@@ -19,6 +19,12 @@ type Port struct {
 	rateBytes float64 // bytes/sec service rate
 	q         qdisc.Qdisc
 
+	// Fault state: a down port holds its queue without serving; a
+	// degraded port serves at rateBytes*rateFactor. Both model NIC and
+	// link-level failures injected by internal/faults.
+	down       bool
+	rateFactor float64
+
 	busy bool
 	wake *sim.Event
 	// Accounting for utilization measurements.
@@ -28,7 +34,38 @@ type Port struct {
 }
 
 func newPort(f *Fabric, h *Host, dir string, rateBytes float64, q qdisc.Qdisc) *Port {
-	return &Port{fabric: f, host: h, dir: dir, rateBytes: rateBytes, q: q}
+	return &Port{fabric: f, host: h, dir: dir, rateBytes: rateBytes, rateFactor: 1, q: q}
+}
+
+// Down reports whether the port is administratively down.
+func (p *Port) Down() bool { return p.down }
+
+// SetDown raises or lowers the port. While down the port stops serving;
+// queued and newly arriving chunks are held (nothing is lost — the
+// switch buffers toward a down NIC) and service resumes on the next
+// kick after the port comes back up. A chunk already on the wire when
+// the port goes down completes its transmission.
+func (p *Port) SetDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	if !down {
+		p.kick()
+	}
+}
+
+// RateFactor returns the current service-rate multiplier (1 = healthy).
+func (p *Port) RateFactor() float64 { return p.rateFactor }
+
+// SetRateFactor degrades (or restores) the port's service rate: the
+// effective rate becomes rateBytes*f. Used by fault injection to model
+// a flapping or auto-negotiated-down NIC. f must be positive.
+func (p *Port) SetRateFactor(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("simnet: rate factor must be positive, got %g", f))
+	}
+	p.rateFactor = f
 }
 
 // Qdisc returns the port's queueing discipline.
@@ -103,9 +140,10 @@ func (p *Port) Inject(c *qdisc.Chunk) {
 	p.kick()
 }
 
-// kick starts service if the port is idle and the qdisc can transmit.
+// kick starts service if the port is up, idle and the qdisc can
+// transmit.
 func (p *Port) kick() {
-	if p.busy {
+	if p.busy || p.down {
 		return
 	}
 	now := p.fabric.k.Now()
@@ -142,7 +180,7 @@ func (p *Port) serveNext() {
 		// next chunk into the freed space.
 		p.fabric.chunkDequeued(p, c)
 	}
-	service := float64(c.Bytes) * p.fabric.cfg.WireOverhead / p.rateBytes
+	service := float64(c.Bytes) * p.fabric.cfg.WireOverhead / (p.rateBytes * p.rateFactor)
 	p.busyTime += service
 	p.txBytes += c.Bytes
 	p.txChunks++
@@ -155,9 +193,15 @@ func (p *Port) serveNext() {
 
 // finishChunk routes a served chunk onward: egress hands to the switch
 // (propagation delay then the destination ingress), ingress delivers to
-// the flow.
+// the flow. An egress chunk may be lost on the wire when fault
+// injection has set a drop probability on the host; the sender then
+// retransmits it after the retransmission timeout, as TCP would.
 func (p *Port) finishChunk(c *qdisc.Chunk) {
 	if p.dir == "egress" {
+		if pr := p.host.dropProb; pr > 0 && p.fabric.dropRNG.Float64() < pr {
+			p.fabric.chunkLost(p, c)
+			return
+		}
 		fl := c.Payload.(*Flow)
 		dst := p.fabric.Host(fl.Spec.Dst)
 		p.fabric.k.ScheduleAfter(p.fabric.cfg.PropDelaySec, func() {

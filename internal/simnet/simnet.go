@@ -55,6 +55,34 @@ type Config struct {
 	// Default {0.02, 0.33, 0.25, 0.20, 0.20} for windows 1..5,
 	// calibrated against the paper's Figure 2/3 contention ratios.
 	WindowWeights []float64
+	// RetransmitTimeoutSec is the sender's retransmission timeout for
+	// chunks lost to an injected per-chunk drop probability (see
+	// Host.SetChunkDropProb). Default 5 ms.
+	RetransmitTimeoutSec float64
+}
+
+// Validate reports configuration errors. New panics on an invalid
+// config; callers that construct configs from external input should
+// call Validate first and surface the error.
+func (c Config) Validate() error {
+	sum := 0.0
+	for i, w := range c.WindowWeights {
+		if w < 0 {
+			return fmt.Errorf("simnet: WindowWeights[%d] = %g is negative", i, w)
+		}
+		sum += w
+	}
+	if len(c.WindowWeights) > 0 && sum <= 0 {
+		return fmt.Errorf("simnet: WindowWeights sum to %g; need a positive total", sum)
+	}
+	if c.MinWindowChunks > 0 && c.MaxWindowChunks > 0 && c.MinWindowChunks > c.MaxWindowChunks {
+		return fmt.Errorf("simnet: MinWindowChunks %d > MaxWindowChunks %d",
+			c.MinWindowChunks, c.MaxWindowChunks)
+	}
+	if c.RetransmitTimeoutSec < 0 {
+		return fmt.Errorf("simnet: RetransmitTimeoutSec %g is negative", c.RetransmitTimeoutSec)
+	}
+	return nil
 }
 
 func (c *Config) fillDefaults() {
@@ -80,10 +108,15 @@ func (c *Config) fillDefaults() {
 		c.MinWindowChunks = 1
 	}
 	if c.MaxWindowChunks < c.MinWindowChunks {
+		// Validate rejects an explicit Min > Max; this only fills an
+		// unset MaxWindowChunks.
 		c.MaxWindowChunks = 4
 		if c.MaxWindowChunks < c.MinWindowChunks {
 			c.MaxWindowChunks = c.MinWindowChunks
 		}
+	}
+	if c.RetransmitTimeoutSec <= 0 {
+		c.RetransmitTimeoutSec = 5e-3
 	}
 }
 
@@ -96,6 +129,11 @@ type Fabric struct {
 	nextFlowID uint64
 	flows      map[uint64]*Flow
 	completed  uint64
+	// dropRNG is a dedicated stream for injected chunk loss so that
+	// enabling fault injection never perturbs the window/jitter draws
+	// of the main simnet stream.
+	dropRNG       *sim.RNG
+	droppedChunks uint64
 	// Tracer, when non-nil, receives a flow_done event per completed
 	// transfer (value = transfer seconds).
 	Tracer trace.Tracer
@@ -103,13 +141,18 @@ type Fabric struct {
 
 // New creates a fabric on the given kernel. rng seeds the injection
 // jitter stream; it must not be shared with other model components.
+// New panics on an invalid config; call cfg.Validate to check first.
 func New(k *sim.Kernel, rng *sim.RNG, cfg Config) *Fabric {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg.fillDefaults()
 	return &Fabric{
-		k:     k,
-		rng:   rng.Stream("simnet"),
-		cfg:   cfg,
-		flows: make(map[uint64]*Flow),
+		k:       k,
+		rng:     rng.Stream("simnet"),
+		dropRNG: rng.Stream("simnet-drop"),
+		cfg:     cfg,
+		flows:   make(map[uint64]*Flow),
 	}
 }
 
@@ -150,6 +193,31 @@ func (f *Fabric) Hosts() []*Host { return f.hosts }
 // ActiveFlows returns the number of in-flight flows.
 func (f *Fabric) ActiveFlows() int { return len(f.flows) }
 
+// DroppedChunks returns the number of chunks lost to injected drops
+// (each was subsequently retransmitted).
+func (f *Fabric) DroppedChunks() uint64 { return f.droppedChunks }
+
+// chunkLost handles an egress chunk lost on the wire: the sender
+// detects the loss after the retransmission timeout and re-injects the
+// chunk into its egress qdisc. Delivery accounting is untouched — the
+// destination never saw the bytes.
+func (f *Fabric) chunkLost(p *Port, ch *qdisc.Chunk) {
+	f.droppedChunks++
+	if f.Tracer != nil {
+		fl := ch.Payload.(*Flow)
+		f.Tracer.Emit(trace.Event{
+			At: f.k.Now(), Kind: trace.KindChunkDrop,
+			Job: fl.Spec.JobID, Host: fl.Spec.Src, Worker: -1,
+			Value:  float64(ch.Bytes),
+			Detail: fmt.Sprintf("flow=%d seq=%d", fl.ID, ch.Seq),
+		})
+	}
+	ch.Retrans = true
+	f.k.ScheduleAfter(f.cfg.RetransmitTimeoutSec, func() {
+		p.Inject(ch)
+	})
+}
+
 // CompletedFlows returns the number of flows fully delivered.
 func (f *Fabric) CompletedFlows() uint64 { return f.completed }
 
@@ -160,7 +228,36 @@ type Host struct {
 	fabric  *Fabric
 	Egress  *Port
 	Ingress *Port
+	// dropProb is the injected per-chunk loss probability on egress
+	// transmissions from this host (0 = healthy NIC).
+	dropProb float64
 }
+
+// SetNICDown takes the host's NIC down (both directions) or brings it
+// back up. While down, queued and arriving chunks are held; no data is
+// lost and all service resumes when the NIC comes back — the flap shows
+// up purely as delay, the way a link flap under TCP does.
+func (h *Host) SetNICDown(down bool) {
+	h.Egress.SetDown(down)
+	h.Ingress.SetDown(down)
+}
+
+// NICDown reports whether the host NIC is currently down.
+func (h *Host) NICDown() bool { return h.Egress.Down() }
+
+// SetChunkDropProb sets the injected per-chunk loss probability for
+// egress transmissions from this host. Lost chunks are retransmitted by
+// the sender after Config.RetransmitTimeoutSec, so flows still complete
+// — slower, as under a lossy link with TCP retransmission.
+func (h *Host) SetChunkDropProb(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("simnet: chunk drop probability %g outside [0,1)", p))
+	}
+	h.dropProb = p
+}
+
+// ChunkDropProb returns the injected per-chunk loss probability.
+func (h *Host) ChunkDropProb() float64 { return h.dropProb }
 
 // SetEgressQdisc replaces the egress queueing discipline. Any chunks in
 // the old qdisc are drained into the new one in dequeue order, so a tc
@@ -290,7 +387,13 @@ func (f *Fabric) sampleWindow() int {
 
 // chunkDequeued fires when an egress port transmits a chunk: the flow's
 // socket refills the freed qdisc space with its next pending chunk.
+// Retransmissions occupy no fresh window space, so they trigger no
+// refill.
 func (f *Fabric) chunkDequeued(p *Port, ch *qdisc.Chunk) {
+	if ch.Retrans {
+		ch.Retrans = false
+		return
+	}
 	fl := ch.Payload.(*Flow)
 	if len(fl.pending) == 0 {
 		return

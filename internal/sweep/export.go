@@ -103,6 +103,24 @@ func (r *Figure6Result) WriteCSV(w io.Writer) error {
 	return c.err
 }
 
+// WriteCSV exports the fault-recovery comparison rows.
+func (r *FaultRecoveryResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("policy", "clean_avg_jct_s", "faulted_avg_jct_s", "slowdown",
+		"clean_barrier_mean_s", "faulted_barrier_mean_s",
+		"restarts", "degraded_workers", "failed_jobs",
+		"link_flaps", "tc_outages", "crashes",
+		"tc_retries", "tc_fallbacks", "tc_repairs")
+	for _, row := range r.Rows {
+		c.row(row.Policy, row.CleanAvgJCT, row.FaultedAvgJCT, row.Slowdown,
+			row.CleanBarrierMean, row.FaultedBarrierMean,
+			row.Restarts, row.DegradedWorkers, row.FailedJobs,
+			row.Faults.LinkFlaps, row.Faults.TCOutages, row.Faults.Crashes,
+			row.Tc.Retries, row.Tc.Fallbacks, row.Tc.Repairs)
+	}
+	return c.err
+}
+
 // WriteCSV exports Table II's normalized utilization rows.
 func (r *TableIIResult) WriteCSV(w io.Writer) error {
 	c := &csvWriter{w: w}

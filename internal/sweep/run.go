@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dl"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -43,6 +44,12 @@ type RunConfig struct {
 	// Tracer, when non-nil, receives job, barrier, flow and tc events
 	// from all layers of the run.
 	Tracer trace.Tracer
+	// Faults, when Active, is expanded into scheduled fault injections
+	// before the run starts (PS-host flaps target this run's PS hosts).
+	Faults faults.Plan
+	// Recovery is copied onto every job spec; the zero value disables
+	// failure detection, so a crashed worker wedges its job's barrier.
+	Recovery dl.RecoveryConfig
 }
 
 func (rc *RunConfig) fillDefaults() {
@@ -88,6 +95,14 @@ type RunResult struct {
 
 	// PSHosts is the set of hosts running at least one PS.
 	PSHosts []int
+
+	// Fault-injection and recovery accounting (zero without Faults).
+	FaultCounts     faults.Counts
+	Restarts        int   // worker restarts summed over all jobs
+	DegradedWorkers int   // workers permanently abandoned, all jobs
+	FailedJobs      []int // jobs that lost every worker (no JCT recorded)
+	DroppedChunks   uint64
+	TcRecovery      core.RecoveryStats
 }
 
 // AvgJCT returns the mean job completion time.
@@ -108,6 +123,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 		specs[i].ProgressEvery = rc.ProgressEvery
 		specs[i].ComputeJitterSigma = rc.ComputeJitterSigma
 		specs[i].GradCompression = rc.GradCompression
+		specs[i].Recovery = rc.Recovery
 	}
 	ctl := core.New(tb.K, tb.TC, tb.RNG, rc.TLs)
 	if rc.Tracer != nil {
@@ -123,10 +139,35 @@ func Run(rc RunConfig) (*RunResult, error) {
 			UpdateBytes: j.Spec.Model.UpdateBytes(),
 		})
 		j.OnFinish = func(j *dl.Job) { ctl.JobDeparted(j.Spec.ID) }
+		j.OnFail = func(j *dl.Job) { ctl.JobDeparted(j.Spec.ID) }
 		j.OnBarrier = func(j *dl.Job, iter int) { ctl.JobProgress(j.Spec.ID, iter) }
 	})
 	if err != nil {
 		return nil, err
+	}
+	var inj *faults.Injector
+	if rc.Faults.Active() {
+		tcc := tb.TC
+		if !rc.Faults.TCOutage && len(rc.Faults.TCOutages) == 0 {
+			tcc = nil // don't install the exec hook unless tc faults are wanted
+		}
+		inj = faults.New(tb.K, tb.RNG, tb.Fabric, tcc)
+		inj.Tracer = rc.Tracer
+		var psHosts []int
+		seen := map[int]bool{}
+		for _, s := range specs {
+			if !seen[s.PSHost] {
+				seen[s.PSHost] = true
+				psHosts = append(psHosts, s.PSHost)
+			}
+		}
+		jobByID := make(map[int]*dl.Job, len(jobs))
+		for _, j := range jobs {
+			jobByID[j.Spec.ID] = j
+		}
+		if err := inj.Apply(rc.Faults, psHosts, jobByID); err != nil {
+			return nil, err
+		}
 	}
 	var sampler *metrics.UtilizationSampler
 	if rc.SampleUtilEvery > 0 {
@@ -148,11 +189,21 @@ func Run(rc RunConfig) (*RunResult, error) {
 	}
 	psSet := map[int]bool{}
 	for _, j := range jobs {
+		if j.Failed() {
+			// Under fault injection a job may legitimately lose every
+			// worker; record it instead of failing the whole run.
+			res.FailedJobs = append(res.FailedJobs, j.Spec.ID)
+			res.Restarts += j.Restarts()
+			res.DegradedWorkers += j.DegradedWorkers()
+			continue
+		}
 		if !j.Done() {
 			return nil, fmt.Errorf("sweep: job %d did not finish (step %d/%d)",
 				j.Spec.ID, j.GlobalStep(), j.Spec.TargetGlobalSteps)
 		}
 		res.JCTs = append(res.JCTs, j.JCT())
+		res.Restarts += j.Restarts()
+		res.DegradedWorkers += j.DegradedWorkers()
 		for _, bs := range j.BarrierStats() {
 			res.BarrierMeans = append(res.BarrierMeans, bs.Mean)
 			res.BarrierVars = append(res.BarrierVars, bs.Variance)
@@ -162,12 +213,17 @@ func Run(rc RunConfig) (*RunResult, error) {
 		}
 		psSet[j.Spec.PSHost] = true
 	}
+	if inj != nil {
+		res.FaultCounts = inj.Counts()
+	}
+	res.DroppedChunks = tb.Fabric.DroppedChunks()
+	res.TcRecovery = ctl.Stats()
 	for h := 0; h < tb.Fabric.NumHosts(); h++ {
 		if psSet[h] {
 			res.PSHosts = append(res.PSHosts, h)
 		}
 	}
-	if sampler != nil {
+	if sampler != nil && len(res.JCTs) > 0 {
 		// Active window: the paper uses [100 s, 1250 s] after launch,
 		// a period when all jobs are running. Scale it to the actual
 		// run length so short (test-sized) runs still measure steady

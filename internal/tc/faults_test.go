@@ -1,0 +1,146 @@
+package tc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestExecErrorMessagesNameOffendingToken drives every hardened parse
+// path and asserts the error text pinpoints what was wrong — a
+// controller retrying failed actuation needs errors it can log usefully.
+func TestExecErrorMessagesNameOffendingToken(t *testing.T) {
+	_, ctl := newTestFabric(t)
+	// An htb root with one class, so class/filter commands have a target.
+	ctl.MustExec(0, "qdisc add dev eth0 root htb default 5")
+	ctl.MustExec(0, "class add dev eth0 classid 5 rate 1mbit ceil 10gbit")
+
+	cases := []struct {
+		name string
+		cmd  string
+		want string // substring the error must contain
+	}{
+		{"empty", "", `short command ""`},
+		{"lone word", "qdisc", `short command "qdisc"`},
+		{"unknown object", "frob add dev eth0", `unknown object "frob"`},
+		{"missing dev", "qdisc add", "missing 'dev'"},
+		{"wrong dev keyword", "qdisc add veth eth0 root pfifo", `expected 'dev', got "veth"`},
+		{"unknown device", "qdisc add dev wlan0 root pfifo", `unknown device "wlan0"`},
+		{"not root", "qdisc add dev eth0 parent pfifo", "only root qdiscs"},
+		{"unknown qdisc verb", "qdisc tweak dev eth0 root", `unknown qdisc verb "tweak"`},
+		{"unknown qdisc kind", "qdisc add dev eth0 root codel", `unknown qdisc kind "codel"`},
+		{"pfifo bad option", "qdisc add dev eth0 root pfifo depth 9", `pfifo: unknown option "depth"`},
+		{"pfifo bad limit", "qdisc add dev eth0 root pfifo limit many", `bad limit "many"`},
+		{"pfifo negative limit", "qdisc add dev eth0 root pfifo limit -1", "negative limit -1"},
+		{"prio bands range", "qdisc add dev eth0 root prio bands 99", "bands 99 out of range"},
+		{"sfq zero buckets", "qdisc add dev eth0 root sfq buckets 0", "buckets 0 must be positive"},
+		{"tbf missing rate", "qdisc add dev eth0 root tbf burst 32kb", "tbf requires a rate"},
+		{"tbf bad rate", "qdisc add dev eth0 root tbf rate warp9", `bad rate "warp9"`},
+		{"htb bad default", "qdisc add dev eth0 root htb default x", `bad default class "x"`},
+		{"class missing classid", "class add dev eth0 rate 1mbit", `expected 'classid', got "rate"`},
+		{"class bad classid", "class add dev eth0 classid five", `bad classid "five"`},
+		{"class negative classid", "class add dev eth0 classid -3", "negative classid -3"},
+		{"class bad option", "class add dev eth0 classid 7 weight 2", `class: unknown option "weight"`},
+		{"class unknown verb", "class tweak dev eth0 classid 5", `unknown class verb "tweak"`},
+		{"filter negative pref", "filter add dev eth0 pref -2 flowid 5", "negative pref -2"},
+		{"filter bad sport", "filter add dev eth0 match sport http flowid 5", `bad sport "http"`},
+		{"filter negative flowid", "filter add dev eth0 flowid -5", "negative flowid -5"},
+		{"filter missing flowid", "filter add dev eth0 pref 1 match sport 80", "needs flowid"},
+		{"filter missing class", "filter add dev eth0 flowid 9", "flowid 9: no such htb class"},
+		{"filter bad option", "filter add dev eth0 flowid 5 police", `filter: unknown option "police"`},
+		{"filter del no pref", "filter del dev eth0", "needs pref or 'all'"},
+		{"filter del missing pref", "filter del dev eth0 pref 42", "no filter with pref 42"},
+	}
+	for _, tc := range cases {
+		err := ctl.Exec(0, tc.cmd)
+		if err == nil {
+			t.Errorf("%s: %q accepted", tc.name, tc.cmd)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the problem (want substring %q)",
+				tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFilterFlowidMustExist(t *testing.T) {
+	_, ctl := newTestFabric(t)
+	ctl.MustExec(1, "qdisc add dev eth0 root prio bands 4")
+	if err := ctl.Exec(1, "filter add dev eth0 match sport 80 flowid 4"); err == nil ||
+		!strings.Contains(err.Error(), "out of prio band range") {
+		t.Fatalf("prio filter past last band accepted: %v", err)
+	}
+	if err := ctl.Exec(1, "filter add dev eth0 match sport 80 flowid 3"); err != nil {
+		t.Fatalf("in-range prio filter rejected: %v", err)
+	}
+}
+
+func TestExecHookInterceptsAndCounts(t *testing.T) {
+	_, ctl := newTestFabric(t)
+	boom := errors.New("tc: injected: binary wedged")
+	failing := true
+	var seen []string
+	ctl.SetExecHook(func(hostID int, cmd string) error {
+		seen = append(seen, fmt.Sprintf("%d:%s", hostID, cmd))
+		if failing {
+			return boom
+		}
+		return nil
+	})
+	cmd := "qdisc add dev eth0 root htb default 5"
+	if err := ctl.Exec(0, cmd); !errors.Is(err, boom) {
+		t.Fatalf("hook error not surfaced: %v", err)
+	}
+	if ctl.ExecCount() != 0 || ctl.ExecErrors() != 1 {
+		t.Fatalf("counters after failed exec: count=%d errors=%d", ctl.ExecCount(), ctl.ExecErrors())
+	}
+	if ctl.Fingerprint(0) != "pfifo" {
+		t.Fatalf("failed command mutated state: %s", ctl.Fingerprint(0))
+	}
+	failing = false
+	if err := ctl.Exec(0, cmd); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.ExecCount() != 1 {
+		t.Fatalf("exec count %d", ctl.ExecCount())
+	}
+	if len(seen) != 2 || seen[0] != "0:"+cmd {
+		t.Fatalf("hook observations: %v", seen)
+	}
+	ctl.SetExecHook(nil)
+	if err := ctl.Exec(0, "qdisc del dev eth0 root"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintReflectsState(t *testing.T) {
+	_, ctl := newTestFabric(t)
+	if fp := ctl.Fingerprint(0); fp != "pfifo" {
+		t.Fatalf("default fingerprint %q", fp)
+	}
+	ctl.MustExec(0, "qdisc add dev eth0 root htb default 5")
+	ctl.MustExec(0, "class add dev eth0 classid 5 rate 1mbit ceil 10gbit prio 5")
+	ctl.MustExec(0, "class add dev eth0 classid 1 rate 1mbit ceil 10gbit prio 1")
+	ctl.MustExec(0, "filter add dev eth0 pref 10 match sport 5001 flowid 1")
+	fp := ctl.Fingerprint(0)
+	for _, want := range []string{"htb", "default:5", "class:5", "class:1", "prio:1", "filter:10", "->1"} {
+		if !strings.Contains(fp, want) {
+			t.Fatalf("fingerprint %q missing %q", fp, want)
+		}
+	}
+	// Identical configuration on another host yields the same fingerprint.
+	ctl.MustExec(1, "qdisc add dev eth0 root htb default 5")
+	ctl.MustExec(1, "class add dev eth0 classid 5 rate 1mbit ceil 10gbit prio 5")
+	ctl.MustExec(1, "class add dev eth0 classid 1 rate 1mbit ceil 10gbit prio 1")
+	ctl.MustExec(1, "filter add dev eth0 pref 10 match sport 5001 flowid 1")
+	if fp2 := ctl.Fingerprint(1); fp2 != fp {
+		t.Fatalf("equal configs, unequal fingerprints:\n%s\n%s", fp, fp2)
+	}
+	// Drift (a deleted class) changes the fingerprint.
+	ctl.MustExec(1, "class del dev eth0 classid 1")
+	if ctl.Fingerprint(1) == fp {
+		t.Fatal("fingerprint blind to a deleted class")
+	}
+}

@@ -21,6 +21,14 @@ type Controller struct {
 	// execCount tracks configuration commands applied, a proxy for the
 	// "amount of tc reconfigurations" the paper tries to limit.
 	execCount int
+	// execErrors counts commands that failed (parse errors, semantic
+	// errors, and injected actuation faults alike).
+	execErrors int
+	// execHook, when set, intercepts every command before it is applied.
+	// A non-nil return aborts the command with that error — this is how
+	// internal/faults models a wedged tc binary or an unreachable host
+	// agent.
+	execHook func(hostID int, cmd string) error
 }
 
 // NewController creates a controller over the fabric.
@@ -30,6 +38,15 @@ func NewController(f *simnet.Fabric) *Controller {
 
 // ExecCount returns how many state-changing commands have been applied.
 func (c *Controller) ExecCount() int { return c.execCount }
+
+// ExecErrors returns how many commands failed.
+func (c *Controller) ExecErrors() int { return c.execErrors }
+
+// SetExecHook installs (or, with nil, removes) a pre-execution hook.
+// See Controller.execHook.
+func (c *Controller) SetExecHook(hook func(hostID int, cmd string) error) {
+	c.execHook = hook
+}
 
 // LinkRateBps returns the host NIC's line rate in bits/sec, which
 // callers use to set work-conserving ceils.
@@ -51,11 +68,18 @@ func (c *Controller) LinkRateBps(hostID int) float64 {
 //
 // The leading "tc" word is optional. Only dev eth0 exists per host.
 func (c *Controller) Exec(hostID int, cmd string) error {
+	if c.execHook != nil {
+		if err := c.execHook(hostID, cmd); err != nil {
+			c.execErrors++
+			return err
+		}
+	}
 	toks := strings.Fields(cmd)
 	if len(toks) > 0 && toks[0] == "tc" {
 		toks = toks[1:]
 	}
 	if len(toks) < 2 {
+		c.execErrors++
 		return fmt.Errorf("tc: short command %q", cmd)
 	}
 	host := c.fabric.Host(hostID)
@@ -72,6 +96,8 @@ func (c *Controller) Exec(hostID int, cmd string) error {
 	}
 	if err == nil {
 		c.execCount++
+	} else {
+		c.execErrors++
 	}
 	return err
 }
@@ -121,7 +147,10 @@ func (a *args) expectInt(what string) (int, error) {
 // consumeDev checks the "dev eth0" pair.
 func (a *args) consumeDev() error {
 	t, ok := a.next()
-	if !ok || t != "dev" {
+	if !ok {
+		return fmt.Errorf("tc: missing 'dev'")
+	}
+	if t != "dev" {
 		return fmt.Errorf("tc: expected 'dev', got %q", t)
 	}
 	name, ok := a.next()
@@ -227,6 +256,9 @@ func (c *Controller) execQdisc(host *simnet.Host, toks []string) error {
 				if limit, err = a.expectInt("limit"); err != nil {
 					return err
 				}
+				if limit < 0 {
+					return fmt.Errorf("tc: pfifo: negative limit %d", limit)
+				}
 			} else {
 				return fmt.Errorf("tc: pfifo: unknown option %q", t)
 			}
@@ -263,6 +295,9 @@ func (c *Controller) execQdisc(host *simnet.Host, toks []string) error {
 			if t == "buckets" || t == "divisor" {
 				if buckets, err = a.expectInt("buckets"); err != nil {
 					return err
+				}
+				if buckets < 1 {
+					return fmt.Errorf("tc: sfq: buckets %d must be positive", buckets)
 				}
 			} else {
 				return fmt.Errorf("tc: sfq: unknown option %q", t)
@@ -343,12 +378,17 @@ func (c *Controller) execClass(host *simnet.Host, toks []string) error {
 		return fmt.Errorf("tc: class commands require an htb root (have %s)",
 			host.Egress.Qdisc().Kind())
 	}
-	if t, e := a.expect("classid keyword"); e != nil || t != "classid" {
-		return fmt.Errorf("tc: expected 'classid'")
+	if t, e := a.expect("classid keyword"); e != nil {
+		return e
+	} else if t != "classid" {
+		return fmt.Errorf("tc: expected 'classid', got %q", t)
 	}
 	id, err := a.expectInt("classid")
 	if err != nil {
 		return err
+	}
+	if id < 0 {
+		return fmt.Errorf("tc: negative classid %d", id)
 	}
 	if verb == "del" {
 		return htb.DeleteClass(qdisc.ClassID(id))
@@ -463,6 +503,9 @@ func (c *Controller) execFilter(host *simnet.Host, toks []string) error {
 			if pref, err = a.expectInt("pref"); err != nil {
 				return err
 			}
+			if pref < 0 {
+				return fmt.Errorf("tc: filter: negative pref %d", pref)
+			}
 			hasPref = true
 		case "match":
 			// Consume key/value pairs until a non-match keyword.
@@ -499,6 +542,9 @@ func (c *Controller) execFilter(host *simnet.Host, toks []string) error {
 			if e != nil {
 				return e
 			}
+			if id < 0 {
+				return fmt.Errorf("tc: filter: negative flowid %d", id)
+			}
 			target = qdisc.ClassID(id)
 			hasTarget = true
 		case "all":
@@ -511,6 +557,19 @@ func (c *Controller) execFilter(host *simnet.Host, toks []string) error {
 	case "add":
 		if !hasTarget {
 			return fmt.Errorf("tc: filter add needs flowid")
+		}
+		// The flowid must name an existing destination, as real tc
+		// enforces: an htb class already added, or a prio band in range.
+		switch q := host.Egress.Qdisc().(type) {
+		case *qdisc.HTB:
+			if q.Class(target) == nil {
+				return fmt.Errorf("tc: filter flowid %d: no such htb class", target)
+			}
+		case *qdisc.Prio:
+			if int(target) >= q.Bands() {
+				return fmt.Errorf("tc: filter flowid %d out of prio band range [0,%d)",
+					target, q.Bands())
+			}
 		}
 		cl.Add(qdisc.Filter{Pref: pref, Match: match, Target: target})
 		return nil
@@ -563,6 +622,37 @@ func (c *Controller) Show(hostID int) string {
 	if cl, err := classifierOf(host); err == nil {
 		for _, f := range cl.Filters() {
 			fmt.Fprintf(&b, "filter pref %d %s flowid %d\n", f.Pref, f.Match, f.Target)
+		}
+	}
+	return b.String()
+}
+
+// Fingerprint returns a canonical one-line summary of a host's egress
+// traffic-control state: root qdisc kind plus, where classful, its
+// classes/bands and filter chain. Two hosts with equal fingerprints are
+// configured identically (modulo traffic counters). internal/core's
+// reconcile loop compares the fingerprint it last installed against the
+// one read back here to detect drift after actuation failures and
+// repair it.
+func (c *Controller) Fingerprint(hostID int) string {
+	host := c.fabric.Host(hostID)
+	q := host.Egress.Qdisc()
+	var b strings.Builder
+	b.WriteString(q.Kind())
+	switch q := q.(type) {
+	case *qdisc.HTB:
+		fmt.Fprintf(&b, " default:%d", q.DefaultClass())
+		for _, id := range q.Classes() {
+			cfg := q.Class(id).Config()
+			fmt.Fprintf(&b, " class:%d(rate:%.0f,ceil:%.0f,prio:%d)",
+				id, cfg.Rate, cfg.Ceil, cfg.Prio)
+		}
+	case *qdisc.Prio:
+		fmt.Fprintf(&b, " bands:%d", q.Bands())
+	}
+	if cl, err := classifierOf(host); err == nil {
+		for _, f := range cl.Filters() {
+			fmt.Fprintf(&b, " filter:%d(%s->%d)", f.Pref, f.Match, f.Target)
 		}
 	}
 	return b.String()

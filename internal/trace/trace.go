@@ -26,6 +26,18 @@ const (
 	KindTcConfig       Kind = "tc_config"
 	KindPriorityRotate Kind = "priority_rotate"
 	KindCustom         Kind = "custom"
+
+	// Fault-injection and recovery kinds (see internal/faults).
+	KindLinkDown      Kind = "link_down"
+	KindLinkUp        Kind = "link_up"
+	KindChunkDrop     Kind = "chunk_drop"
+	KindWorkerCrash   Kind = "worker_crash"
+	KindWorkerRestart Kind = "worker_restart"
+	KindWorkerDegrade Kind = "worker_degrade"
+	KindJobFail       Kind = "job_fail"
+	KindTcError       Kind = "tc_error"
+	KindTcFallback    Kind = "tc_fallback"
+	KindTcRepair      Kind = "tc_repair"
 )
 
 // Event is one trace record.

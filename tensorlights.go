@@ -31,6 +31,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dl"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -110,6 +111,65 @@ type ExperimentConfig struct {
 	// events (job lifecycle, barriers, flows, tc reconfigurations)
 	// after the run.
 	TraceCSV io.Writer
+	// Faults enables deterministic fault injection for the run.
+	Faults FaultConfig
+}
+
+// WorkerCrash schedules one worker-task crash.
+type WorkerCrash struct {
+	Job    int     // job ID
+	Worker int     // worker index within the job
+	AtSec  float64 // crash time (simulated seconds)
+}
+
+// FaultConfig enables deterministic fault injection: the schedule is
+// derived from the experiment seed, so the same config reproduces the
+// same faults — and the same results — on every run. The zero value
+// injects nothing.
+type FaultConfig struct {
+	// FlapPSHosts takes every parameter-server host's NIC down for
+	// FlapDurationSec every FlapEverySec, starting at FlapFirstAtSec,
+	// until HorizonSec. FlapJitterSec adds a seeded per-window offset.
+	FlapPSHosts     bool
+	FlapFirstAtSec  float64
+	FlapEverySec    float64
+	FlapDurationSec float64
+	FlapJitterSec   float64
+	// HorizonSec bounds the flap schedule (required when flapping).
+	HorizonSec float64
+	// DropProb, when positive, adds a chunk-loss window of the same
+	// duration right after each flap (lossy post-flap recovery).
+	DropProb float64
+	// TCOutage also fails tc actuation on the host during each flap,
+	// exercising the controller's retry/fallback/reconcile paths.
+	TCOutage bool
+	// Crashes lists worker crashes to schedule.
+	Crashes []WorkerCrash
+	// DetectTimeoutSec, RestartBackoffSec and MaxRestarts tune each
+	// job's crashed-worker recovery (see dl.RecoveryConfig). With
+	// DetectTimeoutSec zero, a crashed worker wedges its job's barrier.
+	DetectTimeoutSec  float64
+	RestartBackoffSec float64
+	MaxRestarts       int
+}
+
+func (f FaultConfig) plan() faults.Plan {
+	p := faults.Plan{
+		FlapPSHosts:     f.FlapPSHosts,
+		FlapFirstAtSec:  f.FlapFirstAtSec,
+		FlapEverySec:    f.FlapEverySec,
+		FlapDurationSec: f.FlapDurationSec,
+		FlapJitterSec:   f.FlapJitterSec,
+		HorizonSec:      f.HorizonSec,
+		DropProb:        f.DropProb,
+		TCOutage:        f.TCOutage,
+	}
+	for _, c := range f.Crashes {
+		p.Crashes = append(p.Crashes, faults.CrashPlan{
+			Job: c.Job, Worker: c.Worker, AtSec: c.AtSec,
+		})
+	}
+	return p
 }
 
 // Result summarizes one experiment.
@@ -131,6 +191,19 @@ type Result struct {
 	Events uint64
 	// TcReconfigurations counts TensorLights host reconfigurations.
 	TcReconfigurations int
+
+	// Fault-injection accounting (all zero when Faults was inactive).
+	WorkerRestarts  int
+	DegradedWorkers int
+	// FailedJobs lists jobs that lost every worker; they have no JCT.
+	FailedJobs    []int
+	DroppedChunks uint64
+	// TcRetries/TcFallbacks/TcRepairs count the controller's reactions
+	// to failed tc actuation: backoff retries, FIFO fallbacks, and
+	// reconcile-loop repairs that restored the priority bands.
+	TcRetries   int
+	TcFallbacks int
+	TcRepairs   int
 }
 
 // HostUtilization is one host's active-window utilization in [0,1].
@@ -169,6 +242,13 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 		SimulatedSeconds:    res.SimTime,
 		Events:              res.Events,
 		TcReconfigurations:  res.Reconfigs,
+		WorkerRestarts:      res.Restarts,
+		DegradedWorkers:     res.DegradedWorkers,
+		FailedJobs:          res.FailedJobs,
+		DroppedChunks:       res.DroppedChunks,
+		TcRetries:           res.TcRecovery.Retries,
+		TcFallbacks:         res.TcRecovery.Fallbacks,
+		TcRepairs:           res.TcRecovery.Repairs,
 	}
 	for _, u := range res.Utils {
 		out.Utilization = append(out.Utilization, HostUtilization{
@@ -217,6 +297,12 @@ func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
 	}
 	if cfg.MeasureUtilization {
 		rc.SampleUtilEvery = 1
+	}
+	rc.Faults = cfg.Faults.plan()
+	rc.Recovery = dl.RecoveryConfig{
+		DetectTimeoutSec:  cfg.Faults.DetectTimeoutSec,
+		RestartBackoffSec: cfg.Faults.RestartBackoffSec,
+		MaxRestarts:       cfg.Faults.MaxRestarts,
 	}
 	return rc, nil
 }
@@ -283,6 +369,19 @@ func ReproduceFigure6(o ReproOptions) (string, error) {
 // ReproduceTableII regenerates Table II (normalized utilization).
 func ReproduceTableII(o ReproOptions) (string, error) {
 	r, err := sweep.TableII(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceFaultRecovery runs the fault-injection experiment: the
+// placement #1 workload fault-free and under a seeded fault schedule
+// (PS-host flaps, tc outages, worker crashes) for FIFO, TLs-One and
+// TLs-RR, showing each layer's recovery path and the reconcile loop
+// restoring priority bands after every fault.
+func ReproduceFaultRecovery(o ReproOptions) (string, error) {
+	r, err := sweep.FaultRecovery(o.sweep())
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package tensorlights
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -239,6 +240,93 @@ func TestReproduceRemainingFigures(t *testing.T) {
 		if len(out) < 100 {
 			t.Fatalf("%s output too small", name)
 		}
+	}
+}
+
+// faultyQuickstart is the quickstart config plus a full fault schedule:
+// PS-host flaps with loss and tc outages riding along, and one worker
+// crash that the PS must detect and restart.
+func faultyQuickstart() ExperimentConfig {
+	return ExperimentConfig{
+		Policy:         TLsOne,
+		PlacementIndex: 1,
+		Steps:          300,
+		Seed:           42,
+		Faults: FaultConfig{
+			FlapPSHosts:       true,
+			FlapFirstAtSec:    1,
+			FlapEverySec:      4,
+			FlapDurationSec:   0.5,
+			FlapJitterSec:     0.3,
+			HorizonSec:        12,
+			DropProb:          0.05,
+			TCOutage:          true,
+			Crashes:           []WorkerCrash{{Job: 0, Worker: 2, AtSec: 3}},
+			DetectTimeoutSec:  0.2,
+			RestartBackoffSec: 0.1,
+			MaxRestarts:       2,
+		},
+	}
+}
+
+func TestRunExperimentWithFaults(t *testing.T) {
+	clean := faultyQuickstart()
+	clean.Faults = FaultConfig{}
+	base, err := RunExperiment(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunExperiment(faultyQuickstart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JCTs) != 21 || len(res.FailedJobs) != 0 {
+		t.Fatalf("jobs lost: %d JCTs, failed %v", len(res.JCTs), res.FailedJobs)
+	}
+	if res.AvgJCT <= base.AvgJCT {
+		t.Fatalf("faults did not slow the run: %.1f vs clean %.1f", res.AvgJCT, base.AvgJCT)
+	}
+	if res.WorkerRestarts != 1 || res.DegradedWorkers != 0 {
+		t.Fatalf("crash recovery: restarts %d degraded %d", res.WorkerRestarts, res.DegradedWorkers)
+	}
+	if res.DroppedChunks == 0 {
+		t.Fatal("drop windows lost no chunks")
+	}
+	if base.WorkerRestarts != 0 || base.DroppedChunks != 0 || base.TcRetries != 0 {
+		t.Fatalf("clean run shows fault accounting: %+v", base)
+	}
+}
+
+// TestQuickstartWithFaultsDeterministic is the determinism regression:
+// the same seeded config with fault injection enabled must produce
+// byte-identical results on every run.
+func TestQuickstartWithFaultsDeterministic(t *testing.T) {
+	fingerprint := func(r *Result) string {
+		return fmt.Sprintf("jcts=%x avg=%x bw=%x bv=%x sim=%x ev=%d tc=%d restarts=%d degraded=%d failed=%v dropped=%d retries=%d fallbacks=%d repairs=%d",
+			r.JCTs, r.AvgJCT, r.BarrierWaitMean, r.BarrierWaitVariance,
+			r.SimulatedSeconds, r.Events, r.TcReconfigurations,
+			r.WorkerRestarts, r.DegradedWorkers, r.FailedJobs, r.DroppedChunks,
+			r.TcRetries, r.TcFallbacks, r.TcRepairs)
+	}
+	a, err := RunExperiment(faultyQuickstart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment(faultyQuickstart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := fingerprint(a), fingerprint(b); fa != fb {
+		t.Fatalf("same seed + faults diverged:\n%s\n%s", fa, fb)
+	}
+	other := faultyQuickstart()
+	other.Seed = 43
+	c, err := RunExperiment(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) == fingerprint(c) {
+		t.Fatal("different seeds produced identical faulted runs")
 	}
 }
 
