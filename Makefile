@@ -11,9 +11,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The psrpc package runs real goroutines and sockets; it is the one
-# place data races could hide, so it gets a dedicated race-detector run.
+# Race-detect the whole module: psrpc runs real goroutines and sockets,
+# and sweep's RunMany drives concurrent simulations (now including the
+# collective workload), so nothing is exempt.
 race:
-	$(GO) test -race ./internal/psrpc/...
+	$(GO) test -race ./...
 
 check: build vet test race

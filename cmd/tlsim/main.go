@@ -1,6 +1,7 @@
-// Command tlsim runs one TensorLights experiment: a configurable number
-// of concurrent parameter-server training jobs on the simulated 21-host
-// testbed, under FIFO, TLs-One or TLs-RR scheduling.
+// Command tlsim runs one TensorLights experiment: a configurable
+// workload — concurrent parameter-server training jobs, ring/tree
+// all-reduce jobs, or a mix — on the simulated 21-host testbed, under
+// FIFO, TLs-One or TLs-RR scheduling.
 //
 // Usage:
 //
@@ -8,6 +9,8 @@
 //	tlsim -policy fifo -custom-placement "5, 16" -util
 //	tlsim -policy tls-rr -steps 3000 -fault-flap-ps -fault-tc-outage \
 //	    -fault-flap-every 30 -fault-crash "0:3:60"
+//	tlsim -workload collective -rings 4 -ranks 4 -algorithm ring
+//	tlsim -workload mixed -policy tls-rr -jobs 3 -rings 3
 package main
 
 import (
@@ -57,6 +60,14 @@ func main() {
 		async     = flag.Bool("async", false, "asynchronous training (no barrier)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		util      = flag.Bool("util", false, "measure CPU/NIC utilization")
+		workload  = flag.String("workload", "ps", "workload mix: ps | collective | mixed")
+		rings     = flag.Int("rings", 3, "collective: number of all-reduce jobs")
+		ranks     = flag.Int("ranks", 4, "collective: ranks per all-reduce job")
+		stride    = flag.Int("ring-stride", 0, "collective: host offset between rings (0 = aligned)")
+		algorithm = flag.String("algorithm", "ring", "collective: all-reduce algorithm, ring | tree")
+		collModel = flag.String("collective-model", "alexnet", "collective: model from the zoo")
+		collIters = flag.Int("iters", 0, "collective: iterations per job (0 = steps/30)")
+		buckets   = flag.Int("buckets", 0, "collective: gradient buckets per iteration (0 = default)")
 		traceOut  = flag.String("trace", "", "write a CSV event trace to this file")
 		listModel = flag.Bool("models", false, "list available models and exit")
 		listPlace = flag.Bool("placements", false, "list Table I placements and exit")
@@ -69,7 +80,7 @@ func main() {
 		faultHorizon  = flag.Float64("fault-horizon", 600, "stop scheduling flaps after this time (seconds)")
 		faultDrop     = flag.Float64("fault-drop", 0, "chunk-loss probability in the window after each flap")
 		faultTC       = flag.Bool("fault-tc-outage", false, "fail tc actuation on the host during each flap")
-		faultCrash    = flag.String("fault-crash", "", `worker crashes as "job:worker:atSec", comma-separated`)
+		faultCrash    = flag.String("fault-crash", "", `worker crashes as "job:worker:atSec", comma-separated (job >= 1000 targets a collective ring peer)`)
 		faultDetect   = flag.Float64("fault-detect", 5, "crashed-worker detection timeout (seconds)")
 		faultBackoff  = flag.Float64("fault-restart-backoff", 2, "worker restart backoff after detection (seconds)")
 		faultRestarts = flag.Int("fault-max-restarts", 2, "restart budget per worker before the job degrades")
@@ -123,9 +134,45 @@ func main() {
 		Seed:               *seed,
 		MeasureUtilization: *util,
 	}
+	switch *workload {
+	case "ps":
+	case "collective", "mixed":
+		cfg.Collective = &tensorlights.CollectiveConfig{
+			Jobs:       *rings,
+			Ranks:      *ranks,
+			Stride:     *stride,
+			Algorithm:  *algorithm,
+			Model:      *collModel,
+			LocalBatch: 1,
+			Iterations: *collIters,
+			Buckets:    *buckets,
+		}
+		if *workload == "collective" {
+			cfg.NumJobs = 0 // no PS jobs: the cluster is all-reduce-only
+		} else if *custom == "" && *jobs != 21 {
+			// Table I placements cover exactly 21 PS jobs; for a smaller
+			// mixed cluster, colocate all PSes on host 0 (the contended
+			// scenario the mixed workload exists to study).
+			cfg.Placement = strconv.Itoa(*jobs)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tlsim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
 	if *faultFlapPS || len(crashes) > 0 {
+		// Crashes naming a collective job (ID >= CollectiveJobIDBase)
+		// are ring-peer crashes; the rest are PS-worker crashes.
+		var workerCrashes, peerCrashes []tensorlights.WorkerCrash
+		for _, c := range crashes {
+			if cfg.Collective != nil && c.Job >= tensorlights.CollectiveJobIDBase {
+				peerCrashes = append(peerCrashes, c)
+			} else {
+				workerCrashes = append(workerCrashes, c)
+			}
+		}
 		cfg.Faults = tensorlights.FaultConfig{
-			Crashes:           crashes,
+			Crashes:           workerCrashes,
+			PeerCrashes:       peerCrashes,
 			DetectTimeoutSec:  *faultDetect,
 			RestartBackoffSec: *faultBackoff,
 			MaxRestarts:       *faultRestarts,
@@ -161,19 +208,32 @@ func main() {
 		fmt.Printf("event trace written to %s\n", traceFile.Name())
 	}
 
-	fmt.Printf("policy=%s placement=#%d jobs=%d batch=%d steps=%d seed=%d\n",
-		pol, *placement, *jobs, *batch, *steps, *seed)
+	fmt.Printf("workload=%s policy=%s placement=#%d jobs=%d batch=%d steps=%d seed=%d\n",
+		*workload, pol, *placement, cfg.NumJobs, *batch, *steps, *seed)
 	fmt.Printf("simulated %.1f s in %d events, %d tc reconfigurations\n",
 		res.SimulatedSeconds, res.Events, res.TcReconfigurations)
-	fmt.Printf("avg JCT: %.1f s\n", res.AvgJCT)
-	jcts := append([]float64(nil), res.JCTs...)
-	sort.Float64s(jcts)
-	if len(jcts) > 0 {
+	if len(res.JCTs) > 0 {
+		fmt.Printf("avg JCT: %.1f s\n", res.AvgJCT)
+		jcts := append([]float64(nil), res.JCTs...)
+		sort.Float64s(jcts)
 		fmt.Printf("JCT min/median/max: %.1f / %.1f / %.1f s\n",
 			jcts[0], jcts[len(jcts)/2], jcts[len(jcts)-1])
+		fmt.Printf("barrier wait: mean %.3f s, variance %.5f s^2\n",
+			res.BarrierWaitMean, res.BarrierWaitVariance)
 	}
-	fmt.Printf("barrier wait: mean %.3f s, variance %.5f s^2\n",
-		res.BarrierWaitMean, res.BarrierWaitVariance)
+	if cfg.Collective != nil {
+		fmt.Printf("all-reduce (%s, %d jobs): avg JCT %.1f s\n",
+			*algorithm, len(res.CollectiveJCTs), res.CollectiveAvgJCT)
+		cjcts := append([]float64(nil), res.CollectiveJCTs...)
+		sort.Float64s(cjcts)
+		if len(cjcts) > 0 {
+			fmt.Printf("all-reduce JCT min/median/max: %.1f / %.1f / %.1f s\n",
+				cjcts[0], cjcts[len(cjcts)/2], cjcts[len(cjcts)-1])
+		}
+		if res.RingStalls > 0 {
+			fmt.Printf("ring stalls: %d\n", res.RingStalls)
+		}
+	}
 	if *faultFlapPS || len(crashes) > 0 {
 		fmt.Printf("fault recovery: %d worker restarts, %d degraded, %d jobs lost, %d chunks dropped\n",
 			res.WorkerRestarts, res.DegradedWorkers, len(res.FailedJobs), res.DroppedChunks)

@@ -66,16 +66,33 @@ func TestPSHosts(t *testing.T) {
 }
 
 func TestPlacementValidateErrors(t *testing.T) {
-	p := Placement{Groups: []int{5, 16}}
-	if p.Validate(20, 21) == nil {
-		t.Fatal("job count mismatch accepted")
+	cases := []struct {
+		name    string
+		groups  []int
+		jobs    int
+		hosts   int
+		wantErr bool
+	}{
+		{"valid", []int{5, 16}, 21, 21, false},
+		{"single group", []int{21}, 21, 21, false},
+		{"exact hosts", []int{1, 1}, 2, 2, false},
+		{"job count mismatch", []int{5, 16}, 20, 21, true},
+		{"too few hosts", []int{5, 16}, 21, 1, true},
+		{"zero group", []int{21, 0}, 21, 21, true},
+		{"negative group", []int{22, -1}, 21, 21, true},
+		{"no groups", nil, 21, 21, true},
+		{"zero jobs", nil, 0, 21, true},
+		{"negative jobs", []int{-3}, -3, 21, true},
+		{"zero hosts", []int{1}, 1, 0, true},
+		{"negative hosts", []int{1}, 1, -1, true},
 	}
-	if p.Validate(21, 1) == nil {
-		t.Fatal("too few hosts accepted")
-	}
-	bad := Placement{Groups: []int{21, 0}}
-	if bad.Validate(21, 21) == nil {
-		t.Fatal("empty group accepted")
+	for _, c := range cases {
+		p := Placement{Groups: c.groups}
+		err := p.Validate(c.jobs, c.hosts)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: Validate(%d,%d) on %v = %v, wantErr=%v",
+				c.name, c.jobs, c.hosts, c.groups, err, c.wantErr)
+		}
 	}
 }
 

@@ -49,8 +49,26 @@ func (p Placement) MaxColocation() int {
 	return m
 }
 
-// Validate checks the placement fits the cluster.
+// Validate checks the placement fits the cluster. Group counts must be
+// strictly positive (a zero or negative group is meaningless and would
+// silently skew the job→host mapping), the placement must be non-empty,
+// and the cluster dimensions themselves must be positive — a zero-job
+// "valid" placement used to slip through and yield an empty PSHosts.
 func (p Placement) Validate(numJobs, numHosts int) error {
+	if numJobs < 1 {
+		return fmt.Errorf("cluster: placement needs >=1 job, got %d", numJobs)
+	}
+	if numHosts < 1 {
+		return fmt.Errorf("cluster: placement needs >=1 host, got %d", numHosts)
+	}
+	if len(p.Groups) == 0 {
+		return fmt.Errorf("cluster: placement has no groups")
+	}
+	for _, g := range p.Groups {
+		if g < 1 {
+			return fmt.Errorf("cluster: placement %q has a zero or negative group", p.String())
+		}
+	}
 	if p.Jobs() != numJobs {
 		return fmt.Errorf("cluster: placement %q covers %d jobs, want %d",
 			p.String(), p.Jobs(), numJobs)
@@ -58,11 +76,6 @@ func (p Placement) Validate(numJobs, numHosts int) error {
 	if len(p.Groups) > numHosts {
 		return fmt.Errorf("cluster: placement %q needs %d hosts, have %d",
 			p.String(), len(p.Groups), numHosts)
-	}
-	for _, g := range p.Groups {
-		if g < 1 {
-			return fmt.Errorf("cluster: placement %q has empty group", p.String())
-		}
 	}
 	return nil
 }

@@ -131,16 +131,5 @@ func (tb *Testbed) Launch(specs []dl.JobSpec, staggerSec float64, onStart func(*
 // (a job that lost all its workers never reaches Done). maxEvents
 // guards against runaway simulations (0 = default guard).
 func (tb *Testbed) RunToCompletion(jobs []*dl.Job, maxEvents uint64) {
-	if maxEvents == 0 {
-		maxEvents = 500_000_000
-	}
-	tb.K.MaxEvents = maxEvents
-	tb.K.Run(func() bool {
-		for _, j := range jobs {
-			if !j.Done() && !j.Failed() {
-				return false
-			}
-		}
-		return true
-	})
+	tb.RunMixedToCompletion(jobs, nil, maxEvents)
 }

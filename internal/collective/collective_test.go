@@ -1,0 +1,272 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/cpusim"
+	"repro/internal/dl"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// newEnv builds a small n-host environment with a shared trace buffer.
+func newEnv(seed int64, n int) (*dl.Env, *trace.Buffer) {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(seed)
+	fab := simnet.New(k, rng, simnet.Config{})
+	cpus := make([]*cpusim.CPU, n)
+	for i := range cpus {
+		fab.AddHost("h")
+		cpus[i] = cpusim.NewCPU(k, 12)
+	}
+	buf := &trace.Buffer{}
+	return &dl.Env{K: k, Fabric: fab, CPUs: cpus, RNG: rng, Tracer: buf}, buf
+}
+
+func spec(alg Algorithm, hosts []int, iters int) JobSpec {
+	return JobSpec{
+		ID:               1,
+		Model:            dl.ResNet32,
+		Algorithm:        alg,
+		Hosts:            hosts,
+		LocalBatch:       4,
+		TargetIterations: iters,
+		Port:             7000,
+		Buckets:          4,
+	}
+}
+
+func runJob(t *testing.T, env *dl.Env, s JobSpec) *Job {
+	t.Helper()
+	j, err := NewJob(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Start()
+	env.K.MaxEvents = 10_000_000
+	env.K.Run(nil)
+	return j
+}
+
+func TestRingAllReduceCompletes(t *testing.T) {
+	env, buf := newEnv(1, 4)
+	iters := 3
+	j := runJob(t, env, spec(Ring, []int{0, 1, 2, 3}, iters))
+	if !j.Done() || j.Failed() {
+		t.Fatalf("ring job did not finish: it=%d done=%v failed=%v",
+			j.Iterations(), j.Done(), j.Failed())
+	}
+	if j.Iterations() != iters {
+		t.Fatalf("iterations %d want %d", j.Iterations(), iters)
+	}
+	if j.JCT() <= 0 {
+		t.Fatalf("JCT %g", j.JCT())
+	}
+	// Every bucket completes once per iteration.
+	done := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindBucketDone })
+	if len(done) != iters*4 {
+		t.Fatalf("bucket_done events %d want %d", len(done), iters*4)
+	}
+	// Every ring step (2N-2 per bucket) is observed at all ranks.
+	steps := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindRingStep })
+	if len(steps) != iters*4*(2*4-2) {
+		t.Fatalf("ring_step events %d want %d", len(steps), iters*4*(2*4-2))
+	}
+	starts := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindJobStart })
+	fins := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindJobFinish })
+	if len(starts) != 1 || len(fins) != 1 {
+		t.Fatalf("lifecycle events start=%d finish=%d", len(starts), len(fins))
+	}
+}
+
+func TestTreeAllReduceCompletes(t *testing.T) {
+	// Non-power-of-two world size exercises the binomial tree's general
+	// parent/children arithmetic.
+	env, buf := newEnv(1, 5)
+	iters := 2
+	j := runJob(t, env, spec(Tree, []int{0, 1, 2, 3, 4}, iters))
+	if !j.Done() {
+		t.Fatalf("tree job did not finish: it=%d", j.Iterations())
+	}
+	done := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindBucketDone })
+	if len(done) != iters*4 {
+		t.Fatalf("bucket_done events %d want %d", len(done), iters*4)
+	}
+	// One root-reduce marker per bucket per iteration.
+	steps := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindRingStep })
+	if len(steps) != iters*4 {
+		t.Fatalf("tree reduce markers %d want %d", len(steps), iters*4)
+	}
+}
+
+func TestTreeTopology(t *testing.T) {
+	env, _ := newEnv(1, 8)
+	j, err := NewJob(env, spec(Tree, []int{0, 1, 2, 3, 4, 5, 6, 7}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rank int
+		kids []int
+	}{
+		{0, []int{1, 2, 4}},
+		{1, nil},
+		{2, []int{3}},
+		{4, []int{5, 6}},
+		{6, []int{7}},
+	}
+	for _, c := range cases {
+		got := j.children(c.rank)
+		if len(got) != len(c.kids) {
+			t.Fatalf("children(%d) = %v want %v", c.rank, got, c.kids)
+		}
+		for i := range got {
+			if got[i] != c.kids[i] {
+				t.Fatalf("children(%d) = %v want %v", c.rank, got, c.kids)
+			}
+		}
+		for _, k := range c.kids {
+			if parent(k) != c.rank {
+				t.Fatalf("parent(%d) = %d want %d", k, parent(k), c.rank)
+			}
+		}
+	}
+}
+
+func TestRingDeterminism(t *testing.T) {
+	run := func() float64 {
+		env, _ := newEnv(42, 4)
+		j := runJob(t, env, spec(Ring, []int{0, 1, 2, 3}, 3))
+		return j.FinishedAt
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestPeerCrashStallsAndRecovers(t *testing.T) {
+	env, buf := newEnv(7, 3)
+	s := spec(Ring, []int{0, 1, 2}, 4)
+	s.Recovery = dl.RecoveryConfig{DetectTimeoutSec: 2, RestartBackoffSec: 1, MaxRestarts: 2}
+	j, err := NewJob(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Start()
+	env.K.ScheduleAfter(0.05, func() { j.CrashPeer(1) })
+	env.K.MaxEvents = 10_000_000
+	env.K.Run(nil)
+	if !j.Done() {
+		t.Fatalf("job did not recover: it=%d failed=%v", j.Iterations(), j.Failed())
+	}
+	if j.Restarts() != 1 || j.Stalls() != 1 {
+		t.Fatalf("restarts=%d stalls=%d", j.Restarts(), j.Stalls())
+	}
+	stalls := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindRingStall })
+	if len(stalls) != 1 {
+		t.Fatalf("ring_stall events %d", len(stalls))
+	}
+	crashes := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindWorkerCrash })
+	restarts := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindWorkerRestart })
+	if len(crashes) != 1 || len(restarts) != 1 {
+		t.Fatalf("crash=%d restart=%d", len(crashes), len(restarts))
+	}
+	// The re-run discards the aborted attempt: completed iterations
+	// still hit the target exactly.
+	if j.Iterations() != 4 {
+		t.Fatalf("iterations %d", j.Iterations())
+	}
+}
+
+func TestPeerCrashExhaustsBudget(t *testing.T) {
+	env, buf := newEnv(7, 3)
+	s := spec(Ring, []int{0, 1, 2}, 50)
+	s.Recovery = dl.RecoveryConfig{DetectTimeoutSec: 1, RestartBackoffSec: 0.5, MaxRestarts: 0}
+	j, err := NewJob(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Start()
+	env.K.ScheduleAfter(0.05, func() { j.CrashPeer(2) })
+	env.K.MaxEvents = 10_000_000
+	env.K.Run(nil)
+	if !j.Failed() || j.Done() {
+		t.Fatalf("job should have failed: done=%v failed=%v", j.Done(), j.Failed())
+	}
+	fails := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindJobFail })
+	if len(fails) != 1 {
+		t.Fatalf("job_fail events %d", len(fails))
+	}
+}
+
+func TestCrashWithoutDetectionWedges(t *testing.T) {
+	env, _ := newEnv(7, 3)
+	s := spec(Ring, []int{0, 1, 2}, 10)
+	j, err := NewJob(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Start()
+	env.K.ScheduleAfter(0.05, func() { j.CrashPeer(0) })
+	env.K.MaxEvents = 10_000_000
+	env.K.Run(nil)
+	// No detector: the queue drains with the job wedged mid-flight.
+	if j.Done() || j.Failed() {
+		t.Fatal("wedged job should neither finish nor fail")
+	}
+	if j.Iterations() >= 10 {
+		t.Fatalf("iterations %d", j.Iterations())
+	}
+}
+
+func TestBucketOverlapBeatsSingleBucket(t *testing.T) {
+	// With bucketing, communication overlaps backprop; a single bucket
+	// serializes them. Same seed, same work: the bucketized run must
+	// not be slower.
+	run := func(buckets int) float64 {
+		env, _ := newEnv(3, 4)
+		s := spec(Ring, []int{0, 1, 2, 3}, 3)
+		s.Buckets = buckets
+		s.Model = dl.AlexNet // communication-heavy: overlap matters
+		j := runJob(t, env, s)
+		if !j.Done() {
+			t.Fatalf("buckets=%d did not finish", buckets)
+		}
+		return j.JCT()
+	}
+	if many, one := run(8), run(1); many > one {
+		t.Fatalf("bucketized %g slower than monolithic %g", many, one)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	env, _ := newEnv(1, 4)
+	cases := []func(*JobSpec){
+		func(s *JobSpec) { s.Hosts = []int{0} },
+		func(s *JobSpec) { s.TargetIterations = 0 },
+		func(s *JobSpec) { s.LocalBatch = 0 },
+		func(s *JobSpec) { s.Port = 0 },
+		func(s *JobSpec) { s.Buckets = -1 },
+		func(s *JobSpec) { s.Algorithm = "butterfly" },
+		func(s *JobSpec) { s.Recovery.MaxRestarts = -1 },
+	}
+	for i, mutate := range cases {
+		s := spec(Ring, []int{0, 1, 2}, 1)
+		mutate(&s)
+		if _, err := NewJob(env, s); err == nil {
+			t.Fatalf("case %d: invalid spec accepted", i)
+		}
+	}
+	// Defaults: empty algorithm -> ring, zero buckets -> 4.
+	s := spec("", []int{0, 1}, 1)
+	s.Buckets = 0
+	j, err := NewJob(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.Algorithm != Ring || j.Spec.Buckets != 4 {
+		t.Fatalf("defaults not applied: %+v", j.Spec)
+	}
+}

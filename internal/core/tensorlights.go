@@ -184,14 +184,54 @@ type hostState struct {
 }
 
 // JobInfo is what TensorLights needs to know about a job — all of it
-// observable from outside the application.
+// observable from outside the application. A parameter-server job is
+// described by its PS host and port alone; a collective (all-reduce)
+// job, whose prioritized traffic leaves every ring host, additionally
+// lists SenderHosts and the source Ports identifying it.
 type JobInfo struct {
 	ID          int
 	PSHost      int
 	PSPort      int
 	UpdateBytes int64
-	arrivalSeq  int
-	progress    int
+	// SenderHosts lists every host whose egress carries this job's
+	// prioritized traffic. Empty means {PSHost} — the PS-job default,
+	// where only the model-update fan-out is classified. A collective
+	// job lists all of its ring hosts here, so contention is detected
+	// and bands installed wherever its flows originate.
+	SenderHosts []int
+	// Ports lists the TCP source ports identifying the job's traffic
+	// (one `match sport` filter per port on each managed host). Empty
+	// means {PSPort}. A job carrying both PS and collective traffic
+	// lists both ports; all of them map to the same band.
+	Ports      []int
+	arrivalSeq int
+	progress   int
+}
+
+// senderHosts returns the hosts whose egress carries the job's traffic.
+func (j *JobInfo) senderHosts() []int {
+	if len(j.SenderHosts) == 0 {
+		return []int{j.PSHost}
+	}
+	return j.SenderHosts
+}
+
+// ports returns the source ports identifying the job's traffic.
+func (j *JobInfo) ports() []int {
+	if len(j.Ports) == 0 {
+		return []int{j.PSPort}
+	}
+	return j.Ports
+}
+
+// onHost reports whether the job's traffic leaves the host.
+func (j *JobInfo) onHost(host int) bool {
+	for _, h := range j.senderHosts() {
+		if h == host {
+			return true
+		}
+	}
+	return false
 }
 
 // Controller is the TensorLights daemon.
@@ -257,7 +297,8 @@ func (c *Controller) FallbackHosts() []int {
 	return out
 }
 
-// JobArrived registers a job and reconfigures its PS host if needed.
+// JobArrived registers a job and reconfigures every host its traffic
+// leaves from, if needed.
 func (c *Controller) JobArrived(info JobInfo) {
 	if c.cfg.Policy == PolicyFIFO {
 		return
@@ -268,13 +309,16 @@ func (c *Controller) JobArrived(info JobInfo) {
 	info.arrivalSeq = c.nextSeq
 	c.nextSeq++
 	c.jobs[info.ID] = &info
-	c.setDesired(info.PSHost)
+	for _, h := range info.senderHosts() {
+		c.setDesired(h)
+	}
 	c.armRotation()
 	c.armReconcile()
 }
 
-// JobDeparted deregisters a job; its PS host is reconfigured (and the
-// TLs qdisc removed entirely when fewer than two PSes remain).
+// JobDeparted deregisters a job; every host carrying its traffic is
+// reconfigured (and the TLs qdisc removed entirely where fewer than two
+// contending jobs remain).
 func (c *Controller) JobDeparted(id int) {
 	if c.cfg.Policy == PolicyFIFO {
 		return
@@ -284,7 +328,9 @@ func (c *Controller) JobDeparted(id int) {
 		return
 	}
 	delete(c.jobs, id)
-	c.setDesired(info.PSHost)
+	for _, h := range info.senderHosts() {
+		c.setDesired(h)
+	}
 	if len(c.jobs) == 0 {
 		if c.rotateEv != nil {
 			c.k.Cancel(c.rotateEv)
@@ -339,11 +385,15 @@ func (c *Controller) rotate() {
 	c.rotateEv = c.k.ScheduleAfter(c.cfg.IntervalSec, c.rotate)
 }
 
-// contendedHosts lists hosts carrying two or more PSes.
+// contendedHosts lists hosts whose egress carries two or more jobs —
+// PSes, collective ranks, or a mix. Priority bands rank every
+// contending job uniformly, whatever its workload type.
 func (c *Controller) contendedHosts() []int {
 	count := map[int]int{}
 	for _, j := range c.jobs {
-		count[j.PSHost]++
+		for _, h := range j.senderHosts() {
+			count[h]++
+		}
 	}
 	var hosts []int
 	for h, n := range count {
@@ -355,12 +405,12 @@ func (c *Controller) contendedHosts() []int {
 	return hosts
 }
 
-// jobsOnHost returns the jobs whose PS runs on host, rank-ordered by
-// the configured Order policy.
+// jobsOnHost returns the jobs whose prioritized traffic leaves the
+// host, rank-ordered by the configured Order policy.
 func (c *Controller) jobsOnHost(host int) []*JobInfo {
 	var jobs []*JobInfo
 	for _, j := range c.jobs {
-		if j.PSHost == host {
+		if j.onHost(host) {
 			jobs = append(jobs, j)
 		}
 	}
@@ -634,14 +684,18 @@ func (c *Controller) htbCommands(host int, jobs []*JobInfo) []string {
 			"class add dev eth0 classid %d rate %.0fbps ceil %.0fbit prio %d",
 			b, c.cfg.GuaranteeRateBps/8, ceil, b))
 	}
+	pref := 0
 	for rank, j := range jobs {
 		band := c.bandOf(rank, len(jobs))
 		if band >= bands {
 			band = bands - 1
 		}
-		cmds = append(cmds, fmt.Sprintf(
-			"filter add dev eth0 pref %d match sport %d flowid %d",
-			rank, j.PSPort, band))
+		for _, port := range j.ports() {
+			cmds = append(cmds, fmt.Sprintf(
+				"filter add dev eth0 pref %d match sport %d flowid %d",
+				pref, port, band))
+			pref++
+		}
 	}
 	return cmds
 }
@@ -659,10 +713,14 @@ func (c *Controller) staticRateCommands(host int, jobs []*JobInfo) []string {
 			"class add dev eth0 classid %d rate %.0fbit ceil %.0fbit prio 0",
 			rank, share, share))
 	}
+	pref := 0
 	for rank, j := range jobs {
-		cmds = append(cmds, fmt.Sprintf(
-			"filter add dev eth0 pref %d match sport %d flowid %d",
-			rank, j.PSPort, rank))
+		for _, port := range j.ports() {
+			cmds = append(cmds, fmt.Sprintf(
+				"filter add dev eth0 pref %d match sport %d flowid %d",
+				pref, port, rank))
+			pref++
+		}
 	}
 	return cmds
 }
@@ -674,14 +732,18 @@ func (c *Controller) prioCommands(jobs []*JobInfo) []string {
 		bands = len(jobs)
 	}
 	cmds := []string{fmt.Sprintf("qdisc add dev eth0 root prio bands %d", bands)}
+	pref := 0
 	for rank, j := range jobs {
 		band := c.bandOf(rank, len(jobs))
 		if band >= bands {
 			band = bands - 1
 		}
-		cmds = append(cmds, fmt.Sprintf(
-			"filter add dev eth0 pref %d match sport %d flowid %d",
-			rank, j.PSPort, band))
+		for _, port := range j.ports() {
+			cmds = append(cmds, fmt.Sprintf(
+				"filter add dev eth0 pref %d match sport %d flowid %d",
+				pref, port, band))
+			pref++
+		}
 	}
 	return cmds
 }

@@ -304,3 +304,102 @@ func TestBandOfCoversAllBands(t *testing.T) {
 		t.Fatalf("bands used %d", len(seen))
 	}
 }
+
+// collJob describes a ring all-reduce job: its traffic leaves every
+// ring host, always from the job's collective port.
+func collJob(id int, port int, hosts ...int) JobInfo {
+	return JobInfo{
+		ID: id, PSHost: hosts[0], PSPort: port, UpdateBytes: 244_000_000,
+		SenderHosts: hosts, Ports: []int{port},
+	}
+}
+
+func TestCollectiveJobConfiguresEveryRingHost(t *testing.T) {
+	_, fab, ctl := newHarness(4, Config{Policy: PolicyOne})
+	// Two rings sharing hosts 0-2; host 3 carries only ring B.
+	ctl.JobArrived(collJob(100, 7000, 0, 1, 2))
+	ctl.JobArrived(collJob(101, 7100, 0, 1, 2, 3))
+	for h := 0; h <= 2; h++ {
+		htb, ok := fab.Host(h).Egress.Qdisc().(*qdisc.HTB)
+		if !ok {
+			t.Fatalf("host %d not running htb", h)
+		}
+		a := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 7000})
+		b := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 7100})
+		if a == b {
+			t.Fatalf("host %d: rings share a band", h)
+		}
+	}
+	if fab.Host(3).Egress.Qdisc().Kind() != "pfifo" {
+		t.Fatal("single-job host 3 was configured")
+	}
+	// Ring A departs: every host it contended on returns to FIFO.
+	ctl.JobDeparted(100)
+	for h := 0; h <= 3; h++ {
+		if fab.Host(h).Egress.Qdisc().Kind() != "pfifo" {
+			t.Fatalf("host %d still configured after contention ended", h)
+		}
+	}
+}
+
+func TestMixedPSAndCollectiveRankedUniformly(t *testing.T) {
+	_, fab, ctl := newHarness(4, Config{Policy: PolicyOne, Bands: 6})
+	// A PS job on host 0 and a ring crossing host 0: host 0 carries
+	// both traffic classes and must rank the two jobs into distinct
+	// bands, whatever their workload type.
+	ctl.JobArrived(job(0, 0))
+	ctl.JobArrived(collJob(100, 7000, 0, 1, 2))
+	htb, ok := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+	if !ok {
+		t.Fatal("mixed host not running htb")
+	}
+	ps := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 5000})
+	ring := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 7000})
+	if ps == ring {
+		t.Fatal("PS and collective jobs share a band")
+	}
+	if ps == htb.Classifier().Default() && ring == htb.Classifier().Default() {
+		t.Fatal("both jobs fell through to the default class")
+	}
+}
+
+func TestMultiPortJobFiltersToOneBand(t *testing.T) {
+	_, fab, ctl := newHarness(3, Config{Policy: PolicyOne})
+	// One job emitting from two source ports (e.g. PS fan-out plus a
+	// collective ring): both filters must land in the same band.
+	two := JobInfo{ID: 0, PSHost: 0, PSPort: 5000, UpdateBytes: 1,
+		Ports: []int{5000, 7000}}
+	ctl.JobArrived(two)
+	ctl.JobArrived(job(1, 0))
+	htb := fab.Host(0).Egress.Qdisc().(*qdisc.HTB)
+	cl := htb.Classifier()
+	a := cl.Classify(&qdisc.Chunk{SrcPort: 5000})
+	b := cl.Classify(&qdisc.Chunk{SrcPort: 7000})
+	if a != b {
+		t.Fatalf("one job's two ports map to bands %d and %d", a, b)
+	}
+	if other := cl.Classify(&qdisc.Chunk{SrcPort: 5001}); other == a {
+		t.Fatal("second job shares the first job's band")
+	}
+	// Filter prefs must be unique across the chain.
+	seen := map[int]bool{}
+	for _, f := range cl.Filters() {
+		if seen[f.Pref] {
+			t.Fatalf("duplicate filter pref %d", f.Pref)
+		}
+		seen[f.Pref] = true
+	}
+}
+
+func TestCollectiveRotationRotatesRingHosts(t *testing.T) {
+	k, fab, ctl := newHarness(3, Config{Policy: PolicyRR, IntervalSec: 5})
+	ctl.JobArrived(collJob(100, 7000, 0, 1, 2))
+	ctl.JobArrived(collJob(101, 7100, 0, 1, 2))
+	htb := fab.Host(1).Egress.Qdisc().(*qdisc.HTB)
+	before := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 7000})
+	k.RunUntil(6) // one rotation
+	after := htb.Classifier().Classify(&qdisc.Chunk{SrcPort: 7000})
+	if before == after {
+		t.Fatal("rotation did not move the ring job's band")
+	}
+}

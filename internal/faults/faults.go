@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/collective"
 	"repro/internal/dl"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -36,6 +37,9 @@ type Counts struct {
 	DropWindows  int
 	TCOutages    int
 	Crashes      int
+	// PeerCrashes counts collective-rank kills — each one stalls its
+	// whole ring until detection and restart.
+	PeerCrashes int
 }
 
 // Injector schedules faults against one testbed. Construct with New
@@ -221,6 +225,26 @@ func (in *Injector) CrashWorker(j *dl.Job, worker int, at float64) {
 	})
 }
 
+// CrashPeer kills rank `rank` of the collective job at `at`. Unlike a
+// PS worker crash, this wedges the entire ring: every surviving rank's
+// all-reduce stalls within one step. The job's own failure detector
+// (JobSpec.Recovery) notices the stall, restarts the peer and re-runs
+// the iteration — or fails the job once the budget is exhausted.
+// Crashes scheduled after the job already finished or failed are
+// silently skipped.
+func (in *Injector) CrashPeer(j *collective.Job, rank int, at float64) {
+	if now := in.k.Now(); at < now {
+		at = now
+	}
+	in.k.Schedule(at, func() {
+		if j.Done() || j.Failed() {
+			return
+		}
+		in.counts.PeerCrashes++
+		j.CrashPeer(rank)
+	})
+}
+
 // CrashPlan schedules one worker crash.
 type CrashPlan struct {
 	Job    int     // job ID (key into Apply's jobs map)
@@ -275,13 +299,17 @@ type Plan struct {
 	HorizonSec float64
 	// Crashes lists worker crashes to schedule.
 	Crashes []CrashPlan
+	// PeerCrashes lists collective-rank crashes to schedule: Job keys
+	// into Apply's collective jobs map, Worker is the rank index.
+	PeerCrashes []CrashPlan
 	// TCOutages lists standalone tc outages to schedule.
 	TCOutages []OutagePlan
 }
 
 // Active reports whether the plan injects anything.
 func (p Plan) Active() bool {
-	return p.flapping() || len(p.Crashes) > 0 || len(p.TCOutages) > 0
+	return p.flapping() || len(p.Crashes) > 0 || len(p.PeerCrashes) > 0 ||
+		len(p.TCOutages) > 0
 }
 
 func (p Plan) flapping() bool {
@@ -317,6 +345,14 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("faults: Crashes[%d].Worker %d is negative", i, c.Worker)
 		}
 	}
+	for i, c := range p.PeerCrashes {
+		if c.AtSec < 0 {
+			return fmt.Errorf("faults: PeerCrashes[%d].AtSec %g is negative", i, c.AtSec)
+		}
+		if c.Worker < 0 {
+			return fmt.Errorf("faults: PeerCrashes[%d].Worker %d is negative", i, c.Worker)
+		}
+	}
 	for i, o := range p.TCOutages {
 		if o.AtSec < 0 {
 			return fmt.Errorf("faults: TCOutages[%d].AtSec %g is negative", i, o.AtSec)
@@ -332,11 +368,14 @@ func (p Plan) Validate() error {
 }
 
 // Apply expands the plan into scheduled faults. psHosts are the
-// parameter-server hosts flapped when FlapPSHosts is set; jobs maps job
-// ID to job for crash scheduling. Hosts are deduplicated and processed
+// parameter-server hosts flapped when FlapPSHosts is set; jobs maps
+// PS-job ID to job for crash scheduling, and cjobs maps collective-job
+// ID to job for peer-crash scheduling (either may be nil when the plan
+// touches no job of that kind). Hosts are deduplicated and processed
 // in ascending order so the jitter draws — and thus the schedule — are
 // deterministic for a given seed.
-func (in *Injector) Apply(p Plan, psHosts []int, jobs map[int]*dl.Job) error {
+func (in *Injector) Apply(p Plan, psHosts []int, jobs map[int]*dl.Job,
+	cjobs map[int]*collective.Job) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -397,6 +436,17 @@ func (in *Injector) Apply(p Plan, psHosts []int, jobs map[int]*dl.Job) error {
 				i, c.Worker, c.Job, j.Spec.NumWorkers)
 		}
 		in.CrashWorker(j, c.Worker, c.AtSec)
+	}
+	for i, c := range p.PeerCrashes {
+		j, ok := cjobs[c.Job]
+		if !ok {
+			return fmt.Errorf("faults: PeerCrashes[%d] names unknown collective job %d", i, c.Job)
+		}
+		if c.Worker < 0 || c.Worker >= j.N() {
+			return fmt.Errorf("faults: PeerCrashes[%d] names rank %d, but job %d has %d ranks",
+				i, c.Worker, c.Job, j.N())
+		}
+		in.CrashPeer(j, c.Worker, c.AtSec)
 	}
 	return nil
 }

@@ -174,7 +174,7 @@ func TestCrashPlanRestartsWorker(t *testing.T) {
 	jobs := launch(t, tb, []dl.JobSpec{jobSpec(0, 10)}, nil)
 	inj := New(tb.K, tb.RNG, tb.Fabric, nil)
 	plan := Plan{Crashes: []CrashPlan{{Job: 0, Worker: 1, AtSec: 0.4 * ref}}}
-	if err := inj.Apply(plan, nil, map[int]*dl.Job{0: jobs[0]}); err != nil {
+	if err := inj.Apply(plan, nil, map[int]*dl.Job{0: jobs[0]}, nil); err != nil {
 		t.Fatal(err)
 	}
 	tb.RunToCompletion(jobs, 0)
@@ -278,7 +278,7 @@ func fullScenario(t *testing.T) string {
 		HorizonSec:      8,
 		Crashes:         []CrashPlan{{Job: 0, Worker: 2, AtSec: 2.0}},
 	}
-	if err := inj.Apply(plan, []int{0, 0}, map[int]*dl.Job{0: jobs[0], 1: jobs[1]}); err != nil {
+	if err := inj.Apply(plan, []int{0, 0}, map[int]*dl.Job{0: jobs[0], 1: jobs[1]}, nil); err != nil {
 		t.Fatal(err)
 	}
 	tb.RunToCompletion(jobs, 0)
@@ -340,18 +340,22 @@ func TestPlanValidate(t *testing.T) {
 func TestApplyRejectsBadTargets(t *testing.T) {
 	tb := testbed(1)
 	inj := New(tb.K, tb.RNG, tb.Fabric, nil)
-	if err := inj.Apply(Plan{Crashes: []CrashPlan{{Job: 9}}}, nil, nil); err == nil {
+	if err := inj.Apply(Plan{Crashes: []CrashPlan{{Job: 9}}}, nil, nil, nil); err == nil {
 		t.Error("unknown crash job accepted")
 	}
 	jobs := launch(t, tb, []dl.JobSpec{jobSpec(0, 10)}, nil)
 	if err := inj.Apply(Plan{Crashes: []CrashPlan{{Job: 0, Worker: 99}}}, nil,
-		map[int]*dl.Job{0: jobs[0]}); err == nil {
+		map[int]*dl.Job{0: jobs[0]}, nil); err == nil {
 		t.Error("out-of-range crash worker accepted")
 	}
 	if err := inj.Apply(Plan{
 		FlapPSHosts: true, FlapEverySec: 1, FlapDurationSec: 0.1,
 		HorizonSec: 2, TCOutage: true,
-	}, []int{0}, nil); err == nil {
+	}, []int{0}, nil, nil); err == nil {
 		t.Error("tc outage accepted without a tc controller")
+	}
+	if err := inj.Apply(Plan{PeerCrashes: []CrashPlan{{Job: 1000}}},
+		nil, nil, nil); err == nil {
+		t.Error("unknown peer-crash job accepted")
 	}
 }

@@ -112,6 +112,48 @@ func TestClassifierRemoveWhere(t *testing.T) {
 	}
 }
 
+// A job can source traffic under several ports — its PS port and a
+// collective all-reduce port — and the controller installs one filter
+// per port targeting the job's single band. Interleaved chunks from
+// both workload classes must land in that band, in any order.
+func TestClassifierInterleavedPSAndCollective(t *testing.T) {
+	const (
+		jobABand = ClassID(0) // job A: PS port 5000 + collective port 7000
+		jobBBand = ClassID(1) // job B: collective port 7100 only
+		defBand  = ClassID(3)
+	)
+	cl := NewClassifier(defBand)
+	cl.Add(Filter{Pref: 0, Match: MatchSrcPort(5000), Target: jobABand})
+	cl.Add(Filter{Pref: 1, Match: MatchSrcPort(7000), Target: jobABand})
+	cl.Add(Filter{Pref: 2, Match: MatchSrcPort(7100), Target: jobBBand})
+
+	interleaved := []struct {
+		sport int
+		want  ClassID
+	}{
+		{5000, jobABand}, // PS gradient push
+		{7100, jobBBand}, // ring segment, job B
+		{7000, jobABand}, // ring segment, job A
+		{5000, jobABand}, // PS model update
+		{7000, jobABand},
+		{7100, jobBBand},
+		{30042, defBand}, // unmanaged worker traffic falls through
+	}
+	for i, tc := range interleaved {
+		if got := cl.Classify(mkChunk(1, tc.sport, 10)); got != tc.want {
+			t.Fatalf("chunk %d (sport %d): band %d, want %d", i, tc.sport, got, tc.want)
+		}
+	}
+	// Dropping the job A filters must not disturb job B's band.
+	cl.RemoveWhere(func(f Filter) bool { return f.Target == jobABand })
+	if got := cl.Classify(mkChunk(1, 7000, 10)); got != defBand {
+		t.Fatalf("departed job's collective port still classified to %d", got)
+	}
+	if got := cl.Classify(mkChunk(1, 7100, 10)); got != jobBBand {
+		t.Fatalf("job B band lost: %d", got)
+	}
+}
+
 // Property: classification is deterministic and always returns either a
 // filter's target or the default.
 func TestClassifierProperty(t *testing.T) {

@@ -121,6 +121,18 @@ func (r *FaultRecoveryResult) WriteCSV(w io.Writer) error {
 	return c.err
 }
 
+// WriteCSV exports the collective-workload comparison rows.
+func (r *CollectiveResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("scenario", "policy", "avg_jct_s", "p95_jct_s",
+		"ps_avg_jct_s", "allreduce_avg_jct_s", "reconfigs")
+	for _, row := range r.Rows {
+		c.row(row.Scenario, row.Policy, row.AvgJCT, row.P95JCT,
+			row.PSAvg, row.AllReduceAvg, row.Reconfigs)
+	}
+	return c.err
+}
+
 // WriteCSV exports Table II's normalized utilization rows.
 func (r *TableIIResult) WriteCSV(w io.Writer) error {
 	c := &csvWriter{w: w}

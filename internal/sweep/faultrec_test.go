@@ -39,7 +39,7 @@ func faultyRunConfig(seed int64) RunConfig {
 			// tc commands.
 			TCOutageExtraSec: 0.8,
 			HorizonSec:       10,
-			Crashes:         []faults.CrashPlan{{Job: 1, Worker: 2, AtSec: 2}},
+			Crashes:          []faults.CrashPlan{{Job: 1, Worker: 2, AtSec: 2}},
 		},
 		Recovery: dl.RecoveryConfig{
 			DetectTimeoutSec:  0.1,

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/dl"
 	"repro/internal/faults"
@@ -50,11 +51,19 @@ type RunConfig struct {
 	// Recovery is copied onto every job spec; the zero value disables
 	// failure detection, so a crashed worker wedges its job's barrier.
 	Recovery dl.RecoveryConfig
+	// CollectiveSpecs, when non-empty, launches these all-reduce jobs
+	// alongside the PS workload (same kernel, same fabric, same stagger)
+	// and registers them with TensorLights by their collective port. With
+	// NumJobs == 0 the run is all-reduce-only.
+	CollectiveSpecs []collective.JobSpec
 }
 
 func (rc *RunConfig) fillDefaults() {
-	if rc.NumJobs <= 0 {
+	if rc.NumJobs <= 0 && len(rc.CollectiveSpecs) == 0 {
 		rc.NumJobs = 21
+	}
+	if rc.NumJobs < 0 {
+		rc.NumJobs = 0
 	}
 	if rc.LocalBatch <= 0 {
 		rc.LocalBatch = 4
@@ -68,7 +77,7 @@ func (rc *RunConfig) fillDefaults() {
 	if rc.StaggerSec <= 0 {
 		rc.StaggerSec = 0.1
 	}
-	if len(rc.Placement.Groups) == 0 {
+	if rc.NumJobs > 0 && len(rc.Placement.Groups) == 0 {
 		rc.Placement, _ = cluster.PlacementByIndex(1)
 	}
 }
@@ -103,6 +112,10 @@ type RunResult struct {
 	FailedJobs      []int // jobs that lost every worker (no JCT recorded)
 	DroppedChunks   uint64
 	TcRecovery      core.RecoveryStats
+
+	// Collective workload accounting (empty without CollectiveSpecs).
+	CollectiveJCTs   []float64 // per all-reduce job, in spec order
+	CollectiveStalls int       // ring stalls observed across all jobs
 }
 
 // AvgJCT returns the mean job completion time.
@@ -113,10 +126,14 @@ func Run(rc RunConfig) (*RunResult, error) {
 	rc.fillDefaults()
 	start := time.Now()
 	tb := cluster.NewTestbed(rc.Cluster)
-	specs, err := cluster.GridSearchSpecs(rc.Cluster, rc.Model, rc.NumJobs,
-		rc.LocalBatch, rc.TargetSteps, rc.Placement)
-	if err != nil {
-		return nil, err
+	var specs []dl.JobSpec
+	var err error
+	if rc.NumJobs > 0 {
+		specs, err = cluster.GridSearchSpecs(rc.Cluster, rc.Model, rc.NumJobs,
+			rc.LocalBatch, rc.TargetSteps, rc.Placement)
+		if err != nil {
+			return nil, err
+		}
 	}
 	for i := range specs {
 		specs[i].Async = rc.Async
@@ -145,6 +162,38 @@ func Run(rc RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cjobs []*collective.Job
+	if len(rc.CollectiveSpecs) > 0 {
+		cspecs := make([]collective.JobSpec, len(rc.CollectiveSpecs))
+		copy(cspecs, rc.CollectiveSpecs)
+		for i := range cspecs {
+			if cspecs[i].ComputeJitterSigma == 0 {
+				cspecs[i].ComputeJitterSigma = rc.ComputeJitterSigma
+			}
+			if cspecs[i].Recovery == (dl.RecoveryConfig{}) {
+				cspecs[i].Recovery = rc.Recovery
+			}
+		}
+		// Every rank's flows carry the job's collective port as source
+		// port, so one JobInfo with SenderHosts = the ring keys the whole
+		// job into a single priority band on each of its hosts.
+		cjobs, err = tb.LaunchCollective(cspecs, rc.StaggerSec, func(j *collective.Job) {
+			ctl.JobArrived(core.JobInfo{
+				ID:          j.Spec.ID,
+				PSHost:      j.Spec.Hosts[0],
+				PSPort:      j.Spec.Port,
+				UpdateBytes: j.Spec.Model.UpdateBytes(),
+				SenderHosts: j.Spec.Hosts,
+				Ports:       []int{j.Spec.Port},
+			})
+			j.OnFinish = func(j *collective.Job) { ctl.JobDeparted(j.Spec.ID) }
+			j.OnFail = func(j *collective.Job) { ctl.JobDeparted(j.Spec.ID) }
+			j.OnIteration = func(j *collective.Job, iter int) { ctl.JobProgress(j.Spec.ID, iter) }
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	var inj *faults.Injector
 	if rc.Faults.Active() {
 		tcc := tb.TC
@@ -165,7 +214,11 @@ func Run(rc RunConfig) (*RunResult, error) {
 		for _, j := range jobs {
 			jobByID[j.Spec.ID] = j
 		}
-		if err := inj.Apply(rc.Faults, psHosts, jobByID); err != nil {
+		cjobByID := make(map[int]*collective.Job, len(cjobs))
+		for _, j := range cjobs {
+			cjobByID[j.Spec.ID] = j
+		}
+		if err := inj.Apply(rc.Faults, psHosts, jobByID, cjobByID); err != nil {
 			return nil, err
 		}
 	}
@@ -174,7 +227,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 		sampler = metrics.NewUtilizationSampler(tb.K, tb.Fabric, tb.CPUs, rc.SampleUtilEvery)
 		sampler.Start()
 	}
-	tb.RunToCompletion(jobs, 0)
+	tb.RunMixedToCompletion(jobs, cjobs, 0)
 	if sampler != nil {
 		sampler.Stop()
 	}
@@ -212,6 +265,19 @@ func Run(rc RunConfig) (*RunResult, error) {
 			res.Progress[j.Spec.ID] = j.Progress()
 		}
 		psSet[j.Spec.PSHost] = true
+	}
+	for _, j := range cjobs {
+		res.Restarts += j.Restarts()
+		res.CollectiveStalls += j.Stalls()
+		if j.Failed() {
+			res.FailedJobs = append(res.FailedJobs, j.Spec.ID)
+			continue
+		}
+		if !j.Done() {
+			return nil, fmt.Errorf("sweep: collective job %d did not finish (iteration %d/%d)",
+				j.Spec.ID, j.Iterations(), j.Spec.TargetIterations)
+		}
+		res.CollectiveJCTs = append(res.CollectiveJCTs, j.JCT())
 	}
 	if inj != nil {
 		res.FaultCounts = inj.Counts()

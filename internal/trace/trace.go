@@ -38,7 +38,48 @@ const (
 	KindTcError       Kind = "tc_error"
 	KindTcFallback    Kind = "tc_fallback"
 	KindTcRepair      Kind = "tc_repair"
+
+	// Collective-communication kinds (see internal/collective).
+	// ring_step fires when every rank of a job has received a given
+	// all-reduce step of a bucket; bucket_done when a bucket is fully
+	// reduced at all ranks; ring_stall when a crashed peer is detected
+	// wedging the collective (the ring analogue of a barrier straggler).
+	KindRingStep   Kind = "ring_step"
+	KindBucketDone Kind = "bucket_done"
+	KindRingStall  Kind = "ring_stall"
 )
+
+// allKinds is the registry of every event kind the simulation layers
+// emit. Kinds and Registered read it; the trace tests assert that each
+// declared constant is registered, so a newly added kind that is not
+// listed here fails the build's tests rather than silently producing
+// unregistered events.
+var allKinds = []Kind{
+	KindJobStart, KindJobFinish, KindBarrierRelease, KindGradientRecv,
+	KindModelRecv, KindFlowDone, KindTcConfig, KindPriorityRotate,
+	KindCustom,
+	KindLinkDown, KindLinkUp, KindChunkDrop, KindWorkerCrash,
+	KindWorkerRestart, KindWorkerDegrade, KindJobFail, KindTcError,
+	KindTcFallback, KindTcRepair,
+	KindRingStep, KindBucketDone, KindRingStall,
+}
+
+// Kinds returns every registered event kind, in registration order.
+func Kinds() []Kind {
+	out := make([]Kind, len(allKinds))
+	copy(out, allKinds)
+	return out
+}
+
+// Registered reports whether k is a registered event kind.
+func Registered(k Kind) bool {
+	for _, r := range allKinds {
+		if r == k {
+			return true
+		}
+	}
+	return false
+}
 
 // Event is one trace record.
 type Event struct {

@@ -109,6 +109,75 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+func TestKindsRegistry(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[Kind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate kind %q", k)
+		}
+		seen[k] = true
+		if !Registered(k) {
+			t.Fatalf("Kinds() lists %q but Registered says no", k)
+		}
+	}
+	for _, k := range []Kind{KindRingStep, KindBucketDone, KindRingStall} {
+		if !Registered(k) {
+			t.Fatalf("collective kind %q not registered", k)
+		}
+	}
+	if Registered(Kind("no_such_kind")) {
+		t.Fatal("unknown kind reported registered")
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	kinds[0] = Kind("clobbered")
+	if !Registered(Kinds()[0]) {
+		t.Fatal("Kinds() exposes internal registry storage")
+	}
+}
+
+func TestBufferRingJSONRoundTrip(t *testing.T) {
+	b := &Buffer{Cap: 4}
+	kinds := []Kind{KindRingStep, KindBucketDone, KindRingStall}
+	for i := 0; i < 11; i++ {
+		b.Emit(Event{
+			At: float64(i) * 0.5, Kind: kinds[i%len(kinds)],
+			Job: 1000 + i, Host: i % 3, Worker: i % 2,
+			Value: float64(i), Detail: "bucket",
+		})
+	}
+	if b.Len() != 4 || b.Total() != 11 {
+		t.Fatalf("len %d total %d", b.Len(), b.Total())
+	}
+	var out bytes.Buffer
+	if err := b.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	want := b.Events()
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(want))
+	}
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, decoded[i], want[i])
+		}
+		// Oldest retained event must be the 8th emitted (11 - 4 = 7).
+		if decoded[i].Job != 1000+7+i {
+			t.Fatalf("ring dropped wrong events: %+v", decoded)
+		}
+		if !Registered(decoded[i].Kind) {
+			t.Fatalf("round-tripped unregistered kind %q", decoded[i].Kind)
+		}
+	}
+}
+
 func TestMultiAndFuncTracer(t *testing.T) {
 	var got []Event
 	fn := FuncTracer(func(e Event) { got = append(got, e) })

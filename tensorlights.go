@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"repro/internal/cluster"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/dl"
 	"repro/internal/faults"
@@ -113,6 +114,41 @@ type ExperimentConfig struct {
 	TraceCSV io.Writer
 	// Faults enables deterministic fault injection for the run.
 	Faults FaultConfig
+	// Collective, when non-nil, adds synchronous all-reduce jobs to the
+	// run. With NumJobs == 0 the cluster is all-reduce-only; with
+	// NumJobs > 0 the PS and collective workloads share hosts and
+	// TensorLights schedules both uniformly.
+	Collective *CollectiveConfig
+}
+
+// CollectiveJobIDBase is the ID of the first collective job: ring i is
+// job CollectiveJobIDBase+i, disjoint from PS job IDs (0..NumJobs-1).
+// Fault plans target a ring peer by naming a job at or above this base.
+const CollectiveJobIDBase = cluster.CollectiveIDBase
+
+// CollectiveConfig describes an all-reduce workload: Jobs rings of
+// Ranks ranks each, placed by ring order over the cluster's hosts.
+type CollectiveConfig struct {
+	// Jobs is the number of all-reduce jobs (default 3).
+	Jobs int
+	// Ranks is the ring size — ranks per job, one per host (default 4).
+	Ranks int
+	// Stride offsets ring i's first host by i*Stride. The default 0
+	// aligns every ring on the same hosts: maximal NIC contention, the
+	// collective analogue of placement #1.
+	Stride int
+	// Algorithm is "ring" (bucketized ring all-reduce, the default) or
+	// "tree" (binomial tree reduce + broadcast).
+	Algorithm string
+	// Model names the trained model (default "alexnet", whose 244 MB
+	// updates make the rings communication-bound).
+	Model string
+	// LocalBatch is the per-rank batch size (default 1).
+	LocalBatch int
+	// Iterations is the training length (default Steps/30, min 2).
+	Iterations int
+	// Buckets is the gradient-bucket count per iteration (default 4).
+	Buckets int
 }
 
 // WorkerCrash schedules one worker-task crash.
@@ -145,6 +181,10 @@ type FaultConfig struct {
 	TCOutage bool
 	// Crashes lists worker crashes to schedule.
 	Crashes []WorkerCrash
+	// PeerCrashes lists collective-rank crashes (Worker = rank index;
+	// Job must be a collective job's ID). A crashed peer stalls its
+	// whole ring until detection restarts the iteration.
+	PeerCrashes []WorkerCrash
 	// DetectTimeoutSec, RestartBackoffSec and MaxRestarts tune each
 	// job's crashed-worker recovery (see dl.RecoveryConfig). With
 	// DetectTimeoutSec zero, a crashed worker wedges its job's barrier.
@@ -166,6 +206,11 @@ func (f FaultConfig) plan() faults.Plan {
 	}
 	for _, c := range f.Crashes {
 		p.Crashes = append(p.Crashes, faults.CrashPlan{
+			Job: c.Job, Worker: c.Worker, AtSec: c.AtSec,
+		})
+	}
+	for _, c := range f.PeerCrashes {
+		p.PeerCrashes = append(p.PeerCrashes, faults.CrashPlan{
 			Job: c.Job, Worker: c.Worker, AtSec: c.AtSec,
 		})
 	}
@@ -204,6 +249,12 @@ type Result struct {
 	TcRetries   int
 	TcFallbacks int
 	TcRepairs   int
+
+	// Collective-workload accounting (empty without Collective).
+	CollectiveJCTs   []float64
+	CollectiveAvgJCT float64
+	// RingStalls counts whole-ring stalls caused by crashed peers.
+	RingStalls int
 }
 
 // HostUtilization is one host's active-window utilization in [0,1].
@@ -249,6 +300,9 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 		TcRetries:           res.TcRecovery.Retries,
 		TcFallbacks:         res.TcRecovery.Fallbacks,
 		TcRepairs:           res.TcRecovery.Repairs,
+		CollectiveJCTs:      res.CollectiveJCTs,
+		CollectiveAvgJCT:    metrics.Mean(res.CollectiveJCTs),
+		RingStalls:          res.CollectiveStalls,
 	}
 	for _, u := range res.Utils {
 		out.Utilization = append(out.Utilization, HostUtilization{
@@ -304,7 +358,62 @@ func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
 		RestartBackoffSec: cfg.Faults.RestartBackoffSec,
 		MaxRestarts:       cfg.Faults.MaxRestarts,
 	}
+	if cfg.Collective != nil {
+		specs, err := collectiveSpecs(cfg)
+		if err != nil {
+			return zero, err
+		}
+		rc.CollectiveSpecs = specs
+	}
 	return rc, nil
+}
+
+// collectiveSpecs expands CollectiveConfig into per-job specs.
+func collectiveSpecs(cfg ExperimentConfig) ([]collective.JobSpec, error) {
+	cc := *cfg.Collective
+	if cc.Jobs <= 0 {
+		cc.Jobs = 3
+	}
+	if cc.Ranks <= 0 {
+		cc.Ranks = 4
+	}
+	if cc.Model == "" {
+		cc.Model = "alexnet"
+	}
+	if cc.LocalBatch <= 0 {
+		cc.LocalBatch = 1
+	}
+	if cc.Iterations <= 0 {
+		steps := cfg.Steps
+		if steps <= 0 {
+			steps = 30_000
+		}
+		cc.Iterations = steps / 30
+		if cc.Iterations < 2 {
+			cc.Iterations = 2
+		}
+	}
+	alg := collective.Ring
+	if cc.Algorithm != "" {
+		alg = collective.Algorithm(cc.Algorithm)
+		if err := alg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	model, err := dl.ModelByName(cc.Model)
+	if err != nil {
+		return nil, err
+	}
+	const testbedHosts = 21 // the façade always runs the paper's cluster
+	rings, err := cluster.RingPlacement(cc.Jobs, cc.Ranks, testbedHosts, cc.Stride)
+	if err != nil {
+		return nil, err
+	}
+	specs := cluster.CollectiveSpecs(model, rings, alg, cc.LocalBatch, cc.Iterations)
+	for i := range specs {
+		specs[i].Buckets = cc.Buckets
+	}
+	return specs, nil
 }
 
 // ReproOptions scales the per-figure reproduction runs. Zero values run
@@ -369,6 +478,20 @@ func ReproduceFigure6(o ReproOptions) (string, error) {
 // ReproduceTableII regenerates Table II (normalized utilization).
 func ReproduceTableII(o ReproOptions) (string, error) {
 	r, err := sweep.TableII(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceCollective runs the collective-workload comparison: ring
+// all-reduce jobs — scheduled by TensorLights exactly like PS jobs,
+// one priority band per job keyed by the job's collective port — under
+// FIFO, TLs-One and TLs-RR, on an all-reduce-only cluster and on a
+// mixed PS + all-reduce cluster where the PS host carries both traffic
+// classes.
+func ReproduceCollective(o ReproOptions) (string, error) {
+	r, err := sweep.Collective(o.sweep())
 	if err != nil {
 		return "", err
 	}

@@ -335,3 +335,120 @@ func TestVersion(t *testing.T) {
 		t.Fatal("version")
 	}
 }
+
+func TestRunExperimentCollectiveOnly(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Policy: TLsOne,
+		Steps:  90,
+		Seed:   42,
+		Collective: &CollectiveConfig{
+			Jobs:  2,
+			Ranks: 3,
+			Model: "resnet32",
+		},
+		NumJobs: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JCTs) != 0 {
+		t.Fatalf("phantom PS jobs: %d JCTs", len(res.JCTs))
+	}
+	if len(res.CollectiveJCTs) != 2 || res.CollectiveAvgJCT <= 0 {
+		t.Fatalf("collective result %+v", res)
+	}
+	if res.TcReconfigurations == 0 {
+		t.Fatal("TLs never configured tc for the rings")
+	}
+}
+
+func TestRunExperimentMixedWorkload(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Policy:    TLsRR,
+		NumJobs:   2,
+		Placement: "2", // both PSes colocated on host 0
+		Steps:     100,
+		Seed:      42,
+		Collective: &CollectiveConfig{
+			Jobs:       2,
+			Ranks:      3,
+			Model:      "resnet32",
+			Iterations: 3,
+			Algorithm:  "tree",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JCTs) != 2 || len(res.CollectiveJCTs) != 2 {
+		t.Fatalf("mixed run: %d PS, %d collective JCTs",
+			len(res.JCTs), len(res.CollectiveJCTs))
+	}
+}
+
+func TestRunExperimentCollectivePeerCrash(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Steps: 90,
+		Seed:  42,
+		Collective: &CollectiveConfig{
+			Jobs:  1,
+			Ranks: 3,
+			Model: "resnet32",
+		},
+		NumJobs: 0,
+		Faults: FaultConfig{
+			// Collective job IDs start at 1000 (see cluster.CollectiveIDBase).
+			PeerCrashes:       []WorkerCrash{{Job: 1000, Worker: 1, AtSec: 0.3}},
+			DetectTimeoutSec:  1,
+			RestartBackoffSec: 0.5,
+			MaxRestarts:       2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RingStalls == 0 || res.WorkerRestarts == 0 {
+		t.Fatalf("peer crash not recovered: stalls %d restarts %d",
+			res.RingStalls, res.WorkerRestarts)
+	}
+	if len(res.CollectiveJCTs) != 1 {
+		t.Fatalf("job lost: failed %v", res.FailedJobs)
+	}
+}
+
+func TestRunExperimentCollectiveErrors(t *testing.T) {
+	base := func() ExperimentConfig {
+		return ExperimentConfig{Steps: 30, NumJobs: 0,
+			Collective: &CollectiveConfig{Jobs: 1, Ranks: 3, Model: "resnet32"}}
+	}
+	bad := base()
+	bad.Collective.Algorithm = "butterfly"
+	if _, err := RunExperiment(bad); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	bad = base()
+	bad.Collective.Model = "gpt5"
+	if _, err := RunExperiment(bad); err == nil {
+		t.Fatal("bad collective model accepted")
+	}
+	bad = base()
+	bad.Collective.Ranks = 22
+	if _, err := RunExperiment(bad); err == nil {
+		t.Fatal("ring larger than the testbed accepted")
+	}
+}
+
+func TestReproduceCollectiveSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run reproduction in -short mode")
+	}
+	out, err := ReproduceCollective(ReproOptions{Steps: 300, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"allreduce", "mixed", "TLs-RR", "FIFO"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
