@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check
+.PHONY: build test vet race check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,22 @@ vet:
 	$(GO) vet ./...
 
 # Race-detect the whole module: psrpc runs real goroutines and sockets,
-# and sweep's RunMany drives concurrent simulations (now including the
-# collective workload), so nothing is exempt.
+# and sweep's parallel Engine drives concurrent simulations (now
+# including the collective workload), so nothing is exempt.
 race:
 	$(GO) test -race ./...
 
 check: build vet test race
+
+# bench writes BENCH_sweep.json: trials/sec through the sequential and
+# parallel Engine paths, plus ns/event and allocs/event in the kernel.
+bench:
+	$(GO) run ./cmd/bench -steps 600 -trials 8 -parallel 4 -out BENCH_sweep.json
+
+# fuzz smoke-runs each qdisc fuzz target briefly (go permits one -fuzz
+# pattern per invocation). The committed seed corpora always run as part
+# of plain `go test`; this shoves randomized inputs on top.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/qdisc -run '^$$' -fuzz '^FuzzClassifier$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/qdisc -run '^$$' -fuzz '^FuzzHTBDequeue$$' -fuzztime $(FUZZTIME)

@@ -1,0 +1,64 @@
+// Command bench measures the sweep harness and simulation kernel and
+// writes the snapshot to BENCH_sweep.json, giving performance work a
+// trajectory to move: trials/sec through the sequential and parallel
+// Engine paths, plus ns/event and allocs/event in the kernel.
+//
+// Usage:
+//
+//	bench                       # default sizing, writes BENCH_sweep.json
+//	bench -steps 1200 -trials 8 -parallel 4 -out BENCH_sweep.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		steps    = flag.Int("steps", 600, "global steps per trial")
+		trials   = flag.Int("trials", 8, "trials in the benchmark grid")
+		parallel = flag.Int("parallel", 4, "parallel leg's worker count")
+		seed     = flag.Int64("seed", 1, "base seed")
+		out      = flag.String("out", "BENCH_sweep.json", "output JSON path")
+	)
+	flag.Parse()
+
+	rep, err := sweep.MeasureSweepBench(sweep.BenchConfig{
+		Steps:       *steps,
+		Trials:      *trials,
+		Parallelism: *parallel,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("sweep bench: %d trials x %d steps, GOMAXPROCS=%d\n",
+		rep.Trials, rep.Steps, rep.GOMAXPROCS)
+	fmt.Printf("  sequential: %.2fs (%.2f trials/sec)\n",
+		rep.SequentialSec, rep.TrialsPerSecSequential)
+	fmt.Printf("  parallel=%d: %.2fs (%.2f trials/sec, %.2fx speedup)\n",
+		rep.Parallelism, rep.ParallelSec, rep.TrialsPerSecParallel, rep.Speedup)
+	fmt.Printf("  kernel: %d events, %.0f ns/event, %.4f allocs/event\n",
+		rep.Events, rep.NsPerEvent, rep.AllocsPerEvent)
+	fmt.Printf("report written to %s\n", *out)
+}

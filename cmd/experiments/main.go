@@ -36,8 +36,8 @@ func main() {
 	var (
 		steps    = flag.Int("steps", 30000, "target global steps per job (paper: 30000)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2|faultrec|collective")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2|faultrec|collective|replicate|churn")
+		parallel = flag.Int("parallel", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential)")
 		csvdir   = flag.String("csvdir", "", "directory to write per-figure CSV data files")
 	)
 	flag.Parse()
@@ -56,6 +56,8 @@ func main() {
 		{"table2", func(o sweep.Options) (renderable, error) { return sweep.TableII(o) }},
 		{"faultrec", func(o sweep.Options) (renderable, error) { return sweep.FaultRecovery(o) }},
 		{"collective", func(o sweep.Options) (renderable, error) { return sweep.Collective(o) }},
+		{"replicate", func(o sweep.Options) (renderable, error) { return sweep.ReplicateSweep(o) }},
+		{"churn", func(o sweep.Options) (renderable, error) { return sweep.ChurnSweep(o) }},
 	}
 	if *csvdir != "" {
 		if err := os.MkdirAll(*csvdir, 0o755); err != nil {

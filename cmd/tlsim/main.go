@@ -48,29 +48,31 @@ func parseCrashes(s string) ([]tensorlights.WorkerCrash, error) {
 
 func main() {
 	var (
-		policy    = flag.String("policy", "fifo", "scheduling policy: fifo | tls-one | tls-rr | tls-lpf | static-rate")
-		placement = flag.Int("placement", 1, "Table I placement index (1-8)")
-		custom    = flag.String("custom-placement", "", `custom PS placement, e.g. "5, 16" (overrides -placement)`)
-		model     = flag.String("model", "resnet32", "model from the zoo")
-		jobs      = flag.Int("jobs", 21, "number of concurrent jobs")
-		batch     = flag.Int("batch", 4, "local batch size")
-		steps     = flag.Int("steps", 30000, "target global steps per job")
-		bands     = flag.Int("bands", 6, "TensorLights priority bands")
-		interval  = flag.Float64("interval", 20, "TLs-RR rotation interval T (seconds)")
-		async     = flag.Bool("async", false, "asynchronous training (no barrier)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		util      = flag.Bool("util", false, "measure CPU/NIC utilization")
-		workload  = flag.String("workload", "ps", "workload mix: ps | collective | mixed")
-		rings     = flag.Int("rings", 3, "collective: number of all-reduce jobs")
-		ranks     = flag.Int("ranks", 4, "collective: ranks per all-reduce job")
-		stride    = flag.Int("ring-stride", 0, "collective: host offset between rings (0 = aligned)")
-		algorithm = flag.String("algorithm", "ring", "collective: all-reduce algorithm, ring | tree")
-		collModel = flag.String("collective-model", "alexnet", "collective: model from the zoo")
-		collIters = flag.Int("iters", 0, "collective: iterations per job (0 = steps/30)")
-		buckets   = flag.Int("buckets", 0, "collective: gradient buckets per iteration (0 = default)")
-		traceOut  = flag.String("trace", "", "write a CSV event trace to this file")
-		listModel = flag.Bool("models", false, "list available models and exit")
-		listPlace = flag.Bool("placements", false, "list Table I placements and exit")
+		policy     = flag.String("policy", "fifo", "scheduling policy: fifo | tls-one | tls-rr | tls-lpf | static-rate")
+		placement  = flag.Int("placement", 1, "Table I placement index (1-8)")
+		custom     = flag.String("custom-placement", "", `custom PS placement, e.g. "5, 16" (overrides -placement)`)
+		model      = flag.String("model", "resnet32", "model from the zoo")
+		jobs       = flag.Int("jobs", 21, "number of concurrent jobs")
+		batch      = flag.Int("batch", 4, "local batch size")
+		steps      = flag.Int("steps", 30000, "target global steps per job")
+		bands      = flag.Int("bands", 6, "TensorLights priority bands")
+		interval   = flag.Float64("interval", 20, "TLs-RR rotation interval T (seconds)")
+		async      = flag.Bool("async", false, "asynchronous training (no barrier)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		util       = flag.Bool("util", false, "measure CPU/NIC utilization")
+		workload   = flag.String("workload", "ps", "workload mix: ps | collective | mixed")
+		rings      = flag.Int("rings", 3, "collective: number of all-reduce jobs")
+		ranks      = flag.Int("ranks", 4, "collective: ranks per all-reduce job")
+		stride     = flag.Int("ring-stride", 0, "collective: host offset between rings (0 = aligned)")
+		algorithm  = flag.String("algorithm", "ring", "collective: all-reduce algorithm, ring | tree")
+		collModel  = flag.String("collective-model", "alexnet", "collective: model from the zoo")
+		collIters  = flag.Int("iters", 0, "collective: iterations per job (0 = steps/30)")
+		buckets    = flag.Int("buckets", 0, "collective: gradient buckets per iteration (0 = default)")
+		traceOut   = flag.String("trace", "", "write a CSV event trace to this file")
+		replicates = flag.Int("replicates", 1, "run this many consecutive seeds and report mean ± std avg JCT")
+		parallel   = flag.Int("parallel", 0, "concurrent replicate trials (0 = GOMAXPROCS, 1 = sequential)")
+		listModel  = flag.Bool("models", false, "list available models and exit")
+		listPlace  = flag.Bool("placements", false, "list Table I placements and exit")
 
 		faultFlapPS   = flag.Bool("fault-flap-ps", false, "periodically flap every PS host's NIC (deterministic, seeded)")
 		faultFirst    = flag.Float64("fault-flap-first", 10, "first flap time (seconds)")
@@ -187,6 +189,23 @@ func main() {
 			cfg.Faults.DropProb = *faultDrop
 			cfg.Faults.TCOutage = *faultTC
 		}
+	}
+	if *replicates > 1 {
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "tlsim: -trace is incompatible with -replicates > 1")
+			os.Exit(2)
+		}
+		stats, err := tensorlights.ReplicateExperiment(cfg, *replicates, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload=%s policy=%s placement=#%d jobs=%d batch=%d steps=%d seeds=%d..%d parallel=%d\n",
+			*workload, pol, *placement, cfg.NumJobs, *batch, *steps,
+			*seed, *seed+int64(*replicates)-1, *parallel)
+		fmt.Printf("avg JCT across seeds: %s (min %.1f, max %.1f)\n",
+			stats, stats.Min, stats.Max)
+		return
 	}
 	var traceFile *os.File
 	if *traceOut != "" {

@@ -83,7 +83,7 @@ func (tb *Testbed) LaunchCollective(specs []collective.JobSpec, staggerSec float
 	}
 	for i, j := range jobs {
 		j := j
-		tb.K.Schedule(tb.K.Now()+float64(i)*staggerSec, func() {
+		tb.K.Post(tb.K.Now()+float64(i)*staggerSec, func() {
 			j.Start()
 			if onStart != nil {
 				onStart(j)

@@ -117,7 +117,7 @@ func (tb *Testbed) Launch(specs []dl.JobSpec, staggerSec float64, onStart func(*
 	}
 	for i, j := range jobs {
 		j := j
-		tb.K.Schedule(tb.K.Now()+float64(i)*staggerSec, func() {
+		tb.K.Post(tb.K.Now()+float64(i)*staggerSec, func() {
 			j.Start()
 			if onStart != nil {
 				onStart(j)

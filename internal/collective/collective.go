@@ -562,7 +562,7 @@ func (j *Job) CrashPeer(idx int) {
 		Job: j.Spec.ID, Host: r.host, Worker: r.idx,
 	})
 	if d := j.Spec.Recovery.DetectTimeoutSec; d > 0 {
-		j.env.K.ScheduleAfter(d, func() { j.stallDetected(r) })
+		j.env.K.PostAfter(d, func() { j.stallDetected(r) })
 	}
 }
 
@@ -583,7 +583,7 @@ func (j *Job) stallDetected(r *rank) {
 		j.fail(j.env.K.Now())
 		return
 	}
-	j.env.K.ScheduleAfter(j.Spec.Recovery.RestartBackoffSec, func() {
+	j.env.K.PostAfter(j.Spec.Recovery.RestartBackoffSec, func() {
 		j.restartPeer(r)
 	})
 }

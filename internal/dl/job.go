@@ -525,7 +525,7 @@ func (j *Job) CrashWorker(idx int) {
 		Job: j.Spec.ID, Host: w.host, Worker: w.idx,
 	})
 	if d := j.Spec.Recovery.DetectTimeoutSec; d > 0 {
-		j.env.K.ScheduleAfter(d, func() { j.workerFailureDetected(w) })
+		j.env.K.PostAfter(d, func() { j.workerFailureDetected(w) })
 	}
 }
 
@@ -539,7 +539,7 @@ func (j *Job) workerFailureDetected(w *worker) {
 		j.degradeWorker(w)
 		return
 	}
-	j.env.K.ScheduleAfter(j.Spec.Recovery.RestartBackoffSec, func() {
+	j.env.K.PostAfter(j.Spec.Recovery.RestartBackoffSec, func() {
 		j.restartWorker(w)
 	})
 }

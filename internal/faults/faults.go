@@ -100,8 +100,8 @@ func (in *Injector) window(at, durSec float64, start, end func()) {
 	if now := in.k.Now(); at < now {
 		at = now
 	}
-	in.k.Schedule(at, start)
-	in.k.Schedule(at+durSec, end)
+	in.k.Post(at, start)
+	in.k.Post(at+durSec, end)
 }
 
 func (in *Injector) emit(kind trace.Kind, host int, value float64, detail string) {
@@ -216,7 +216,7 @@ func (in *Injector) CrashWorker(j *dl.Job, worker int, at float64) {
 	if now := in.k.Now(); at < now {
 		at = now
 	}
-	in.k.Schedule(at, func() {
+	in.k.Post(at, func() {
 		if j.Done() || j.Failed() {
 			return
 		}
@@ -236,7 +236,7 @@ func (in *Injector) CrashPeer(j *collective.Job, rank int, at float64) {
 	if now := in.k.Now(); at < now {
 		at = now
 	}
-	in.k.Schedule(at, func() {
+	in.k.Post(at, func() {
 		if j.Done() || j.Failed() {
 			return
 		}

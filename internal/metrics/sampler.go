@@ -29,6 +29,11 @@ type HostUtil struct {
 // and NIC byte counters, the simulated equivalent of running vmstat and
 // ifstat on each server. Windowed utilization is computed from counter
 // differences, so any [start, end] aligned to sample ticks is exact.
+//
+// Goroutine-safety: a sampler is bound to one kernel and is only ever
+// touched from that kernel's goroutine (sweep.Run constructs one per
+// trial), so it needs — and has — no locking. Do not share a sampler
+// across trials run by sweep's parallel Engine.
 type UtilizationSampler struct {
 	k        *sim.Kernel
 	fabric   *simnet.Fabric
@@ -72,7 +77,7 @@ func (s *UtilizationSampler) tick() {
 		return
 	}
 	s.snapshot()
-	s.k.ScheduleAfter(s.interval, s.tick)
+	s.k.PostAfter(s.interval, s.tick)
 }
 
 func (s *UtilizationSampler) snapshot() {

@@ -2,11 +2,10 @@
 // a simulated clock, a cancellable event queue, and seeded random number
 // streams. All simulations in this repository are single-threaded per run
 // and therefore fully reproducible given a seed; parallelism is applied
-// across independent runs by higher layers.
+// across independent runs by higher layers (see internal/sweep's Engine).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -23,11 +22,17 @@ const Forever Time = math.MaxFloat64
 // deterministically (e.g. "complete transfers before starting new ones").
 type Event struct {
 	at       Time
-	priority int
-	seq      uint64
-	index    int // heap index; -1 when not queued
 	fn       func()
+	seq      uint64
+	priority int32
+	index    int32 // heap index; -1 when not queued
 	canceled bool
+	// pooled marks events scheduled through Post*: no handle was ever
+	// handed out, so the kernel may recycle the struct after it fires or
+	// is discarded. Handle-returning Schedule* events are never pooled —
+	// callers may hold (and Cancel) their pointer long after the event
+	// fired, and reuse would alias a live event.
+	pooled bool
 }
 
 // At returns the time the event is scheduled to fire.
@@ -39,13 +44,29 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Pending reports whether the event is still queued and not canceled.
 func (e *Event) Pending() bool { return !e.canceled && e.index >= 0 }
 
+// before is the queue ordering: (at, priority, seq) ascending.
+func (e *Event) before(o *Event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.priority != o.priority {
+		return e.priority < o.priority
+	}
+	return e.seq < o.seq
+}
+
 // Kernel is the discrete-event engine. The zero value is not usable; use
-// NewKernel.
+// NewKernel. Kernels are single-threaded: one goroutine owns a kernel and
+// everything scheduled on it for the whole run.
 type Kernel struct {
 	now    Time
 	queue  eventHeap
 	seq    uint64
 	nFired uint64
+	// free recycles pooled (handle-less) events; see Post.
+	free []*Event
+	// allocs counts Event structs allocated (not served from the pool).
+	allocs uint64
 	// Hard safety cap on events fired in one Run; prevents runaway
 	// simulations from spinning forever. Zero means no cap.
 	MaxEvents uint64
@@ -62,6 +83,11 @@ func (k *Kernel) Now() Time { return k.now }
 // Fired returns the number of events fired so far.
 func (k *Kernel) Fired() uint64 { return k.nFired }
 
+// EventAllocs returns how many Event structs were heap-allocated, i.e.
+// not served from the pooled free list. With Post-heavy workloads this
+// stays far below Fired(); benchmarks report allocs/event from it.
+func (k *Kernel) EventAllocs() uint64 { return k.allocs }
+
 // Pending returns the number of events queued (including canceled events
 // not yet discarded).
 func (k *Kernel) Pending() int { return len(k.queue) }
@@ -69,16 +95,39 @@ func (k *Kernel) Pending() int { return len(k.queue) }
 // Schedule queues fn to run at absolute time at with priority 0.
 // Scheduling in the past panics: it always indicates a model bug.
 func (k *Kernel) Schedule(at Time, fn func()) *Event {
-	return k.SchedulePrio(at, 0, fn)
+	return k.newEvent(at, 0, fn, false)
 }
 
 // ScheduleAfter queues fn to run delay seconds from now.
 func (k *Kernel) ScheduleAfter(delay Time, fn func()) *Event {
-	return k.SchedulePrio(k.now+delay, 0, fn)
+	return k.newEvent(k.now+delay, 0, fn, false)
 }
 
 // SchedulePrio queues fn at time at with an explicit tie-break priority.
 func (k *Kernel) SchedulePrio(at Time, priority int, fn func()) *Event {
+	return k.newEvent(at, priority, fn, false)
+}
+
+// Post queues fn at absolute time at without returning a cancellation
+// handle. Handle-less events are recycled through an internal pool, so
+// hot paths that schedule once per chunk (service completion, wire
+// propagation, delivery) run allocation-free. Use Schedule when the
+// caller needs to Cancel or inspect the event later.
+func (k *Kernel) Post(at Time, fn func()) {
+	k.newEvent(at, 0, fn, true)
+}
+
+// PostAfter queues fn to run delay seconds from now, without a handle.
+func (k *Kernel) PostAfter(delay Time, fn func()) {
+	k.newEvent(k.now+delay, 0, fn, true)
+}
+
+// PostPrio queues fn at time at with a tie-break priority, no handle.
+func (k *Kernel) PostPrio(at Time, priority int, fn func()) {
+	k.newEvent(at, priority, fn, true)
+}
+
+func (k *Kernel) newEvent(at Time, priority int, fn func(), pooled bool) *Event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %.9f before now %.9f", at, k.now))
 	}
@@ -86,9 +135,36 @@ func (k *Kernel) SchedulePrio(at Time, priority int, fn func()) *Event {
 		panic("sim: schedule nil func")
 	}
 	k.seq++
-	e := &Event{at: at, priority: priority, seq: k.seq, fn: fn, index: -1}
-	heap.Push(&k.queue, e)
+	var e *Event
+	if n := len(k.free); pooled && n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &Event{}
+		k.allocs++
+	}
+	e.at = at
+	e.fn = fn
+	e.seq = k.seq
+	e.priority = int32(priority)
+	e.index = -1
+	e.canceled = false
+	e.pooled = pooled
+	k.queue.push(e)
 	return e
+}
+
+// recycle returns a pooled event to the free list once no reference to
+// it can remain (it fired, or it was canceled and discarded). Non-pooled
+// events are left to the garbage collector: their handle may outlive the
+// event arbitrarily.
+func (k *Kernel) recycle(e *Event) {
+	if !e.pooled {
+		return
+	}
+	e.fn = nil
+	k.free = append(k.free, e)
 }
 
 // Cancel marks the event canceled; it will be discarded when it reaches
@@ -105,8 +181,9 @@ func (k *Kernel) Cancel(e *Event) {
 // empty (after discarding canceled events).
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
+		e := k.queue.pop()
 		if e.canceled {
+			k.recycle(e)
 			continue
 		}
 		if e.at < k.now {
@@ -114,7 +191,11 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = e.at
 		k.nFired++
-		e.fn()
+		fn := e.fn
+		// Recycle before calling: fn may schedule new events, which can
+		// then reuse this struct — safe, as no handle to it exists.
+		k.recycle(e)
+		fn()
 		return true
 	}
 	return false
@@ -144,7 +225,7 @@ func (k *Kernel) RunUntil(deadline Time) {
 	for len(k.queue) > 0 {
 		e := k.queue[0]
 		if e.canceled {
-			heap.Pop(&k.queue)
+			k.recycle(k.queue.pop())
 			continue
 		}
 		if e.at > deadline {
@@ -157,40 +238,63 @@ func (k *Kernel) RunUntil(deadline Time) {
 	}
 }
 
-// eventHeap is a min-heap on (at, priority, seq).
+// eventHeap is a min-heap on (at, priority, seq). The heap is hand-rolled
+// rather than built on container/heap: sift operations on the concrete
+// type inline and skip the interface dispatch that container/heap pays on
+// every comparison — the kernel's hottest loop.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.at != b.at {
-		return a.at < b.at
+func (h *eventHeap) push(e *Event) {
+	q := append(*h, e)
+	*h = q
+	i := len(q) - 1
+	e.index = int32(i)
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		q[i].index = int32(i)
+		q[parent].index = int32(parent)
+		i = parent
 	}
-	if a.priority != b.priority {
-		return a.priority < b.priority
+}
+
+func (h *eventHeap) pop() *Event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	if n > 1 {
+		h.down(0)
 	}
-	return a.seq < b.seq
+	top.index = -1
+	return top
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+func (h *eventHeap) down(i int) {
+	q := *h
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && q[r].before(q[l]) {
+			small = r
+		}
+		if !q[small].before(q[i]) {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		q[i].index = int32(i)
+		q[small].index = int32(small)
+		i = small
+	}
 }

@@ -184,7 +184,7 @@ func (p *Port) serveNext() {
 	p.busyTime += service
 	p.txBytes += c.Bytes
 	p.txChunks++
-	p.fabric.k.ScheduleAfter(service, func() {
+	p.fabric.k.PostAfter(service, func() {
 		p.busy = false
 		p.finishChunk(c)
 		p.kick()
@@ -204,7 +204,7 @@ func (p *Port) finishChunk(c *qdisc.Chunk) {
 		}
 		fl := c.Payload.(*Flow)
 		dst := p.fabric.Host(fl.Spec.Dst)
-		p.fabric.k.ScheduleAfter(p.fabric.cfg.PropDelaySec, func() {
+		p.fabric.k.PostAfter(p.fabric.cfg.PropDelaySec, func() {
 			dst.Ingress.Inject(c)
 		})
 		return

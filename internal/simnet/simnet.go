@@ -213,7 +213,7 @@ func (f *Fabric) chunkLost(p *Port, ch *qdisc.Chunk) {
 		})
 	}
 	ch.Retrans = true
-	f.k.ScheduleAfter(f.cfg.RetransmitTimeoutSec, func() {
+	f.k.PostAfter(f.cfg.RetransmitTimeoutSec, func() {
 		p.Inject(ch)
 	})
 }
@@ -476,7 +476,7 @@ func (f *Fabric) makeChunks(fl *Flow) []*qdisc.Chunk {
 
 func (f *Fabric) deliverLoopback(fl *Flow, ch *qdisc.Chunk) {
 	// Memory-speed copy: model as propagation delay only.
-	f.k.ScheduleAfter(f.cfg.PropDelaySec, func() {
+	f.k.PostAfter(f.cfg.PropDelaySec, func() {
 		f.chunkDelivered(ch)
 	})
 }

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// BenchConfig sizes the sweep benchmark. The workload is the replicate
+// sweep's trial shape: Trials identical placement-#1 FIFO runs on
+// consecutive seeds, first executed sequentially, then on the parallel
+// Engine.
+type BenchConfig struct {
+	Steps       int   // global steps per trial (default 600)
+	Trials      int   // trial count (default 2 * Parallelism)
+	Parallelism int   // parallel leg's worker count (default 4)
+	Seed        int64 // base seed
+}
+
+func (c *BenchConfig) fillDefaults() {
+	if c.Steps <= 0 {
+		c.Steps = 600
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.Trials <= 0 {
+		c.Trials = 2 * c.Parallelism
+	}
+}
+
+// BenchReport is the measured sweep/kernel performance snapshot written
+// to BENCH_sweep.json. Trials/sec tracks the Engine's throughput;
+// ns/event and allocs/event track the kernel's event loop (allocs/event
+// counts Event structs that missed the pool, not total Go allocations).
+type BenchReport struct {
+	GOMAXPROCS  int   `json:"gomaxprocs"`
+	Parallelism int   `json:"parallelism"`
+	Trials      int   `json:"trials"`
+	Steps       int   `json:"steps"`
+	Seed        int64 `json:"seed"`
+
+	SequentialSec          float64 `json:"sequential_sec"`
+	ParallelSec            float64 `json:"parallel_sec"`
+	TrialsPerSecSequential float64 `json:"trials_per_sec_sequential"`
+	TrialsPerSecParallel   float64 `json:"trials_per_sec_parallel"`
+	Speedup                float64 `json:"speedup"`
+
+	Events         uint64  `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// benchRunConfigs builds the replicate-shaped trial grid.
+func benchRunConfigs(cfg BenchConfig) []RunConfig {
+	o := Options{Steps: cfg.Steps, Seed: cfg.Seed}
+	o.fillDefaults()
+	p1, _ := cluster.PlacementByIndex(1)
+	rcs := make([]RunConfig, cfg.Trials)
+	for i := range rcs {
+		rc := o.baseRun(p1, core.PolicyFIFO)
+		rc.Cluster.Seed = cfg.Seed + int64(i)
+		rc.Label = fmt.Sprintf("bench-seed%d", rc.Cluster.Seed)
+		rcs[i] = rc
+	}
+	return rcs
+}
+
+// MeasureSweepBench times the same trial grid through the sequential
+// path (parallelism 1) and the parallel Engine, and derives per-event
+// kernel costs from the sequential leg's wall clock.
+func MeasureSweepBench(cfg BenchConfig) (*BenchReport, error) {
+	cfg.fillDefaults()
+
+	rcs := benchRunConfigs(cfg)
+	seqStart := time.Now()
+	seqResults, err := RunMany(rcs, 1)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: bench sequential leg: %w", err)
+	}
+	seqSec := time.Since(seqStart).Seconds()
+
+	parStart := time.Now()
+	if _, err := RunMany(rcs, cfg.Parallelism); err != nil {
+		return nil, fmt.Errorf("sweep: bench parallel leg: %w", err)
+	}
+	parSec := time.Since(parStart).Seconds()
+
+	var events, eventAllocs uint64
+	for _, r := range seqResults {
+		events += r.Events
+		eventAllocs += r.EventAllocs
+	}
+	rep := &BenchReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Parallelism:   cfg.Parallelism,
+		Trials:        cfg.Trials,
+		Steps:         cfg.Steps,
+		Seed:          cfg.Seed,
+		SequentialSec: seqSec,
+		ParallelSec:   parSec,
+		Events:        events,
+	}
+	if seqSec > 0 {
+		rep.TrialsPerSecSequential = float64(cfg.Trials) / seqSec
+	}
+	if parSec > 0 {
+		rep.TrialsPerSecParallel = float64(cfg.Trials) / parSec
+		rep.Speedup = seqSec / parSec
+	}
+	if events > 0 {
+		rep.NsPerEvent = seqSec * 1e9 / float64(events)
+		rep.AllocsPerEvent = float64(eventAllocs) / float64(events)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

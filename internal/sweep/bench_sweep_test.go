@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// benchTrialConfigs builds n small placement-#1 FIFO trials on
+// consecutive seeds — the replicate sweep's trial shape at test scale.
+func benchTrialConfigs(n, steps int) []RunConfig {
+	o := Options{Steps: steps, Seed: 1}
+	o.fillDefaults()
+	p1, _ := cluster.PlacementByIndex(1)
+	rcs := make([]RunConfig, n)
+	for i := range rcs {
+		rc := o.baseRun(p1, core.PolicyFIFO)
+		rc.Cluster.Seed = int64(1 + i)
+		rc.Label = fmt.Sprintf("bench-seed%d", rc.Cluster.Seed)
+		rcs[i] = rc
+	}
+	return rcs
+}
+
+// BenchmarkTrial measures one full simulation trial (the unit the
+// Engine fans out) and reports kernel events/sec.
+func BenchmarkTrial(b *testing.B) {
+	rcs := benchTrialConfigs(1, 300)
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(rcs[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSweepSequential runs a 4-trial grid through the legacy
+// sequential path.
+func BenchmarkSweepSequential(b *testing.B) {
+	rcs := benchTrialConfigs(4, 300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMany(rcs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same grid on the parallel Engine at
+// parallelism 4. The ratio to BenchmarkSweepSequential is the Engine's
+// speedup on this machine (bounded by GOMAXPROCS).
+func BenchmarkSweepParallel(b *testing.B) {
+	rcs := benchTrialConfigs(4, 300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMany(rcs, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -83,7 +83,7 @@ func Churn(o ChurnOptions) (*ChurnResult, error) {
 		j.OnBarrier = func(j *dl.Job, iter int) { ctl.JobProgress(j.Spec.ID, iter) }
 		spec := arr.Spec
 		job := j
-		tb.K.Schedule(arr.At, func() {
+		tb.K.Post(arr.At, func() {
 			job.Start()
 			ctl.JobArrived(core.JobInfo{
 				ID:          spec.ID,
@@ -116,4 +116,77 @@ func Churn(o ChurnOptions) (*ChurnResult, error) {
 		res.PerModelAvgJCT[name] = metrics.Mean(xs)
 	}
 	return res, nil
+}
+
+// --- Churn sweep (first-class experiment) ---------------------------
+
+// ChurnSweepRow is one policy's churn outcome.
+type ChurnSweepRow struct {
+	Policy        string
+	AvgJCT        float64
+	P95JCT        float64
+	MakespanSec   float64
+	Reconfigs     int
+	MaxColocation int
+}
+
+// ChurnSweepResult compares scheduling policies on the arrival/departure
+// workload: a Poisson stream of mixed-model jobs bin-packed onto the
+// testbed, so TensorLights reconfigures under natural colocation.
+type ChurnSweepResult struct {
+	Rows []ChurnSweepRow
+}
+
+// Render prints the churn comparison.
+func (r *ChurnSweepResult) Render() string {
+	t := NewTable("Churn: Poisson arrivals of mixed jobs, bin-packed PSes",
+		"policy", "avg JCT (s)", "p95 JCT (s)", "makespan (s)", "reconfigs", "max coloc")
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy, row.AvgJCT, row.P95JCT, row.MakespanSec,
+			row.Reconfigs, row.MaxColocation)
+	}
+	return t.String()
+}
+
+// churnSweepOptions derives the per-policy ChurnOptions from the suite
+// options. Churn's grid-search mix steps per job are a fifth of the
+// PS sweeps' target (its jobs run concurrently from staggered Poisson
+// arrivals, so the workload is already long).
+func churnSweepOptions(o Options, policy core.Policy) ChurnOptions {
+	return ChurnOptions{
+		Jobs:              12,
+		ArrivalRatePerSec: 1,
+		Steps:             o.Steps / 5,
+		Seed:              o.Seed,
+		Policy:            policy,
+		Order:             core.OrderSmallestUpdate,
+		SchedPolicy:       cluster.PolicyBinpack,
+		Cluster:           o.Cluster,
+	}
+}
+
+// ChurnSweep runs the churn workload under each policy on the parallel
+// Engine (one trial per policy, each with its own kernel and RNG).
+func ChurnSweep(o Options) (*ChurnSweepResult, error) {
+	o.fillDefaults()
+	policies := []core.Policy{core.PolicyFIFO, core.PolicyOne, core.PolicyRR}
+	results, err := Gather(Engine{Parallelism: o.Parallelism}, policies,
+		func(pol core.Policy) (*ChurnResult, error) {
+			return Churn(churnSweepOptions(o, pol))
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &ChurnSweepResult{}
+	for i, pol := range policies {
+		out.Rows = append(out.Rows, ChurnSweepRow{
+			Policy:        pol.String(),
+			AvgJCT:        results[i].AvgJCT,
+			P95JCT:        results[i].P95JCT,
+			MakespanSec:   results[i].MakespanSec,
+			Reconfigs:     results[i].Reconfigs,
+			MaxColocation: results[i].MaxColocation,
+		})
+	}
+	return out, nil
 }

@@ -1,0 +1,62 @@
+package sweep
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// csvWriter is any sweep result that can export itself as CSV.
+type csvResult interface {
+	WriteCSV(w io.Writer) error
+}
+
+// runBoth runs one sweep at Parallelism 1 and 4 and returns both CSVs.
+func runBoth(t *testing.T, name string, run func(Options) (csvResult, error)) (seq, par []byte) {
+	t.Helper()
+	render := func(parallelism int) []byte {
+		o := Options{Steps: 300, Seed: 42, Parallelism: parallelism}
+		res, err := run(o)
+		if err != nil {
+			t.Fatalf("%s at parallelism %d: %v", name, parallelism, err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s WriteCSV: %v", name, err)
+		}
+		return buf.Bytes()
+	}
+	return render(1), render(4)
+}
+
+// TestSweepsDeterministicSequentialVsParallel asserts the acceptance
+// contract of the parallel Engine: for every sweep, the same seed
+// yields byte-identical CSV output whether trials run sequentially or
+// across the worker pool.
+func TestSweepsDeterministicSequentialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every sweep twice")
+	}
+	sweeps := []struct {
+		name string
+		run  func(Options) (csvResult, error)
+	}{
+		{"replicate", func(o Options) (csvResult, error) { return ReplicateSweep(o) }},
+		{"churn", func(o Options) (csvResult, error) { return ChurnSweep(o) }},
+		{"faultrec", func(o Options) (csvResult, error) { return FaultRecovery(o) }},
+		{"collective", func(o Options) (csvResult, error) { return Collective(o) }},
+	}
+	for _, s := range sweeps {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			seq, par := runBoth(t, s.name, s.run)
+			if len(seq) == 0 {
+				t.Fatalf("%s produced an empty CSV", s.name)
+			}
+			if !bytes.Equal(seq, par) {
+				t.Fatalf("%s CSV differs between sequential and parallel runs:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					s.name, seq, par)
+			}
+		})
+	}
+}

@@ -133,6 +133,33 @@ func (r *CollectiveResult) WriteCSV(w io.Writer) error {
 	return c.err
 }
 
+// WriteCSV exports the replicate sweep's per-trial rows followed by the
+// per-policy aggregates.
+func (r *ReplicateResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("policy", "seed", "avg_jct_s", "p95_jct_s", "barrier_wait_mean_s", "events")
+	for _, row := range r.Rows {
+		c.row(row.Policy, row.Seed, row.AvgJCT, row.P95JCT, row.BarrierWaitMean, row.Events)
+	}
+	c.row("policy", "n", "mean_avg_jct_s", "std_s", "min_s", "max_s")
+	for i, pol := range r.Policies {
+		s := r.Stats[i]
+		c.row(pol, s.N, s.Mean, s.Std, s.Min, s.Max)
+	}
+	return c.err
+}
+
+// WriteCSV exports the churn-sweep policy comparison rows.
+func (r *ChurnSweepResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("policy", "avg_jct_s", "p95_jct_s", "makespan_s", "reconfigs", "max_colocation")
+	for _, row := range r.Rows {
+		c.row(row.Policy, row.AvgJCT, row.P95JCT, row.MakespanSec,
+			row.Reconfigs, row.MaxColocation)
+	}
+	return c.err
+}
+
 // WriteCSV exports Table II's normalized utilization rows.
 func (r *TableIIResult) WriteCSV(w io.Writer) error {
 	c := &csvWriter{w: w}

@@ -1,0 +1,163 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func TestEngineForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 7, 100} {
+		counts := make([]int32, 37)
+		err := Engine{Parallelism: par}.ForEach(len(counts), func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("parallelism %d: index %d visited %d times", par, i, c)
+			}
+		}
+	}
+}
+
+func TestEngineForEachReturnsLowestIndexError(t *testing.T) {
+	// With several failing indices, the reported error must be the
+	// lowest-index one no matter how workers interleave.
+	for _, par := range []int{2, 4} {
+		for rep := 0; rep < 20; rep++ {
+			err := Engine{Parallelism: par}.ForEach(16, func(i int) error {
+				if i == 3 || i == 11 {
+					return fmt.Errorf("boom %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "boom 3" {
+				t.Fatalf("parallelism %d: got %v, want boom 3", par, err)
+			}
+		}
+	}
+}
+
+func TestEngineSequentialFailsFast(t *testing.T) {
+	var ran []int
+	sentinel := errors.New("stop")
+	err := Engine{Parallelism: 1}.ForEach(10, func(i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("sequential path ran %v after the failure, want fail-fast at index 2", ran)
+	}
+}
+
+func TestEngineForEachZeroTrials(t *testing.T) {
+	if err := (Engine{}).ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherPreservesInputOrder(t *testing.T) {
+	configs := make([]int, 25)
+	for i := range configs {
+		configs[i] = i * 10
+	}
+	out, err := Gather(Engine{Parallelism: 5}, configs, func(c int) (int, error) {
+		return c + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10+1 {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i*10+1)
+		}
+	}
+}
+
+func TestGatherWrapsTrialError(t *testing.T) {
+	sentinel := errors.New("bad trial")
+	_, err := Gather(Engine{Parallelism: 3}, []int{0, 1, 2, 3}, func(c int) (int, error) {
+		if c == 2 {
+			return 0, sentinel
+		}
+		return c, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error chain lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial 2") {
+		t.Fatalf("error does not name the trial: %v", err)
+	}
+}
+
+func TestGridTrialsCanonicalOrder(t *testing.T) {
+	got := GridTrials([]string{"a", "b"}, []string{"x", "y"}, 100, 2)
+	want := []Trial{
+		{"a", "x", 100}, {"a", "x", 101},
+		{"a", "y", 100}, {"a", "y", 101},
+		{"b", "x", 100}, {"b", "x", 101},
+		{"b", "y", 100}, {"b", "y", 101},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d trials, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trial %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGridTrialsDegenerateAxes(t *testing.T) {
+	got := GridTrials(nil, nil, 7, 0)
+	if len(got) != 1 || got[0] != (Trial{Seed: 7}) {
+		t.Fatalf("empty axes should yield one zero trial with the base seed, got %+v", got)
+	}
+}
+
+// TestSharedTracerAcrossParallelTrials shares one trace.Buffer across
+// every trial of a parallel RunMany — the exact aliasing a caller can
+// create through RunConfig.Tracer. Before Buffer grew its mutex, this
+// test failed under -race (concurrent Emit appends); it pins the fix.
+func TestSharedTracerAcrossParallelTrials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full trials")
+	}
+	shared := &trace.Buffer{}
+	o := Options{Steps: 120, Seed: 1}
+	o.fillDefaults()
+	p1, err := cluster.PlacementByIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rcs []RunConfig
+	for i := 0; i < 4; i++ {
+		rc := o.baseRun(p1, core.PolicyOne)
+		rc.Cluster.Seed = int64(1 + i)
+		rc.Label = fmt.Sprintf("shared-tracer-%d", i)
+		rc.Tracer = shared
+		rcs = append(rcs, rc)
+	}
+	if _, err := RunMany(rcs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Total() == 0 {
+		t.Fatal("shared tracer saw no events; the race would go unexercised")
+	}
+}

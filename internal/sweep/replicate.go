@@ -3,6 +3,10 @@ package sweep
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // ReplicateStats aggregates one headline scalar across seeds.
@@ -31,17 +35,37 @@ func (r ReplicateStats) String() string {
 //	    return r.PerformanceGap(), nil
 //	})
 func Replicate(n int, baseSeed int64, metric func(seed int64) (float64, error)) (ReplicateStats, error) {
+	return ReplicateParallel(n, baseSeed, 1, metric)
+}
+
+// ReplicateParallel is Replicate with the seed evaluations fanned over
+// the parallel Engine. The aggregation is order-independent up to
+// floating-point association, so vals are gathered in seed order and
+// folded sequentially: the stats are bit-identical to Replicate's.
+// parallelism follows Engine semantics (<= 0 GOMAXPROCS, 1 sequential).
+func ReplicateParallel(n int, baseSeed int64, parallelism int, metric func(seed int64) (float64, error)) (ReplicateStats, error) {
 	if n < 1 {
 		return ReplicateStats{}, fmt.Errorf("sweep: replicate needs n >= 1")
 	}
-	vals := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		v, err := metric(baseSeed + int64(i))
+	vals := make([]float64, n)
+	err := Engine{Parallelism: parallelism}.ForEach(n, func(i int) error {
+		seed := baseSeed + int64(i)
+		v, err := metric(seed)
 		if err != nil {
-			return ReplicateStats{}, fmt.Errorf("sweep: replicate seed %d: %w", baseSeed+int64(i), err)
+			return fmt.Errorf("sweep: replicate seed %d: %w", seed, err)
 		}
-		vals = append(vals, v)
+		vals[i] = v
+		return nil
+	})
+	if err != nil {
+		return ReplicateStats{}, err
 	}
+	return replicateStatsOf(vals), nil
+}
+
+// replicateStatsOf folds vals (in order) into summary stats.
+func replicateStatsOf(vals []float64) ReplicateStats {
+	n := len(vals)
 	stats := ReplicateStats{N: n, Min: vals[0], Max: vals[0]}
 	sum := 0.0
 	for _, v := range vals {
@@ -62,5 +86,87 @@ func Replicate(n int, baseSeed int64, metric func(seed int64) (float64, error)) 
 		}
 		stats.Std = math.Sqrt(ss / float64(n-1)) // sample std
 	}
-	return stats, nil
+	return stats
+}
+
+// --- Replicate sweep (first-class experiment) -----------------------
+
+// ReplicateSeeds is how many consecutive seeds the replicate sweep
+// runs per policy.
+const ReplicateSeeds = 3
+
+// ReplicateRow is one (policy, seed) trial of the replicate sweep.
+type ReplicateRow struct {
+	Policy          string
+	Seed            int64
+	AvgJCT          float64
+	P95JCT          float64
+	BarrierWaitMean float64
+	Events          uint64
+}
+
+// ReplicateResult reproduces the paper's headline JCT comparison with
+// error bars: placement #1, all three policies, ReplicateSeeds seeds
+// each. Rows are in canonical grid order (policy-major, seed-minor);
+// Stats[i] aggregates average JCT across seeds for Policies[i].
+type ReplicateResult struct {
+	Policies []string
+	Rows     []ReplicateRow
+	Stats    []ReplicateStats
+}
+
+// Render prints the per-trial rows and the per-policy aggregates.
+func (r *ReplicateResult) Render() string {
+	t := NewTable("Replicate sweep: avg JCT by policy across seeds (placement #1)",
+		"policy", "seed", "avg JCT (s)", "p95 JCT (s)", "barrier wait (s)")
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy, row.Seed, row.AvgJCT, row.P95JCT, row.BarrierWaitMean)
+	}
+	s := t.String()
+	for i, pol := range r.Policies {
+		s += fmt.Sprintf("%s avg JCT: %s\n", pol, r.Stats[i])
+	}
+	return s
+}
+
+// ReplicateSweep runs the (policy, seed) grid on the parallel Engine.
+func ReplicateSweep(o Options) (*ReplicateResult, error) {
+	o.fillDefaults()
+	p1, _ := cluster.PlacementByIndex(1)
+	policies := []core.Policy{core.PolicyFIFO, core.PolicyOne, core.PolicyRR}
+	names := make([]string, len(policies))
+	byName := map[string]core.Policy{}
+	for i, pol := range policies {
+		names[i] = pol.String()
+		byName[names[i]] = pol
+	}
+	trials := GridTrials(nil, names, o.Seed, ReplicateSeeds)
+	results, err := Gather(Engine{Parallelism: o.Parallelism}, trials, func(t Trial) (*RunResult, error) {
+		rc := o.baseRun(p1, byName[t.Policy])
+		rc.Cluster.Seed = t.Seed
+		rc.Label = fmt.Sprintf("%s-seed%d", t.Policy, t.Seed)
+		return Run(rc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplicateResult{Policies: names}
+	for i, t := range trials {
+		out.Rows = append(out.Rows, ReplicateRow{
+			Policy:          t.Policy,
+			Seed:            t.Seed,
+			AvgJCT:          results[i].AvgJCT(),
+			P95JCT:          metrics.Percentile(results[i].JCTs, 0.95),
+			BarrierWaitMean: metrics.Mean(results[i].BarrierMeans),
+			Events:          results[i].Events,
+		})
+	}
+	for pi := range names {
+		vals := make([]float64, ReplicateSeeds)
+		for s := 0; s < ReplicateSeeds; s++ {
+			vals[s] = out.Rows[pi*ReplicateSeeds+s].AvgJCT
+		}
+		out.Stats = append(out.Stats, replicateStatsOf(vals))
+	}
+	return out, nil
 }

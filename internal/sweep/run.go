@@ -8,8 +8,6 @@ package sweep
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -90,10 +88,13 @@ type RunResult struct {
 	BarrierMeans []float64 // per-barrier mean wait, all jobs pooled
 	BarrierVars  []float64 // per-barrier wait variance, all jobs pooled
 
-	SimTime   float64
-	Events    uint64
-	Wall      time.Duration
-	Reconfigs int
+	SimTime float64
+	Events  uint64
+	// EventAllocs is how many kernel Event structs were heap-allocated
+	// (as opposed to recycled from the pool); see sim.Kernel.EventAllocs.
+	EventAllocs uint64
+	Wall        time.Duration
+	Reconfigs   int
 
 	// Utilization over the active window (when sampling was enabled).
 	Utils      []metrics.HostUtil
@@ -233,12 +234,13 @@ func Run(rc RunConfig) (*RunResult, error) {
 	}
 
 	res := &RunResult{
-		Config:    rc,
-		SimTime:   tb.K.Now(),
-		Events:    tb.K.Fired(),
-		Wall:      time.Since(start),
-		Reconfigs: ctl.Reconfigs(),
-		Progress:  map[int][]dl.ProgressPoint{},
+		Config:      rc,
+		SimTime:     tb.K.Now(),
+		Events:      tb.K.Fired(),
+		EventAllocs: tb.K.EventAllocs(),
+		Wall:        time.Since(start),
+		Reconfigs:   ctl.Reconfigs(),
+		Progress:    map[int][]dl.ProgressPoint{},
 	}
 	psSet := map[int]bool{}
 	for _, j := range jobs {
@@ -318,37 +320,21 @@ func Run(rc RunConfig) (*RunResult, error) {
 	return res, nil
 }
 
-// RunMany executes runs concurrently (each run is single-threaded) and
-// returns results in input order. parallelism <= 0 uses GOMAXPROCS.
+// RunMany executes runs on the parallel Engine (each run is internally
+// single-threaded) and returns results in input order. parallelism <= 0
+// uses GOMAXPROCS; 1 runs the legacy sequential path.
 func RunMany(rcs []RunConfig, parallelism int) ([]*RunResult, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(rcs) {
-		parallelism = len(rcs)
-	}
 	results := make([]*RunResult, len(rcs))
-	errs := make([]error, len(rcs))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i], errs[i] = Run(rcs[i])
-			}
-		}()
-	}
-	for i := range rcs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for i, err := range errs {
+	err := Engine{Parallelism: parallelism}.ForEach(len(rcs), func(i int) error {
+		r, err := Run(rcs[i])
 		if err != nil {
-			return nil, fmt.Errorf("sweep: run %d (%s): %w", i, rcs[i].Label, err)
+			return fmt.Errorf("sweep: run %d (%s): %w", i, rcs[i].Label, err)
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

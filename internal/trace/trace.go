@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Kind classifies events.
@@ -99,8 +100,16 @@ type Tracer interface {
 
 // Buffer is an in-memory tracer. The zero value is ready to use. When
 // Cap > 0 it keeps only the most recent Cap events (ring semantics).
+//
+// Buffer is safe for concurrent use: sweep's parallel Engine may hand
+// the same RunConfig.Tracer to trials running on different goroutines,
+// so Emit and the readers serialize on an internal mutex. Events from
+// concurrent trials interleave in lock-acquisition order — callers
+// wanting one deterministic stream per trial should give each trial its
+// own Buffer. Cap must be set before the first Emit and not changed.
 type Buffer struct {
 	Cap    int
+	mu     sync.Mutex
 	events []Event
 	start  int
 	total  uint64
@@ -108,6 +117,8 @@ type Buffer struct {
 
 // Emit records the event.
 func (b *Buffer) Emit(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.total++
 	if b.Cap > 0 && len(b.events) == b.Cap {
 		b.events[b.start] = e
@@ -118,13 +129,23 @@ func (b *Buffer) Emit(e Event) {
 }
 
 // Len returns the number of retained events.
-func (b *Buffer) Len() int { return len(b.events) }
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
 
 // Total returns the number of events ever emitted.
-func (b *Buffer) Total() uint64 { return b.total }
+func (b *Buffer) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
 
-// Events returns retained events in emission order.
+// Events returns a copy of retained events in emission order.
 func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make([]Event, 0, len(b.events))
 	out = append(out, b.events[b.start:]...)
 	out = append(out, b.events[:b.start]...)
@@ -144,6 +165,8 @@ func (b *Buffer) Filter(keep func(Event) bool) []Event {
 
 // Reset drops all retained events.
 func (b *Buffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.events = b.events[:0]
 	b.start = 0
 }
@@ -196,7 +219,8 @@ func (b *Buffer) CountByKind() []struct {
 	return out
 }
 
-// MultiTracer fans events out to several tracers.
+// MultiTracer fans events out to several tracers. It adds no locking of
+// its own: it is as goroutine-safe as its least safe child.
 type MultiTracer []Tracer
 
 // Emit forwards to every child tracer.

@@ -511,6 +511,67 @@ func ReproduceFaultRecovery(o ReproOptions) (string, error) {
 	return r.Render(), nil
 }
 
+// ReproduceReplicate runs the replicate sweep: placement #1 under FIFO,
+// TLs-One and TLs-RR across consecutive seeds, reporting the average JCT
+// per policy with error bars.
+func ReproduceReplicate(o ReproOptions) (string, error) {
+	r, err := sweep.ReplicateSweep(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceChurn runs the arrival/departure comparison: a Poisson stream
+// of mixed-model jobs bin-packed onto the testbed, under FIFO, TLs-One
+// and TLs-RR.
+func ReproduceChurn(o ReproOptions) (string, error) {
+	r, err := sweep.ChurnSweep(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReplicateStats aggregates one headline metric across replicate seeds.
+type ReplicateStats struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// String renders mean ± std.
+func (r ReplicateStats) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", r.Mean, r.Std, r.N)
+}
+
+// ReplicateExperiment runs cfg for n consecutive seeds starting at
+// cfg.Seed — fanned across parallelism concurrent trials (0 uses
+// GOMAXPROCS, 1 runs sequentially) — and aggregates the average JCT.
+// Each trial owns an isolated simulation, so results are independent of
+// the parallelism level. TraceCSV is rejected: one writer cannot serve
+// concurrent trials.
+func ReplicateExperiment(cfg ExperimentConfig, n, parallelism int) (ReplicateStats, error) {
+	if cfg.TraceCSV != nil {
+		return ReplicateStats{}, fmt.Errorf("tensorlights: ReplicateExperiment does not support TraceCSV; trace a single RunExperiment instead")
+	}
+	s, err := sweep.ReplicateParallel(n, cfg.Seed, parallelism, func(seed int64) (float64, error) {
+		c := cfg
+		c.Seed = seed
+		res, err := RunExperiment(c)
+		if err != nil {
+			return 0, err
+		}
+		return res.AvgJCT, nil
+	})
+	if err != nil {
+		return ReplicateStats{}, err
+	}
+	return ReplicateStats{N: s.N, Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max}, nil
+}
+
 // Models lists the built-in model zoo names.
 func Models() []string {
 	var names []string
