@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fuzz
+.PHONY: build test vet staticcheck race check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -11,23 +11,33 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when the binary is on PATH (CI installs it; local
+# environments without it skip rather than fail).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Race-detect the whole module: psrpc runs real goroutines and sockets,
 # and sweep's parallel Engine drives concurrent simulations (now
 # including the collective workload), so nothing is exempt.
 race:
 	$(GO) test -race ./...
 
-check: build vet test race
+check: build vet staticcheck test race
 
 # bench writes BENCH_sweep.json: trials/sec through the sequential and
 # parallel Engine paths, plus ns/event and allocs/event in the kernel.
 bench:
 	$(GO) run ./cmd/bench -steps 600 -trials 8 -parallel 4 -out BENCH_sweep.json
 
-# fuzz smoke-runs each qdisc fuzz target briefly (go permits one -fuzz
+# fuzz smoke-runs each fuzz target briefly (go permits one -fuzz
 # pattern per invocation). The committed seed corpora always run as part
 # of plain `go test`; this shoves randomized inputs on top.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/qdisc -run '^$$' -fuzz '^FuzzClassifier$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/qdisc -run '^$$' -fuzz '^FuzzHTBDequeue$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/policy -run '^$$' -fuzz '^FuzzPolicyRank$$' -fuzztime $(FUZZTIME)

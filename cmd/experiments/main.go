@@ -1,7 +1,9 @@
 // Command experiments regenerates every table and figure in the paper's
 // evaluation section (Figures 2, 3, 5a, 5b, 6 and Table II), plus the
-// fault-recovery comparison (faultrec) and the collective-workload
-// comparison (collective), and prints the measured rows
+// fault-recovery comparison (faultrec), the collective-workload
+// comparison (collective) and the scheduling-policy comparison
+// (policy, including the telemetry-driven TLs-LAS/TLs-SRSF/
+// TLs-Interleave), and prints the measured rows
 // next to the paper's reported numbers. At full scale
 // (-steps 30000, the paper's setting) the complete suite is a large
 // computation; -steps 3000 gives the same shapes in a few minutes.
@@ -36,7 +38,7 @@ func main() {
 	var (
 		steps    = flag.Int("steps", 30000, "target global steps per job (paper: 30000)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2|faultrec|collective|replicate|churn")
+		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2|faultrec|collective|replicate|churn|policy")
 		parallel = flag.Int("parallel", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential)")
 		csvdir   = flag.String("csvdir", "", "directory to write per-figure CSV data files")
 	)
@@ -58,6 +60,7 @@ func main() {
 		{"collective", func(o sweep.Options) (renderable, error) { return sweep.Collective(o) }},
 		{"replicate", func(o sweep.Options) (renderable, error) { return sweep.ReplicateSweep(o) }},
 		{"churn", func(o sweep.Options) (renderable, error) { return sweep.ChurnSweep(o) }},
+		{"policy", func(o sweep.Options) (renderable, error) { return sweep.PolicySweep(o) }},
 	}
 	if *csvdir != "" {
 		if err := os.MkdirAll(*csvdir, 0o755); err != nil {

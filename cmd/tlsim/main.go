@@ -1,11 +1,13 @@
 // Command tlsim runs one TensorLights experiment: a configurable
 // workload — concurrent parameter-server training jobs, ring/tree
 // all-reduce jobs, or a mix — on the simulated 21-host testbed, under
-// FIFO, TLs-One or TLs-RR scheduling.
+// FIFO, the paper's TLs-One/TLs-RR, or one of the telemetry-driven
+// policies (TLs-LAS, TLs-SRSF, TLs-Interleave).
 //
 // Usage:
 //
 //	tlsim -policy tls-one -placement 1 -steps 3000 -batch 4 -seed 42
+//	tlsim -policy tls-las -steps 3000 -interval 2
 //	tlsim -policy fifo -custom-placement "5, 16" -util
 //	tlsim -policy tls-rr -steps 3000 -fault-flap-ps -fault-tc-outage \
 //	    -fault-flap-every 30 -fault-crash "0:3:60"
@@ -48,7 +50,7 @@ func parseCrashes(s string) ([]tensorlights.WorkerCrash, error) {
 
 func main() {
 	var (
-		policy     = flag.String("policy", "fifo", "scheduling policy: fifo | tls-one | tls-rr | tls-lpf | static-rate")
+		policy     = flag.String("policy", "fifo", "scheduling policy: fifo | tls-one | tls-rr | tls-lpf | static-rate | tls-las | tls-srsf | tls-interleave")
 		placement  = flag.Int("placement", 1, "Table I placement index (1-8)")
 		custom     = flag.String("custom-placement", "", `custom PS placement, e.g. "5, 16" (overrides -placement)`)
 		model      = flag.String("model", "resnet32", "model from the zoo")
@@ -112,6 +114,12 @@ func main() {
 		pol = tensorlights.TLsLPF
 	case "static-rate", "rate":
 		pol = tensorlights.StaticRate
+	case "tls-las", "las":
+		pol = tensorlights.TLsLAS
+	case "tls-srsf", "srsf":
+		pol = tensorlights.TLsSRSF
+	case "tls-interleave", "interleave":
+		pol = tensorlights.TLsInterleave
 	default:
 		fmt.Fprintf(os.Stderr, "tlsim: unknown policy %q\n", *policy)
 		os.Exit(2)

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"repro/internal/policy"
+	"repro/internal/qdisc"
+	"repro/internal/simnet"
+)
+
+// QdiscProbe implements policy.Probe over the simulated fabric: it
+// reads per-band dequeue counters from each host's egress qdisc (when
+// the installed qdisc is classful) and the NIC backlog. It is the
+// simulation analogue of polling `tc -s class show` and the interface
+// queue on a real host — everything TensorLights' feedback loop needs
+// is observable from outside the application.
+type QdiscProbe struct {
+	Fabric *simnet.Fabric
+}
+
+// NewQdiscProbe returns a probe over the fabric.
+func NewQdiscProbe(f *simnet.Fabric) QdiscProbe { return QdiscProbe{Fabric: f} }
+
+// BandDequeuedBytes returns the host's cumulative per-band dequeued
+// bytes, or nil when the installed qdisc exposes no per-band counters.
+func (p QdiscProbe) BandDequeuedBytes(host int) map[int]uint64 {
+	if host < 0 || host >= p.Fabric.NumHosts() {
+		return nil
+	}
+	if bc, ok := p.Fabric.Host(host).Egress.Qdisc().(qdisc.BandCounter); ok {
+		return bc.BandDequeuedBytes()
+	}
+	return nil
+}
+
+// BacklogBytes returns the bytes queued at the host's egress.
+func (p QdiscProbe) BacklogBytes(host int) int64 {
+	if host < 0 || host >= p.Fabric.NumHosts() {
+		return 0
+	}
+	return p.Fabric.Host(host).Egress.QueuedBytes()
+}
+
+var _ policy.Probe = QdiscProbe{}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/tc"
 	"repro/internal/trace"
@@ -97,7 +98,20 @@ func (o Order) String() string {
 
 // Config tunes the controller. Zero values select the paper's settings.
 type Config struct {
+	// Policy selects a built-in policy by enum value; it resolves
+	// through the internal/policy registry by its String() name, so the
+	// historical call sites keep working unchanged.
 	Policy Policy
+	// PolicyName, when non-empty, overrides Policy with any registered
+	// policy name (e.g. "TLs-LAS", "TLs-SRSF", "TLs-Interleave").
+	// Unknown names fail Validate; New panics on them.
+	PolicyName string
+	// FeedbackIntervalSec is the telemetry sampling period used by
+	// feedback-driven policies; 0 selects the collector's default. The
+	// controller itself does not sample — the cluster layer builds the
+	// policy.Feedback and attaches it — but the knob travels with the
+	// rest of the TLs configuration.
+	FeedbackIntervalSec float64
 	// Bands is the number of distinct priority classes (the paper uses
 	// up to six; tc supports a limited number, so jobs may share).
 	Bands int
@@ -146,6 +160,27 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// policyName returns the effective registry name: PolicyName when set,
+// otherwise the enum value's canonical name.
+func (c *Config) policyName() string {
+	if c.PolicyName != "" {
+		return c.PolicyName
+	}
+	return c.Policy.String()
+}
+
+// Validate reports whether the configuration can be realized — today,
+// that the selected policy resolves in the internal/policy registry.
+// Callers taking user input (flags, sweep configs) should Validate
+// before New, which treats an unknown policy as a programming error.
+func (c *Config) Validate() error {
+	if !policy.Known(c.policyName()) {
+		return fmt.Errorf("tensorlights: unknown policy %q (registered: %s)",
+			c.policyName(), strings.Join(policy.Names(), ", "))
+	}
+	return nil
+}
+
 // RecoveryStats counts the controller's actuation-failure handling.
 type RecoveryStats struct {
 	// Retries is how many delayed re-application attempts were scheduled
@@ -181,6 +216,10 @@ type hostState struct {
 	// fallback marks a host degraded to FIFO after exhausting retries;
 	// the reconcile loop keeps trying to restore it.
 	fallback bool
+	// assign maps job id -> installed band (class id) for the desired
+	// state; the feedback collector uses it to attribute per-band
+	// dequeue bytes to jobs.
+	assign map[int]int
 }
 
 // JobInfo is what TensorLights needs to know about a job — all of it
@@ -203,9 +242,12 @@ type JobInfo struct {
 	// (one `match sport` filter per port on each managed host). Empty
 	// means {PSPort}. A job carrying both PS and collective traffic
 	// lists both ports; all of them map to the same band.
-	Ports      []int
-	arrivalSeq int
-	progress   int
+	Ports []int
+	// TargetSteps is the job's declared training length in iterations
+	// (0 = undeclared). TLs-SRSF uses it to estimate remaining service.
+	TargetSteps int
+	arrivalSeq  int
+	progress    int
 }
 
 // senderHosts returns the hosts whose egress carries the job's traffic.
@@ -234,12 +276,23 @@ func (j *JobInfo) onHost(host int) bool {
 	return false
 }
 
-// Controller is the TensorLights daemon.
+// Controller is the TensorLights daemon. It owns actuation (tc command
+// synthesis, retry/backoff, reconcile) and delegates every ranking and
+// rotation decision to a policy.Policy resolved from the registry.
 type Controller struct {
 	cfg Config
 	k   *sim.Kernel
 	tcc *tc.Controller
 	rng *sim.RNG
+
+	// pol makes all ranking decisions; passive marks NoOp policies
+	// (FIFO), under which the controller leaves NICs untouched;
+	// adaptive marks feedback-driven policies, the only ones that emit
+	// policy_rank events (so legacy traces stay byte-identical).
+	pol      policy.Policy
+	passive  bool
+	adaptive bool
+	fb       *policy.Feedback
 
 	jobs        map[int]*JobInfo
 	nextSeq     int
@@ -261,18 +314,49 @@ func (c *Controller) emit(ev trace.Event) {
 	}
 }
 
-// New creates a controller issuing commands through the tc layer.
+// New creates a controller issuing commands through the tc layer. The
+// configured policy is resolved from the internal/policy registry; an
+// unknown name panics (use Config.Validate to reject user input).
 func New(k *sim.Kernel, tcc *tc.Controller, rng *sim.RNG, cfg Config) *Controller {
 	cfg.fillDefaults()
+	stream := rng.Stream("tensorlights")
+	pol, err := policy.New(cfg.policyName(), policy.Params{
+		Bands:       cfg.Bands,
+		IntervalSec: cfg.IntervalSec,
+		Order:       policy.Order(cfg.Order),
+		RNG:         stream,
+	})
+	if err != nil {
+		panic("tensorlights: " + err.Error())
+	}
 	return &Controller{
-		cfg:   cfg,
-		k:     k,
-		tcc:   tcc,
-		rng:   rng.Stream("tensorlights"),
-		jobs:  make(map[int]*JobInfo),
-		hosts: make(map[int]*hostState),
+		cfg:      cfg,
+		k:        k,
+		tcc:      tcc,
+		rng:      stream,
+		pol:      pol,
+		passive:  policy.IsNoOp(pol),
+		adaptive: policy.NeedsFeedback(pol),
+		jobs:     make(map[int]*JobInfo),
+		hosts:    make(map[int]*hostState),
 	}
 }
+
+// PolicyName returns the resolved policy's canonical name.
+func (c *Controller) PolicyName() string { return c.pol.Name() }
+
+// NeedsFeedback reports whether the resolved policy is feedback-driven
+// and a policy.Feedback should be attached before jobs arrive.
+func (c *Controller) NeedsFeedback() bool { return c.adaptive }
+
+// AttachFeedback wires the telemetry collector the adaptive policies
+// read. The controller forwards job arrival/departure/progress and
+// records band assignments after each successful apply; the cluster
+// layer owns the collector's probe and sampling loop.
+func (c *Controller) AttachFeedback(fb *policy.Feedback) { c.fb = fb }
+
+// Feedback returns the attached collector, or nil.
+func (c *Controller) Feedback() *policy.Feedback { return c.fb }
 
 // Config returns the effective configuration.
 func (c *Controller) Config() Config { return c.cfg }
@@ -300,7 +384,7 @@ func (c *Controller) FallbackHosts() []int {
 // JobArrived registers a job and reconfigures every host its traffic
 // leaves from, if needed.
 func (c *Controller) JobArrived(info JobInfo) {
-	if c.cfg.Policy == PolicyFIFO {
+	if c.passive {
 		return
 	}
 	if _, dup := c.jobs[info.ID]; dup {
@@ -309,6 +393,9 @@ func (c *Controller) JobArrived(info JobInfo) {
 	info.arrivalSeq = c.nextSeq
 	c.nextSeq++
 	c.jobs[info.ID] = &info
+	if c.fb != nil {
+		c.fb.JobArrived(info.ID)
+	}
 	for _, h := range info.senderHosts() {
 		c.setDesired(h)
 	}
@@ -320,7 +407,7 @@ func (c *Controller) JobArrived(info JobInfo) {
 // reconfigured (and the TLs qdisc removed entirely where fewer than two
 // contending jobs remain).
 func (c *Controller) JobDeparted(id int) {
-	if c.cfg.Policy == PolicyFIFO {
+	if c.passive {
 		return
 	}
 	info, ok := c.jobs[id]
@@ -328,6 +415,9 @@ func (c *Controller) JobDeparted(id int) {
 		return
 	}
 	delete(c.jobs, id)
+	if c.fb != nil {
+		c.fb.JobDeparted(id)
+	}
 	for _, h := range info.senderHosts() {
 		c.setDesired(h)
 	}
@@ -345,29 +435,35 @@ func (c *Controller) JobDeparted(id int) {
 	}
 }
 
-// JobProgress records a job's latest completed iteration; the LPF
-// policy uses it to rank contending jobs. Progress for unknown jobs is
-// ignored (the job may already have departed).
+// JobProgress records a job's latest completed iteration; progress-
+// aware policies (LPF, and the feedback-driven set via the collector)
+// use it to rank contending jobs. Progress for unknown jobs is ignored
+// (the job may already have departed).
 func (c *Controller) JobProgress(id, iteration int) {
 	if j, ok := c.jobs[id]; ok {
 		j.progress = iteration
+		if c.fb != nil {
+			c.fb.OnProgress(id, iteration)
+		}
 	}
 }
 
-// rotatingPolicy reports whether the policy re-ranks on a timer.
-func (c *Controller) rotatingPolicy() bool {
-	return c.cfg.Policy == PolicyRR || c.cfg.Policy == PolicyLPF
+// rotationInterval returns the policy's re-ranking period, or 0 for
+// policies that rank only on membership changes.
+func (c *Controller) rotationInterval() float64 {
+	return policy.Interval(c.pol)
 }
 
-// armRotation starts the TLs-RR/TLs-LPF timer on first demand.
+// armRotation starts the re-ranking timer on first demand for rotating
+// policies.
 func (c *Controller) armRotation() {
-	if !c.rotatingPolicy() || c.rotateEv != nil {
+	if c.rotationInterval() <= 0 || c.rotateEv != nil {
 		return
 	}
-	c.rotateEv = c.k.ScheduleAfter(c.cfg.IntervalSec, c.rotate)
+	c.rotateEv = c.k.ScheduleAfter(c.rotationInterval(), c.rotate)
 }
 
-// rotate advances the round-robin offset and reconfigures every
+// rotate advances the policy to its next phase and reconfigures every
 // contended host — the green/yellow light change.
 func (c *Controller) rotate() {
 	c.rotateEv = nil
@@ -375,6 +471,7 @@ func (c *Controller) rotate() {
 		return
 	}
 	c.rotation++
+	policy.Advance(c.pol, c.k.Now())
 	c.emit(trace.Event{
 		At: c.k.Now(), Kind: trace.KindPriorityRotate,
 		Job: -1, Host: -1, Worker: -1, Value: float64(c.rotation),
@@ -382,7 +479,7 @@ func (c *Controller) rotate() {
 	for _, host := range c.contendedHosts() {
 		c.rotateHost(host)
 	}
-	c.rotateEv = c.k.ScheduleAfter(c.cfg.IntervalSec, c.rotate)
+	c.rotateEv = c.k.ScheduleAfter(c.rotationInterval(), c.rotate)
 }
 
 // contendedHosts lists hosts whose egress carries two or more jobs —
@@ -405,51 +502,58 @@ func (c *Controller) contendedHosts() []int {
 	return hosts
 }
 
-// jobsOnHost returns the jobs whose prioritized traffic leaves the
-// host, rank-ordered by the configured Order policy.
-func (c *Controller) jobsOnHost(host int) []*JobInfo {
-	var jobs []*JobInfo
+// rankedJobs collects the jobs whose prioritized traffic leaves the
+// host and asks the policy to rank them. It returns the jobs in rank
+// order (the filter installation order) with each job's virtual band
+// in [0, cfg.Bands). With fewer than two jobs the policy is not
+// consulted and bands is nil. Adaptive policies' decisions are traced
+// as policy_rank events.
+func (c *Controller) rankedJobs(host int) (jobs []*JobInfo, bands []int) {
 	for _, j := range c.jobs {
 		if j.onHost(host) {
 			jobs = append(jobs, j)
 		}
 	}
-	if c.cfg.Policy == PolicyLPF {
-		sort.Slice(jobs, func(i, k int) bool {
-			if jobs[i].progress != jobs[k].progress {
-				return jobs[i].progress < jobs[k].progress
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].arrivalSeq < jobs[k].arrivalSeq })
+	if len(jobs) < 2 {
+		return jobs, nil
+	}
+	view := make([]policy.Job, len(jobs))
+	byID := make(map[int]*JobInfo, len(jobs))
+	for i, j := range jobs {
+		view[i] = policy.Job{
+			ID:          j.ID,
+			ArrivalSeq:  j.arrivalSeq,
+			UpdateBytes: j.UpdateBytes,
+			TargetSteps: j.TargetSteps,
+			Progress:    j.progress,
+		}
+		byID[j.ID] = j
+	}
+	bands = c.pol.Rank(host, view, c.fb)
+	if len(bands) != len(view) {
+		panic(fmt.Sprintf("tensorlights: policy %s ranked %d jobs into %d bands",
+			c.pol.Name(), len(view), len(bands)))
+	}
+	for i, v := range view {
+		jobs[i] = byID[v.ID]
+	}
+	if c.adaptive && c.Tracer != nil {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "policy=%s order=", c.pol.Name())
+		for i, v := range view {
+			if i > 0 {
+				sb.WriteByte(' ')
 			}
-			return jobs[i].arrivalSeq < jobs[k].arrivalSeq
+			fmt.Fprintf(&sb, "%d:%d", v.ID, bands[i])
+		}
+		c.emit(trace.Event{
+			At: c.k.Now(), Kind: trace.KindPolicyRank,
+			Job: -1, Host: host, Worker: -1,
+			Value: float64(len(jobs)), Detail: sb.String(),
 		})
-		return jobs
 	}
-	switch c.cfg.Order {
-	case OrderRandom:
-		sort.Slice(jobs, func(i, k int) bool { return jobs[i].arrivalSeq < jobs[k].arrivalSeq })
-		c.rng.Shuffle(len(jobs), func(i, k int) { jobs[i], jobs[k] = jobs[k], jobs[i] })
-	case OrderSmallestUpdate:
-		sort.Slice(jobs, func(i, k int) bool {
-			if jobs[i].UpdateBytes != jobs[k].UpdateBytes {
-				return jobs[i].UpdateBytes < jobs[k].UpdateBytes
-			}
-			return jobs[i].arrivalSeq < jobs[k].arrivalSeq
-		})
-	default: // OrderArrival
-		sort.Slice(jobs, func(i, k int) bool { return jobs[i].arrivalSeq < jobs[k].arrivalSeq })
-	}
-	return jobs
-}
-
-// bandOf maps a job's rotated rank to a priority band. With more jobs
-// than bands, consecutive ranks share bands in contiguous groups, as the
-// paper's limited-band deployment does. LPF ranks already encode the
-// desired order, so only TLs-RR applies the rotation offset.
-func (c *Controller) bandOf(rank, njobs int) int {
-	r := rank
-	if c.cfg.Policy == PolicyRR {
-		r = (rank + c.rotation) % njobs
-	}
-	return r * c.cfg.Bands / njobs
+	return jobs, bands
 }
 
 // stateOf returns (creating on demand) the host's bookkeeping record.
@@ -467,20 +571,20 @@ func (c *Controller) stateOf(host int) *hostState {
 // local PSes desire the default FIFO — the paper configures tc only
 // where PSes contend.
 func (c *Controller) setDesired(host int) {
-	cmds, firstFilter, njobs := c.desiredCommands(host)
+	cmds, firstFilter, njobs, assign := c.desiredCommands(host)
 	if len(cmds) == 0 {
 		st, ok := c.hosts[host]
 		if !ok {
 			return // never managed: already FIFO
 		}
-		st.desired, st.firstFilter, st.njobs = nil, 0, 0
+		st.desired, st.firstFilter, st.njobs, st.assign = nil, 0, 0, nil
 		c.cancelRetry(st)
 		st.attempts = 0
 		c.tryApply(host)
 		return
 	}
 	st := c.stateOf(host)
-	st.desired, st.firstFilter, st.njobs = cmds, firstFilter, njobs
+	st.desired, st.firstFilter, st.njobs, st.assign = cmds, firstFilter, njobs, assign
 	c.cancelRetry(st)
 	st.attempts = 0
 	c.tryApply(host)
@@ -493,13 +597,13 @@ func (c *Controller) setDesired(host int) {
 // just get their desired state refreshed; the retry/reconcile paths
 // will install it.
 func (c *Controller) rotateHost(host int) {
-	cmds, firstFilter, njobs := c.desiredCommands(host)
+	cmds, firstFilter, njobs, assign := c.desiredCommands(host)
 	if len(cmds) == 0 {
 		c.setDesired(host)
 		return
 	}
 	st := c.stateOf(host)
-	st.desired, st.firstFilter, st.njobs = cmds, firstFilter, njobs
+	st.desired, st.firstFilter, st.njobs, st.assign = cmds, firstFilter, njobs, assign
 	if st.installedFP == "" || st.fallback || st.retryEv != nil {
 		return
 	}
@@ -512,23 +616,50 @@ func (c *Controller) rotateHost(host int) {
 	}
 	st.installedFP = c.tcc.Fingerprint(host)
 	c.reconfigs++
+	c.pushAssignments(host, st)
 }
 
 // desiredCommands builds the tc command list realizing TensorLights'
-// target state for one host, plus the index of the first filter command
-// and the contending-job count. An empty list means default FIFO.
-func (c *Controller) desiredCommands(host int) (cmds []string, firstFilter, njobs int) {
-	jobs := c.jobsOnHost(host)
-	if len(jobs) < 2 {
-		return nil, 0, len(jobs)
+// target state for one host, plus the index of the first filter
+// command, the contending-job count, and the job -> installed band
+// assignment (what the feedback collector attributes dequeue bytes
+// by). An empty list means default FIFO.
+func (c *Controller) desiredCommands(host int) (cmds []string, firstFilter, njobs int, assign map[int]int) {
+	jobs, bands := c.rankedJobs(host)
+	njobs = len(jobs)
+	if njobs < 2 {
+		return nil, 0, njobs, nil
 	}
-	switch {
-	case c.cfg.Policy == PolicyStaticRate:
-		cmds = c.staticRateCommands(host, jobs)
-	case c.cfg.UsePrioQdisc:
-		cmds = c.prioCommands(jobs)
-	default:
-		cmds = c.htbCommands(host, jobs)
+	if policy.WantsStaticRate(c.pol) {
+		// bands are per-job class indices; every job gets its own class.
+		cmds = c.staticRateCommands(host, jobs, bands)
+	} else {
+		// Clamp virtual bands to the host's effective band count, as the
+		// paper's limited-band deployment shares bands between ranks.
+		eff := c.cfg.Bands
+		if njobs < eff {
+			eff = njobs
+		}
+		clamped := make([]int, njobs)
+		for i, b := range bands {
+			if b < 0 {
+				b = 0
+			}
+			if b >= eff {
+				b = eff - 1
+			}
+			clamped[i] = b
+		}
+		bands = clamped
+		if c.cfg.UsePrioQdisc {
+			cmds = c.prioCommands(jobs, bands, eff)
+		} else {
+			cmds = c.htbCommands(host, jobs, bands, eff)
+		}
+	}
+	assign = make(map[int]int, njobs)
+	for i, j := range jobs {
+		assign[j.ID] = bands[i]
 	}
 	firstFilter = len(cmds)
 	for i, cmd := range cmds {
@@ -537,7 +668,7 @@ func (c *Controller) desiredCommands(host int) (cmds []string, firstFilter, njob
 			break
 		}
 	}
-	return cmds, firstFilter, len(jobs)
+	return cmds, firstFilter, njobs, assign
 }
 
 // tryApply executes the host's desired command list. Installing a root
@@ -556,6 +687,9 @@ func (c *Controller) tryApply(host int) {
 			c.reconfigs++
 		}
 		delete(c.hosts, host)
+		if c.fb != nil {
+			c.fb.ClearHost(host)
+		}
 		return
 	}
 	for _, cmd := range st.desired {
@@ -568,11 +702,20 @@ func (c *Controller) tryApply(host int) {
 	st.fallback = false
 	st.installedFP = c.tcc.Fingerprint(host)
 	c.reconfigs++
+	c.pushAssignments(host, st)
 	c.emit(trace.Event{
 		At: c.k.Now(), Kind: trace.KindTcConfig,
 		Job: -1, Host: host, Worker: -1, Value: float64(st.njobs),
-		Detail: fmt.Sprintf("policy=%s jobs=%d", c.cfg.Policy, st.njobs),
+		Detail: fmt.Sprintf("policy=%s jobs=%d", c.pol.Name(), st.njobs),
 	})
+}
+
+// pushAssignments hands the host's installed job -> band map to the
+// feedback collector, which attributes per-band dequeue bytes by it.
+func (c *Controller) pushAssignments(host int, st *hostState) {
+	if c.fb != nil {
+		c.fb.SetAssignments(host, st.assign)
+	}
 }
 
 // applyFailed handles one failed tc command: schedule a backoff retry,
@@ -580,6 +723,9 @@ func (c *Controller) tryApply(host int) {
 func (c *Controller) applyFailed(host int, st *hostState, err error) {
 	st.attempts++
 	st.installedFP = "" // unknown, possibly partial state
+	if c.fb != nil {
+		c.fb.ClearHost(host) // attribution by band is unreliable now
+	}
 	c.emit(trace.Event{
 		At: c.k.Now(), Kind: trace.KindTcError,
 		Job: -1, Host: host, Worker: -1, Value: float64(st.attempts),
@@ -670,30 +816,24 @@ func (c *Controller) reconcile() {
 // per band with a tiny guaranteed rate and full-link ceil, and one
 // filter per job mapping its PS source port to its band's class.
 // Unclassified traffic (gradient pushes from any colocated workers,
-// background flows) falls into the last class.
-func (c *Controller) htbCommands(host int, jobs []*JobInfo) []string {
-	bands := c.cfg.Bands
-	if len(jobs) < bands {
-		bands = len(jobs)
-	}
-	def := bands - 1
+// background flows) falls into the last class. bands holds the
+// policy's clamped band per job (rank order); eff is the effective
+// band count.
+func (c *Controller) htbCommands(host int, jobs []*JobInfo, bands []int, eff int) []string {
+	def := eff - 1
 	ceil := c.tcc.LinkRateBps(host)
 	cmds := []string{fmt.Sprintf("qdisc add dev eth0 root htb default %d", def)}
-	for b := 0; b < bands; b++ {
+	for b := 0; b < eff; b++ {
 		cmds = append(cmds, fmt.Sprintf(
 			"class add dev eth0 classid %d rate %.0fbps ceil %.0fbit prio %d",
 			b, c.cfg.GuaranteeRateBps/8, ceil, b))
 	}
 	pref := 0
 	for rank, j := range jobs {
-		band := c.bandOf(rank, len(jobs))
-		if band >= bands {
-			band = bands - 1
-		}
 		for _, port := range j.ports() {
 			cmds = append(cmds, fmt.Sprintf(
 				"filter add dev eth0 pref %d match sport %d flowid %d",
-				pref, port, band))
+				pref, port, bands[rank]))
 			pref++
 		}
 	}
@@ -703,8 +843,9 @@ func (c *Controller) htbCommands(host int, jobs []*JobInfo) []string {
 // staticRateCommands pins each contending job to an equal static rate
 // share: one htb class per job with rate = ceil = link/N and equal
 // priority. Without borrowing headroom the allocation is not
-// work-conserving; an idle job's share is simply lost.
-func (c *Controller) staticRateCommands(host int, jobs []*JobInfo) []string {
+// work-conserving; an idle job's share is simply lost. bands holds the
+// policy's per-job class index (rank order).
+func (c *Controller) staticRateCommands(host int, jobs []*JobInfo, bands []int) []string {
 	link := c.tcc.LinkRateBps(host)
 	share := link / float64(len(jobs))
 	cmds := []string{fmt.Sprintf("qdisc add dev eth0 root htb default %d", len(jobs)-1)}
@@ -718,7 +859,7 @@ func (c *Controller) staticRateCommands(host int, jobs []*JobInfo) []string {
 		for _, port := range j.ports() {
 			cmds = append(cmds, fmt.Sprintf(
 				"filter add dev eth0 pref %d match sport %d flowid %d",
-				pref, port, rank))
+				pref, port, bands[rank]))
 			pref++
 		}
 	}
@@ -726,22 +867,14 @@ func (c *Controller) staticRateCommands(host int, jobs []*JobInfo) []string {
 }
 
 // prioCommands is the ablation variant using a plain prio qdisc.
-func (c *Controller) prioCommands(jobs []*JobInfo) []string {
-	bands := c.cfg.Bands
-	if len(jobs) < bands {
-		bands = len(jobs)
-	}
-	cmds := []string{fmt.Sprintf("qdisc add dev eth0 root prio bands %d", bands)}
+func (c *Controller) prioCommands(jobs []*JobInfo, bands []int, eff int) []string {
+	cmds := []string{fmt.Sprintf("qdisc add dev eth0 root prio bands %d", eff)}
 	pref := 0
 	for rank, j := range jobs {
-		band := c.bandOf(rank, len(jobs))
-		if band >= bands {
-			band = bands - 1
-		}
 		for _, port := range j.ports() {
 			cmds = append(cmds, fmt.Sprintf(
 				"filter add dev eth0 pref %d match sport %d flowid %d",
-				pref, port, band))
+				pref, port, bands[rank]))
 			pref++
 		}
 	}

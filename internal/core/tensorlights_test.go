@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/policy"
 	"repro/internal/qdisc"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -287,15 +288,15 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
-// bandOf covers all bands and is monotone in rank for a fixed rotation.
-func TestBandOfCoversAllBands(t *testing.T) {
-	_, _, ctl := newHarness(2, Config{Policy: PolicyOne, Bands: 6})
+// The band spread covers all bands and is monotone in rank for a fixed
+// rotation (the math the controller delegates to policy.SpreadBands).
+func TestBandSpreadCoversAllBands(t *testing.T) {
+	bands := policy.SpreadBands(21, 6, 0)
 	seen := map[int]bool{}
 	prev := -1
-	for rank := 0; rank < 21; rank++ {
-		b := ctl.bandOf(rank, 21)
+	for rank, b := range bands {
 		if b < prev {
-			t.Fatalf("bandOf not monotone at rank %d", rank)
+			t.Fatalf("band spread not monotone at rank %d", rank)
 		}
 		prev = b
 		seen[b] = true

@@ -67,6 +67,20 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// Max returns the largest value (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
 // Variance returns the population variance (0 for n < 2).
 func Variance(xs []float64) float64 {
 	if len(xs) < 2 {

@@ -1,0 +1,148 @@
+package policy
+
+import "math"
+
+// Adaptive policies beyond the paper, driven by the Feedback
+// collector's telemetry. All three re-rank every IntervalSec like
+// TLs-RR, but replace the blind rotation with a measured signal.
+//
+// Provenance: TLs-LAS follows Tiresias' least-attained-service
+// discipline with aging (Gu et al., NSDI'19); TLs-SRSF is Tiresias'
+// shortest-remaining-service-first variant using the declared job
+// length; TLs-Interleave adapts CASSINI's insight (Rajasekaran et al.,
+// NSDI'24) that colocated jobs' communication phases should be
+// offset so their bursts interleave instead of collide.
+
+func init() {
+	Register("TLs-LAS", func(p Params) Policy { return &las{p: p} })
+	Register("TLs-SRSF", func(p Params) Policy { return &srsf{p: p} })
+	Register("TLs-Interleave", func(p Params) Policy { return &interleave{p: p} })
+}
+
+// las ranks least-attained-service first: the job that has moved the
+// fewest (aged) bytes gets the green band. Aging lives in the Feedback
+// collector, so a long job whose service is all in the past competes
+// like a young job — Tiresias' starvation fix.
+type las struct{ p Params }
+
+func (l *las) Name() string { return "TLs-LAS" }
+
+func (l *las) FeedbackDriven() {}
+
+func (l *las) RotateInterval() float64 { return l.p.IntervalSec }
+
+func (l *las) Advance(float64) {}
+
+func (l *las) Rank(host int, jobs []Job, fb *Feedback) []int {
+	attained := make(map[int]float64, len(jobs))
+	for _, j := range jobs {
+		if fb != nil {
+			attained[j.ID] = fb.AttainedService(j.ID)
+		}
+	}
+	sortBy(jobs, func(a, b Job) bool {
+		if attained[a.ID] != attained[b.ID] {
+			return attained[a.ID] < attained[b.ID]
+		}
+		return a.ArrivalSeq < b.ArrivalSeq
+	})
+	return SpreadBands(len(jobs), l.p.Bands, 0)
+}
+
+// srsf ranks shortest-remaining-service first: remaining iterations
+// (declared target minus observed progress) times observed bytes per
+// iteration. Jobs without a declared target rank last; jobs without
+// observed service fall back to their update size as the per-iteration
+// cost. Like SRPT, it trades tail fairness for completions — small
+// remaining work exits the contention set fastest.
+type srsf struct{ p Params }
+
+func (s *srsf) Name() string { return "TLs-SRSF" }
+
+func (s *srsf) FeedbackDriven() {}
+
+func (s *srsf) RotateInterval() float64 { return s.p.IntervalSec }
+
+func (s *srsf) Advance(float64) {}
+
+func (s *srsf) Rank(host int, jobs []Job, fb *Feedback) []int {
+	remaining := make(map[int]float64, len(jobs))
+	for _, j := range jobs {
+		remaining[j.ID] = remainingService(j, fb)
+	}
+	sortBy(jobs, func(a, b Job) bool {
+		if remaining[a.ID] != remaining[b.ID] {
+			return remaining[a.ID] < remaining[b.ID]
+		}
+		return a.ArrivalSeq < b.ArrivalSeq
+	})
+	return SpreadBands(len(jobs), s.p.Bands, 0)
+}
+
+// remainingService estimates a job's outstanding network demand in
+// bytes; +Inf when the job declared no target.
+func remainingService(j Job, fb *Feedback) float64 {
+	if j.TargetSteps <= 0 {
+		return math.Inf(1)
+	}
+	progress := j.Progress
+	perIter := float64(j.UpdateBytes)
+	if fb != nil {
+		if p := fb.Progress(j.ID); p > progress {
+			progress = p
+		}
+		if bpi := fb.BytesPerIteration(j.ID); bpi > 0 {
+			perIter = bpi
+		}
+	}
+	left := j.TargetSteps - progress
+	if left < 0 {
+		left = 0
+	}
+	return float64(left) * perIter
+}
+
+// interleave offsets colocated jobs' priority so their communication
+// phases interleave: the job furthest into its compute phase (about to
+// emit its next burst) gets the green band, so bursts are served in
+// the order they will arrive instead of colliding. Until period
+// estimates exist it degenerates to round-robin rotation, which also
+// breaks symmetry when all phases are identical.
+type interleave struct {
+	p        Params
+	rotation int
+}
+
+func (il *interleave) Name() string { return "TLs-Interleave" }
+
+func (il *interleave) FeedbackDriven() {}
+
+func (il *interleave) RotateInterval() float64 { return il.p.IntervalSec }
+
+func (il *interleave) Advance(float64) { il.rotation++ }
+
+func (il *interleave) Rank(host int, jobs []Job, fb *Feedback) []int {
+	phase := make(map[int]float64, len(jobs))
+	known := 0
+	for _, j := range jobs {
+		if fb != nil {
+			if ph, ok := fb.Phase(j.ID); ok {
+				phase[j.ID] = ph
+				known++
+				continue
+			}
+		}
+		phase[j.ID] = -1 // unknown: rank after every measured job
+	}
+	if known == 0 {
+		SortByArrival(jobs)
+		return SpreadBands(len(jobs), il.p.Bands, il.rotation)
+	}
+	sortBy(jobs, func(a, b Job) bool {
+		if phase[a.ID] != phase[b.ID] {
+			return phase[a.ID] > phase[b.ID]
+		}
+		return a.ArrivalSeq < b.ArrivalSeq
+	})
+	return SpreadBands(len(jobs), il.p.Bands, 0)
+}

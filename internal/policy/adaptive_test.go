@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+// creditVia pushes one sampling round through a fake probe so jobs
+// accumulate the given attained bytes (each job in its own band).
+func creditVia(t *testing.T, bytes map[int]uint64) *Feedback {
+	t.Helper()
+	k, fb, pr := newTestFeedback(FeedbackConfig{SampleIntervalSec: 1})
+	byJob := map[int]int{}
+	bands := map[int]uint64{}
+	band := 0
+	for id := 10; id <= 12; id++ { // deterministic job -> band mapping
+		if v, ok := bytes[id]; ok {
+			fb.JobArrived(id)
+			byJob[id] = band
+			bands[band] = v
+			band++
+		}
+	}
+	fb.SetAssignments(0, byJob)
+	pr.bands[0] = bands
+	k.RunUntil(1)
+	return fb
+}
+
+func TestLASRanksLeastAttainedFirst(t *testing.T) {
+	fb := creditVia(t, map[int]uint64{10: 5000, 11: 100, 12: 2000})
+	p, _ := New("TLs-LAS", Params{Bands: 3, IntervalSec: 5})
+	jobs := jobsFixture()
+	bands := p.Rank(0, jobs, fb)
+	if !eqInts(ids(jobs), []int{11, 12, 10}) {
+		t.Fatalf("LAS order %v, want [11 12 10]", ids(jobs))
+	}
+	if !eqInts(bands, []int{0, 1, 2}) {
+		t.Fatalf("LAS bands %v", bands)
+	}
+}
+
+func TestLASNilFeedbackFallsBackToArrival(t *testing.T) {
+	p, _ := New("TLs-LAS", Params{Bands: 3})
+	jobs := jobsFixture()
+	p.Rank(0, jobs, nil)
+	// All attained values are zero, so ties break by arrival sequence.
+	if !eqInts(ids(jobs), []int{11, 12, 10}) {
+		t.Fatalf("LAS nil-feedback order %v", ids(jobs))
+	}
+}
+
+func TestSRSFRanksShortestRemainingFirst(t *testing.T) {
+	p, _ := New("TLs-SRSF", Params{Bands: 3, IntervalSec: 5})
+	jobs := []Job{
+		{ID: 10, ArrivalSeq: 0, UpdateBytes: 100, TargetSteps: 100, Progress: 90}, // 10*100 = 1000 left
+		{ID: 11, ArrivalSeq: 1, UpdateBytes: 50, TargetSteps: 100, Progress: 0},   // 100*50 = 5000 left
+		{ID: 12, ArrivalSeq: 2, UpdateBytes: 10, TargetSteps: 0},                  // undeclared: last
+	}
+	p.Rank(0, jobs, nil)
+	if !eqInts(ids(jobs), []int{10, 11, 12}) {
+		t.Fatalf("SRSF order %v, want [10 11 12]", ids(jobs))
+	}
+}
+
+func TestSRSFUsesObservedTelemetry(t *testing.T) {
+	if !math.IsInf(remainingService(Job{ID: 1, TargetSteps: 0}, nil), 1) {
+		t.Fatal("undeclared target should be +Inf remaining")
+	}
+	// Feedback-observed progress and bytes/iteration override the
+	// static Job view: job 10 attained 5000 bytes over its (feedback)
+	// progress, so its per-iteration cost is measured, not declared.
+	fb := creditVia(t, map[int]uint64{10: 5000})
+	fb.OnProgress(10, 50)
+	j := Job{ID: 10, ArrivalSeq: 0, UpdateBytes: 1, TargetSteps: 60, Progress: 10}
+	got := remainingService(j, fb)
+	want := 10.0 * 100.0 // (60-50 remaining) * (5000/50 bytes per iter)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("remainingService = %g, want %g", got, want)
+	}
+	// Completed jobs clamp at zero rather than going negative.
+	fb.OnProgress(10, 60)
+	if got := remainingService(j, fb); got != 0 {
+		t.Fatalf("finished job remaining = %g, want 0", got)
+	}
+}
+
+func TestInterleaveFallsBackToRotation(t *testing.T) {
+	p, _ := New("TLs-Interleave", Params{Bands: 3, IntervalSec: 5})
+	il := p.(Rotator)
+	jobs := jobsFixture()
+	// No feedback: behaves exactly like TLs-RR.
+	if got := p.Rank(0, jobs, nil); !eqInts(got, []int{0, 1, 2}) {
+		t.Fatalf("fallback rotation 0: %v", got)
+	}
+	il.Advance(5)
+	if got := p.Rank(0, jobs, nil); !eqInts(got, []int{1, 2, 0}) {
+		t.Fatalf("fallback rotation 1: %v", got)
+	}
+}
+
+func TestInterleaveRanksByPhase(t *testing.T) {
+	k, fb, _ := newTestFeedback(FeedbackConfig{SampleIntervalSec: 100})
+	for id := 10; id <= 12; id++ {
+		fb.JobArrived(id)
+	}
+	// Establish periods: job 10 iterates every 10 s (last at t=20), job
+	// 11 every 12 s (last at t=24); job 12 never reports progress.
+	k.Schedule(10, func() { fb.OnProgress(10, 1) })
+	k.Schedule(20, func() { fb.OnProgress(10, 2) })
+	k.Schedule(12, func() { fb.OnProgress(11, 1) })
+	k.Schedule(24, func() { fb.OnProgress(11, 2) })
+	k.RunUntil(27)
+	// At t=27: job 10 phase = 7/10 = 0.7, job 11 phase = 3/12 = 0.25.
+	p, _ := New("TLs-Interleave", Params{Bands: 3, IntervalSec: 5})
+	jobs := jobsFixture()
+	bands := p.Rank(0, jobs, fb)
+	// Highest phase (closest to its next burst) first; the job with no
+	// period estimate ranks last.
+	if !eqInts(ids(jobs), []int{10, 11, 12}) {
+		t.Fatalf("interleave order %v, want [10 11 12]", ids(jobs))
+	}
+	if !eqInts(bands, []int{0, 1, 2}) {
+		t.Fatalf("interleave bands %v", bands)
+	}
+}

@@ -1,0 +1,146 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func jobsFixture() []Job {
+	return []Job{
+		{ID: 10, ArrivalSeq: 2, UpdateBytes: 300},
+		{ID: 11, ArrivalSeq: 0, UpdateBytes: 100},
+		{ID: 12, ArrivalSeq: 1, UpdateBytes: 200},
+	}
+}
+
+func ids(jobs []Job) []int {
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpreadBands(t *testing.T) {
+	cases := []struct {
+		n, bands, rot int
+		want          []int
+	}{
+		{3, 3, 0, []int{0, 1, 2}},
+		{3, 3, 1, []int{1, 2, 0}},
+		{3, 3, 2, []int{2, 0, 1}},
+		{6, 3, 0, []int{0, 0, 1, 1, 2, 2}}, // more jobs than bands: contiguous sharing
+		{4, 6, 0, []int{0, 1, 3, 4}},       // fewer jobs than bands
+		{1, 6, 5, []int{0}},
+		{0, 3, 0, []int{}},
+	}
+	for _, c := range cases {
+		got := SpreadBands(c.n, c.bands, c.rot)
+		if !eqInts(got, c.want) {
+			t.Errorf("SpreadBands(%d,%d,%d) = %v, want %v", c.n, c.bands, c.rot, got, c.want)
+		}
+	}
+}
+
+func TestStaticOrdersByArrival(t *testing.T) {
+	p, _ := New("TLs-One", Params{Bands: 3, Order: OrderArrival})
+	jobs := jobsFixture()
+	bands := p.Rank(0, jobs, nil)
+	if !eqInts(ids(jobs), []int{11, 12, 10}) {
+		t.Fatalf("arrival order wrong: %v", ids(jobs))
+	}
+	if !eqInts(bands, []int{0, 1, 2}) {
+		t.Fatalf("bands wrong: %v", bands)
+	}
+}
+
+func TestStaticOrdersBySmallestUpdate(t *testing.T) {
+	p, _ := New("TLs-One", Params{Bands: 3, Order: OrderSmallestUpdate})
+	jobs := jobsFixture()
+	p.Rank(0, jobs, nil)
+	if !eqInts(ids(jobs), []int{11, 12, 10}) { // 100 < 200 < 300 bytes
+		t.Fatalf("smallest-update order wrong: %v", ids(jobs))
+	}
+}
+
+func TestStaticRandomOrderIsSeededAndValid(t *testing.T) {
+	rank := func(seed int64) []int {
+		p, _ := New("TLs-One", Params{Bands: 3, Order: OrderRandom,
+			RNG: sim.NewRNG(seed).Stream("tensorlights")})
+		jobs := jobsFixture()
+		p.Rank(0, jobs, nil)
+		return ids(jobs)
+	}
+	a, b := rank(7), rank(7)
+	if !eqInts(a, b) {
+		t.Fatalf("same seed gave different shuffles: %v vs %v", a, b)
+	}
+	seen := map[int]bool{}
+	for _, id := range a {
+		seen[id] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("shuffle lost a job: %v", a)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	p, _ := New("TLs-RR", Params{Bands: 3, IntervalSec: 5})
+	rr := p.(Rotator)
+	jobs := jobsFixture()
+	if got := p.Rank(0, jobs, nil); !eqInts(got, []int{0, 1, 2}) {
+		t.Fatalf("rotation 0 bands: %v", got)
+	}
+	rr.Advance(5)
+	if got := p.Rank(0, jobs, nil); !eqInts(got, []int{1, 2, 0}) {
+		t.Fatalf("rotation 1 bands: %v", got)
+	}
+	rr.Advance(10)
+	if got := p.Rank(0, jobs, nil); !eqInts(got, []int{2, 0, 1}) {
+		t.Fatalf("rotation 2 bands: %v", got)
+	}
+	// A full cycle returns to the start.
+	rr.Advance(15)
+	if got := p.Rank(0, jobs, nil); !eqInts(got, []int{0, 1, 2}) {
+		t.Fatalf("rotation 3 bands: %v", got)
+	}
+}
+
+func TestLeastProgressFirst(t *testing.T) {
+	p, _ := New("TLs-LPF", Params{Bands: 3, IntervalSec: 5})
+	jobs := jobsFixture()
+	jobs[0].Progress = 10 // id 10
+	jobs[1].Progress = 40 // id 11
+	jobs[2].Progress = 10 // id 12
+	p.Rank(0, jobs, nil)
+	// Ties on progress break by arrival: id 12 (seq 1) before id 10 (seq 2).
+	if !eqInts(ids(jobs), []int{12, 10, 11}) {
+		t.Fatalf("LPF order wrong: %v", ids(jobs))
+	}
+}
+
+func TestStaticRateIdentityBands(t *testing.T) {
+	p, _ := New("StaticRate", Params{Bands: 3, Order: OrderArrival})
+	jobs := jobsFixture()
+	bands := p.Rank(0, jobs, nil)
+	// Per-job class indices: rank order, not spread across Bands.
+	if !eqInts(bands, []int{0, 1, 2}) {
+		t.Fatalf("StaticRate bands: %v", bands)
+	}
+	if !eqInts(ids(jobs), []int{11, 12, 10}) {
+		t.Fatalf("StaticRate order: %v", ids(jobs))
+	}
+}

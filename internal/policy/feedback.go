@@ -1,0 +1,381 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Defaults for FeedbackConfig zero values.
+const (
+	// DefaultSampleIntervalSec is the telemetry sampling period.
+	DefaultSampleIntervalSec = 5.0
+	// DefaultRingSize is how many snapshots are retained per job.
+	DefaultRingSize = 64
+	// DefaultAgingTauSec is the LAS attained-service decay constant:
+	// service a job received tau seconds ago counts 1/e as much as
+	// service received now, so long-running jobs are not permanently
+	// penalized for their history (Tiresias-style aging).
+	DefaultAgingTauSec = 120.0
+)
+
+// FeedbackConfig tunes the collector; zero values select defaults.
+type FeedbackConfig struct {
+	SampleIntervalSec float64
+	RingSize          int
+	AgingTauSec       float64
+}
+
+func (c *FeedbackConfig) fillDefaults() {
+	if c.SampleIntervalSec <= 0 {
+		c.SampleIntervalSec = DefaultSampleIntervalSec
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = DefaultRingSize
+	}
+	if c.AgingTauSec <= 0 {
+		c.AgingTauSec = DefaultAgingTauSec
+	}
+}
+
+// Probe reads network-side telemetry for one host. The cluster layer
+// implements it over the simulated fabric; tests substitute fakes.
+type Probe interface {
+	// BandDequeuedBytes returns cumulative dequeued bytes per priority
+	// band (class id) on the host's egress qdisc, or nil when the
+	// installed qdisc is classless. The map is a fresh copy.
+	BandDequeuedBytes(host int) map[int]uint64
+	// BacklogBytes returns the bytes queued at the host's egress.
+	BacklogBytes(host int) int64
+}
+
+// Snapshot is one entry of a job's telemetry ring.
+type Snapshot struct {
+	At            float64 // sample time on the sim clock
+	Progress      int     // completed iterations at the sample
+	AttainedBytes int64   // cumulative bytes attributed to the job
+	BacklogBytes  int64   // egress backlog summed over the job's hosts
+	StragglerSec  float64 // time past the expected iteration period
+}
+
+// jobTelemetry is the collector's per-job state.
+type jobTelemetry struct {
+	id        int
+	arrivedAt float64
+
+	attained  int64   // cumulative attributed dequeue bytes
+	decayed   float64 // exponentially aged attained service
+	decayedAt float64 // sim time of the last decay update
+
+	progress       int
+	lastProgressAt float64
+	periodEWMA     float64 // estimated seconds per iteration
+
+	ring  []Snapshot // fixed-capacity ring of recent snapshots
+	start int        // index of the oldest retained snapshot
+	count int
+}
+
+// Feedback samples per-job attained service (per-band qdisc dequeue
+// bytes), NIC backlog and iteration progress into per-job telemetry
+// rings on the sim kernel clock. The controller registers jobs and
+// band assignments; adaptive policies read the derived signals from
+// Rank. All methods run on the single-threaded kernel.
+type Feedback struct {
+	cfg FeedbackConfig
+	k   *sim.Kernel
+
+	// Probe supplies qdisc and NIC readings; nil disables sampling
+	// (progress-only telemetry still works).
+	Probe Probe
+	// Tracer, when non-nil, receives feedback_sample events.
+	Tracer trace.Tracer
+
+	jobs     map[int]*jobTelemetry
+	assign   map[int]map[int]int    // host -> job id -> installed band
+	lastBand map[int]map[int]uint64 // host -> band -> last cumulative bytes
+	sampleEv *sim.Event
+	samples  int
+}
+
+// NewFeedback creates a collector on the kernel clock.
+func NewFeedback(k *sim.Kernel, cfg FeedbackConfig) *Feedback {
+	cfg.fillDefaults()
+	return &Feedback{
+		cfg:      cfg,
+		k:        k,
+		jobs:     make(map[int]*jobTelemetry),
+		assign:   make(map[int]map[int]int),
+		lastBand: make(map[int]map[int]uint64),
+	}
+}
+
+// Config returns the effective configuration.
+func (f *Feedback) Config() FeedbackConfig { return f.cfg }
+
+// Now returns the current sim time.
+func (f *Feedback) Now() float64 { return f.k.Now() }
+
+// Samples returns how many sampling rounds have run.
+func (f *Feedback) Samples() int { return f.samples }
+
+// JobArrived starts tracking a job; the sampling loop is armed on the
+// first arrival.
+func (f *Feedback) JobArrived(id int) {
+	if _, dup := f.jobs[id]; dup {
+		return
+	}
+	now := f.k.Now()
+	f.jobs[id] = &jobTelemetry{
+		id: id, arrivedAt: now, decayedAt: now, lastProgressAt: now,
+		ring: make([]Snapshot, f.cfg.RingSize),
+	}
+	if f.sampleEv == nil {
+		f.sampleEv = f.k.ScheduleAfter(f.cfg.SampleIntervalSec, f.sample)
+	}
+}
+
+// JobDeparted drops a job's telemetry (finish or crash alike: its
+// attained service must not leak into later attribution). The sampling
+// loop stops once no jobs remain.
+func (f *Feedback) JobDeparted(id int) {
+	delete(f.jobs, id)
+	for _, byJob := range f.assign {
+		delete(byJob, id)
+	}
+	if len(f.jobs) == 0 && f.sampleEv != nil {
+		f.k.Cancel(f.sampleEv)
+		f.sampleEv = nil
+	}
+}
+
+// Tracked reports whether the job currently has telemetry.
+func (f *Feedback) Tracked(id int) bool {
+	_, ok := f.jobs[id]
+	return ok
+}
+
+// OnProgress records a completed iteration and refreshes the job's
+// iteration-period estimate.
+func (f *Feedback) OnProgress(id, iteration int) {
+	t, ok := f.jobs[id]
+	if !ok {
+		return
+	}
+	now := f.k.Now()
+	if dt := now - t.lastProgressAt; dt > 0 && iteration > t.progress {
+		per := dt / float64(iteration-t.progress)
+		if t.periodEWMA <= 0 {
+			t.periodEWMA = per
+		} else {
+			t.periodEWMA = 0.7*t.periodEWMA + 0.3*per
+		}
+	}
+	if iteration > t.progress {
+		t.progress = iteration
+	}
+	t.lastProgressAt = now
+}
+
+// SetAssignments records which band each of a host's jobs is installed
+// in, replacing the host's previous assignment. The map is copied.
+func (f *Feedback) SetAssignments(host int, byJob map[int]int) {
+	if len(byJob) == 0 {
+		f.ClearHost(host)
+		return
+	}
+	cp := make(map[int]int, len(byJob))
+	for id, band := range byJob {
+		cp[id] = band
+	}
+	f.assign[host] = cp
+}
+
+// ClearHost forgets a host's band assignments and counter baseline —
+// called when the host's managed qdisc is removed or its installed
+// state becomes unknown.
+func (f *Feedback) ClearHost(host int) {
+	delete(f.assign, host)
+	delete(f.lastBand, host)
+}
+
+// decay ages a job's attained service to now.
+func (t *jobTelemetry) decay(now float64, tau float64) {
+	if dt := now - t.decayedAt; dt > 0 {
+		t.decayed *= math.Exp(-dt / tau)
+		t.decayedAt = now
+	}
+}
+
+// credit attributes service bytes to the job.
+func (t *jobTelemetry) credit(now float64, bytes float64, tau float64) {
+	t.decay(now, tau)
+	t.attained += int64(bytes)
+	t.decayed += bytes
+}
+
+// AttainedService returns the job's exponentially aged attained
+// service in bytes. Without new service it is non-increasing in time.
+func (f *Feedback) AttainedService(id int) float64 {
+	t, ok := f.jobs[id]
+	if !ok {
+		return 0
+	}
+	t.decay(f.k.Now(), f.cfg.AgingTauSec)
+	return t.decayed
+}
+
+// AttainedBytes returns the job's cumulative (un-aged) attributed
+// service.
+func (f *Feedback) AttainedBytes(id int) int64 {
+	if t, ok := f.jobs[id]; ok {
+		return t.attained
+	}
+	return 0
+}
+
+// Progress returns the job's last reported iteration.
+func (f *Feedback) Progress(id int) int {
+	if t, ok := f.jobs[id]; ok {
+		return t.progress
+	}
+	return 0
+}
+
+// BytesPerIteration estimates the job's service demand per iteration
+// from attributed bytes and reported progress; 0 when unobserved.
+func (f *Feedback) BytesPerIteration(id int) float64 {
+	t, ok := f.jobs[id]
+	if !ok || t.progress <= 0 || t.attained <= 0 {
+		return 0
+	}
+	return float64(t.attained) / float64(t.progress)
+}
+
+// Phase returns how far the job is through its current iteration as a
+// fraction of its estimated period, and whether a period estimate
+// exists. A job near phase 1 is about to emit its next communication
+// burst.
+func (f *Feedback) Phase(id int) (float64, bool) {
+	t, ok := f.jobs[id]
+	if !ok || t.periodEWMA <= 0 {
+		return 0, false
+	}
+	frac := (f.k.Now() - t.lastProgressAt) / t.periodEWMA
+	return frac - math.Floor(frac), true
+}
+
+// Snapshots returns a copy of the job's retained telemetry ring,
+// oldest first.
+func (f *Feedback) Snapshots(id int) []Snapshot {
+	t, ok := f.jobs[id]
+	if !ok {
+		return nil
+	}
+	out := make([]Snapshot, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(t.start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// sample is one round of the kernel-scheduled collection loop: read
+// per-band dequeue counters and backlog on every host with installed
+// assignments, attribute the deltas to jobs, and append one snapshot
+// per tracked job. Hosts and jobs are visited in ascending id order so
+// runs stay deterministic.
+func (f *Feedback) sample() {
+	f.sampleEv = nil
+	if len(f.jobs) == 0 {
+		return
+	}
+	now := f.k.Now()
+	f.samples++
+	backlog := make(map[int]int64)
+	if f.Probe != nil {
+		hosts := make([]int, 0, len(f.assign))
+		for h := range f.assign {
+			hosts = append(hosts, h)
+		}
+		sort.Ints(hosts)
+		for _, host := range hosts {
+			byJob := f.assign[host]
+			cur := f.Probe.BandDequeuedBytes(host)
+			prev := f.lastBand[host]
+			bands := make([]int, 0, len(cur))
+			for b := range cur {
+				bands = append(bands, b)
+			}
+			sort.Ints(bands)
+			for _, band := range bands {
+				delta := cur[band]
+				if p, ok := prev[band]; ok && p <= delta {
+					delta -= p
+				}
+				// A reinstalled qdisc resets its counters; cur < prev
+				// then means "everything dequeued since reinstall".
+				if delta == 0 {
+					continue
+				}
+				var sharers []int
+				for id, b := range byJob {
+					if b == band {
+						sharers = append(sharers, id)
+					}
+				}
+				if len(sharers) == 0 {
+					continue
+				}
+				sort.Ints(sharers)
+				share := float64(delta) / float64(len(sharers))
+				for _, id := range sharers {
+					if t, ok := f.jobs[id]; ok {
+						t.credit(now, share, f.cfg.AgingTauSec)
+					}
+				}
+			}
+			f.lastBand[host] = cur
+			hb := f.Probe.BacklogBytes(host)
+			for id := range byJob {
+				backlog[id] += hb
+			}
+		}
+	}
+	ids := make([]int, 0, len(f.jobs))
+	for id := range f.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t := f.jobs[id]
+		var straggler float64
+		if t.periodEWMA > 0 {
+			if late := (now - t.lastProgressAt) - t.periodEWMA; late > 0 {
+				straggler = late
+			}
+		}
+		snap := Snapshot{
+			At: now, Progress: t.progress, AttainedBytes: t.attained,
+			BacklogBytes: backlog[id], StragglerSec: straggler,
+		}
+		t.ring[(t.start+t.count)%len(t.ring)] = snap
+		if t.count < len(t.ring) {
+			t.count++
+		} else {
+			t.start = (t.start + 1) % len(t.ring)
+		}
+		if f.Tracer != nil {
+			f.Tracer.Emit(trace.Event{
+				At: now, Kind: trace.KindFeedbackSample,
+				Job: id, Host: -1, Worker: -1,
+				Value: float64(t.attained),
+				Detail: fmt.Sprintf("progress=%d backlog=%d straggler=%.3f",
+					t.progress, snap.BacklogBytes, straggler),
+			})
+		}
+	}
+	f.sampleEv = f.k.ScheduleAfter(f.cfg.SampleIntervalSec, f.sample)
+}

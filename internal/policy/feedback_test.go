@@ -1,0 +1,239 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeProbe is a scriptable Probe: tests mutate bands/backlog between
+// sampling rounds to model dequeue progress and qdisc reinstalls.
+type fakeProbe struct {
+	bands   map[int]map[int]uint64 // host -> band -> cumulative bytes
+	backlog map[int]int64
+}
+
+func (p *fakeProbe) BandDequeuedBytes(host int) map[int]uint64 {
+	src := p.bands[host]
+	if src == nil {
+		return nil
+	}
+	cp := make(map[int]uint64, len(src))
+	for b, v := range src {
+		cp[b] = v
+	}
+	return cp
+}
+
+func (p *fakeProbe) BacklogBytes(host int) int64 { return p.backlog[host] }
+
+func newTestFeedback(cfg FeedbackConfig) (*sim.Kernel, *Feedback, *fakeProbe) {
+	k := sim.NewKernel()
+	fb := NewFeedback(k, cfg)
+	pr := &fakeProbe{bands: map[int]map[int]uint64{}, backlog: map[int]int64{}}
+	fb.Probe = pr
+	return k, fb, pr
+}
+
+func TestFeedbackAttributesDeltasPerBand(t *testing.T) {
+	k, fb, pr := newTestFeedback(FeedbackConfig{SampleIntervalSec: 1})
+	fb.JobArrived(1)
+	fb.JobArrived(2)
+	fb.SetAssignments(0, map[int]int{1: 0, 2: 1})
+	pr.bands[0] = map[int]uint64{0: 1000, 1: 500}
+	pr.backlog[0] = 77
+
+	k.RunUntil(1) // first sample: full cumulative values
+	if got := fb.AttainedBytes(1); got != 1000 {
+		t.Fatalf("job 1 attained %d, want 1000", got)
+	}
+	if got := fb.AttainedBytes(2); got != 500 {
+		t.Fatalf("job 2 attained %d, want 500", got)
+	}
+
+	pr.bands[0] = map[int]uint64{0: 1600, 1: 900}
+	k.RunUntil(2) // second sample: deltas only
+	if got := fb.AttainedBytes(1); got != 1600 {
+		t.Fatalf("job 1 attained %d after delta, want 1600", got)
+	}
+	if got := fb.AttainedBytes(2); got != 900 {
+		t.Fatalf("job 2 attained %d after delta, want 900", got)
+	}
+	if fb.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", fb.Samples())
+	}
+	snaps := fb.Snapshots(1)
+	if len(snaps) != 2 || snaps[1].BacklogBytes != 77 {
+		t.Fatalf("snapshots wrong: %+v", snaps)
+	}
+}
+
+func TestFeedbackSplitsSharedBandEvenly(t *testing.T) {
+	k, fb, pr := newTestFeedback(FeedbackConfig{SampleIntervalSec: 1})
+	fb.JobArrived(1)
+	fb.JobArrived(2)
+	fb.SetAssignments(0, map[int]int{1: 0, 2: 0}) // both share band 0
+	pr.bands[0] = map[int]uint64{0: 1000}
+	k.RunUntil(1)
+	if a, b := fb.AttainedBytes(1), fb.AttainedBytes(2); a != 500 || b != 500 {
+		t.Fatalf("shared band split %d/%d, want 500/500", a, b)
+	}
+}
+
+func TestFeedbackCounterResetTreatedAsFresh(t *testing.T) {
+	k, fb, pr := newTestFeedback(FeedbackConfig{SampleIntervalSec: 1})
+	fb.JobArrived(1)
+	fb.SetAssignments(0, map[int]int{1: 0})
+	pr.bands[0] = map[int]uint64{0: 1000}
+	k.RunUntil(1)
+	// Qdisc reinstalled: cumulative counter went backwards. The 300
+	// bytes are everything dequeued since the reinstall.
+	pr.bands[0] = map[int]uint64{0: 300}
+	k.RunUntil(2)
+	if got := fb.AttainedBytes(1); got != 1300 {
+		t.Fatalf("attained %d after counter reset, want 1300", got)
+	}
+}
+
+func TestFeedbackDepartureDropsStateAndStopsSampling(t *testing.T) {
+	k, fb, pr := newTestFeedback(FeedbackConfig{SampleIntervalSec: 1})
+	fb.JobArrived(1)
+	fb.JobArrived(2)
+	fb.SetAssignments(0, map[int]int{1: 0, 2: 1})
+	pr.bands[0] = map[int]uint64{0: 100, 1: 200}
+	k.RunUntil(1)
+
+	fb.JobDeparted(1) // finish or crash: telemetry must not leak
+	if fb.Tracked(1) || fb.AttainedBytes(1) != 0 || fb.Snapshots(1) != nil {
+		t.Fatal("departed job still has telemetry")
+	}
+	// The survivor keeps accruing; the departed job's band no longer
+	// attributes to anyone.
+	pr.bands[0] = map[int]uint64{0: 900, 1: 500}
+	k.RunUntil(2)
+	if got := fb.AttainedBytes(2); got != 500 {
+		t.Fatalf("survivor attained %d, want 500", got)
+	}
+
+	fb.JobDeparted(2)
+	n := fb.Samples()
+	k.RunUntil(10)
+	if fb.Samples() != n {
+		t.Fatal("sampling loop kept running with no jobs")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("%d events still pending after last departure", k.Pending())
+	}
+
+	// A new arrival re-arms the loop.
+	fb.JobArrived(3)
+	fb.SetAssignments(0, map[int]int{3: 0})
+	k.RunUntil(11)
+	if fb.Samples() != n+1 {
+		t.Fatal("sampling loop did not re-arm on re-arrival")
+	}
+}
+
+func TestFeedbackClearHostResetsBaseline(t *testing.T) {
+	k, fb, pr := newTestFeedback(FeedbackConfig{SampleIntervalSec: 1})
+	fb.JobArrived(1)
+	fb.SetAssignments(0, map[int]int{1: 0})
+	pr.bands[0] = map[int]uint64{0: 1000}
+	k.RunUntil(1)
+	// Host's qdisc removed (e.g. job count dropped below 2) and later
+	// reinstalled with counters restarted from zero.
+	fb.ClearHost(0)
+	fb.SetAssignments(0, map[int]int{1: 0})
+	pr.bands[0] = map[int]uint64{0: 250}
+	k.RunUntil(2)
+	if got := fb.AttainedBytes(1); got != 1250 {
+		t.Fatalf("attained %d after clear+reinstall, want 1250", got)
+	}
+}
+
+func TestFeedbackProgressPeriodAndPhase(t *testing.T) {
+	k, fb, _ := newTestFeedback(FeedbackConfig{SampleIntervalSec: 100})
+	fb.JobArrived(1)
+	k.Schedule(10, func() { fb.OnProgress(1, 1) })
+	k.Schedule(20, func() { fb.OnProgress(1, 2) })
+	k.RunUntil(25)
+	if got := fb.Progress(1); got != 2 {
+		t.Fatalf("progress %d, want 2", got)
+	}
+	ph, ok := fb.Phase(1)
+	if !ok {
+		t.Fatal("phase unknown after two iterations")
+	}
+	// Period EWMA is 10 s and the last iteration finished at t=20, so at
+	// t=25 the job is halfway through its next iteration.
+	if math.Abs(ph-0.5) > 1e-9 {
+		t.Fatalf("phase %.4f, want 0.5", ph)
+	}
+	if _, ok := fb.Phase(99); ok {
+		t.Fatal("unknown job reported a phase")
+	}
+}
+
+func TestFeedbackSnapshotRingBounded(t *testing.T) {
+	k, fb, pr := newTestFeedback(FeedbackConfig{SampleIntervalSec: 1, RingSize: 4})
+	fb.JobArrived(1)
+	fb.SetAssignments(0, map[int]int{1: 0})
+	pr.bands[0] = map[int]uint64{0: 10}
+	k.RunUntil(10)
+	snaps := fb.Snapshots(1)
+	if len(snaps) != 4 {
+		t.Fatalf("ring holds %d snapshots, want 4", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].At <= snaps[i-1].At {
+			t.Fatalf("snapshots not oldest-first: %+v", snaps)
+		}
+	}
+	if snaps[len(snaps)-1].At != 10 {
+		t.Fatalf("newest snapshot at %.0f, want 10", snaps[len(snaps)-1].At)
+	}
+}
+
+// TestLASAgingMonotonic is the aging property test: with no new
+// service, a job's attained service never increases as time passes, and
+// decays by exactly exp(-dt/tau) over any interval.
+func TestLASAgingMonotonic(t *testing.T) {
+	const tau = 50.0
+	k, fb, pr := newTestFeedback(FeedbackConfig{SampleIntervalSec: 1, AgingTauSec: tau})
+	fb.JobArrived(1)
+	fb.SetAssignments(0, map[int]int{1: 0})
+	pr.bands[0] = map[int]uint64{0: 1 << 20}
+	k.RunUntil(1)
+	// Stop all service; only decay remains. Advance the clock through a
+	// seeded pseudo-random schedule of observation points.
+	fb.ClearHost(0)
+	rng := sim.NewRNG(99).Stream("aging")
+	now := 1.0
+	prev := fb.AttainedService(1)
+	if prev <= 0 {
+		t.Fatal("no attained service credited")
+	}
+	for i := 0; i < 200; i++ {
+		dt := 0.1 + 10*rng.Jitter(1)
+		if dt < 0.1 {
+			dt = 0.1
+		}
+		now += dt
+		k.RunUntil(now)
+		got := fb.AttainedService(1)
+		if got > prev {
+			t.Fatalf("step %d: attained service rose %.6g -> %.6g with no new service", i, prev, got)
+		}
+		want := prev * math.Exp(-dt/tau)
+		if math.Abs(got-want) > 1e-6*prev+1e-12 {
+			t.Fatalf("step %d: decay %.9g, want %.9g (dt=%.3f)", i, got, want, dt)
+		}
+		prev = got
+	}
+	// After 200 steps averaging ~5 s each the service is essentially
+	// fully aged out, but never negative.
+	if prev < 0 {
+		t.Fatal("attained service went negative")
+	}
+}

@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzPolicyRank feeds random job sets (and, for feedback-driven
+// policies, random telemetry) to every registered policy and checks the
+// Rank contract: the jobs slice stays a permutation of the input, the
+// returned bands are one per job, and every band is a valid index. A
+// policy that drops a job, invents one, or emits an out-of-range band
+// would crash the controller's tc synthesis.
+func FuzzPolicyRank(f *testing.F) {
+	f.Add(uint8(3), uint8(6), int64(7), []byte{1, 2, 3, 4})
+	f.Add(uint8(1), uint8(1), int64(1), []byte{0})
+	f.Add(uint8(21), uint8(6), int64(42), []byte{9, 9, 9, 200, 17, 0, 255})
+	f.Add(uint8(0), uint8(3), int64(3), []byte{})
+	f.Add(uint8(8), uint8(2), int64(-5), []byte{128, 64, 32, 16, 8, 4, 2, 1})
+
+	f.Fuzz(func(t *testing.T, njobs, bands uint8, seed int64, raw []byte) {
+		n := int(njobs) % 32
+		nb := 1 + int(bands)%8
+		byteAt := func(i int) int64 {
+			if len(raw) == 0 {
+				return 0
+			}
+			return int64(raw[i%len(raw)])
+		}
+
+		// Random-ish but deterministic job set: arrival sequence is a
+		// permutation so ties behave like production.
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{
+				ID:          100 + i,
+				UpdateBytes: 1 + byteAt(i)*1000,
+				TargetSteps: int(byteAt(i+1)) % 300,
+				Progress:    int(byteAt(i+2)) % 300,
+			}
+		}
+		rng := sim.NewRNG(seed)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Stream("perm").Shuffle(n, func(i, k int) { perm[i], perm[k] = perm[k], perm[i] })
+		for i := range jobs {
+			jobs[i].ArrivalSeq = perm[i]
+		}
+
+		// Telemetry: attained service via a fake probe plus progress
+		// reports at fuzzed times, one sampling round.
+		k := sim.NewKernel()
+		fb := NewFeedback(k, FeedbackConfig{SampleIntervalSec: 1})
+		pr := &fakeProbe{bands: map[int]map[int]uint64{0: {}}, backlog: map[int]int64{}}
+		fb.Probe = pr
+		byJob := map[int]int{}
+		for i, j := range jobs {
+			fb.JobArrived(j.ID)
+			band := i % nb
+			byJob[j.ID] = band
+			pr.bands[0][band] += uint64(1 + byteAt(i)*37)
+			if byteAt(i)%2 == 0 {
+				fb.OnProgress(j.ID, 1+int(byteAt(i+3))%50)
+			}
+		}
+		fb.SetAssignments(0, byJob)
+		if n > 0 {
+			k.RunUntil(1)
+		}
+
+		for _, name := range Names() {
+			pol, err := New(name, Params{
+				Bands:       nb,
+				IntervalSec: 5,
+				Order:       Order(int(byteAt(0)) % 3),
+				RNG:         sim.NewRNG(seed).Stream("tensorlights"),
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			in := make([]Job, len(jobs))
+			copy(in, jobs)
+			var arg *Feedback
+			if NeedsFeedback(pol) {
+				arg = fb
+			}
+			got := pol.Rank(0, in, arg)
+
+			if IsNoOp(pol) {
+				if got != nil {
+					t.Fatalf("%s: no-op policy returned bands %v", name, got)
+				}
+				continue
+			}
+			if len(got) != len(in) {
+				t.Fatalf("%s: %d bands for %d jobs", name, len(got), len(in))
+			}
+			limit := nb
+			if WantsStaticRate(pol) {
+				limit = n // per-job class indices
+			}
+			for i, b := range got {
+				if b < 0 || b >= limit {
+					t.Fatalf("%s: band[%d] = %d out of [0,%d)", name, i, b, limit)
+				}
+			}
+			// The reordered slice must be a permutation of the input.
+			seen := map[int]bool{}
+			for _, j := range in {
+				if seen[j.ID] {
+					t.Fatalf("%s: duplicate job %d after Rank", name, j.ID)
+				}
+				seen[j.ID] = true
+			}
+			for _, j := range jobs {
+				if !seen[j.ID] {
+					t.Fatalf("%s: job %d lost by Rank", name, j.ID)
+				}
+			}
+			// Advance rotating policies so the next Rank exercises a
+			// different offset too.
+			Advance(pol, 5)
+			copy(in, jobs)
+			if got2 := pol.Rank(0, in, arg); len(got2) != len(in) {
+				t.Fatalf("%s: post-Advance rank returned %d bands", name, len(got2))
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory builds a policy instance from construction parameters.
+type Factory func(Params) Policy
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{} // normalized name -> factory
+	canonical []string               // canonical names, registration order
+)
+
+// normalize makes lookup case-insensitive and tolerant of the usual
+// flag spellings: "TLs-LAS", "tls-las" and "las" all resolve the same
+// policy, and "static-rate"/"staticrate" match "StaticRate".
+func normalize(name string) string {
+	n := strings.ToLower(strings.TrimSpace(name))
+	n = strings.ReplaceAll(n, "_", "-")
+	n = strings.TrimPrefix(n, "tls-")
+	n = strings.ReplaceAll(n, "-", "")
+	return n
+}
+
+// Register adds a policy factory under its canonical name. Registering
+// a duplicate (after normalization) panics: two policies answering to
+// one flag value is a programming error.
+func Register(name string, f Factory) {
+	key := normalize(name)
+	if key == "" || f == nil {
+		panic("policy: Register needs a name and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[key]; dup {
+		panic(fmt.Sprintf("policy: %q already registered", name))
+	}
+	factories[key] = f
+	canonical = append(canonical, name)
+}
+
+// Known reports whether the name resolves to a registered policy.
+func Known(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := factories[normalize(name)]
+	return ok
+}
+
+// New builds the named policy. Unknown names return an error listing
+// what is registered.
+func New(name string, p Params) (Policy, error) {
+	regMu.RLock()
+	f, ok := factories[normalize(name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(p), nil
+}
+
+// Names returns every registered policy's canonical name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(canonical))
+	copy(out, canonical)
+	sort.Strings(out)
+	return out
+}

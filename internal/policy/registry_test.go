@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryKnownAndAliases(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // canonical Name() of the built policy
+	}{
+		{"FIFO", "FIFO"},
+		{"fifo", "FIFO"},
+		{"TLs-One", "TLs-One"},
+		{"tls-one", "TLs-One"},
+		{"one", "TLs-One"},
+		{"tls_rr", "TLs-RR"},
+		{"rr", "TLs-RR"},
+		{"TLs-LAS", "TLs-LAS"},
+		{"las", "TLs-LAS"},
+		{"srsf", "TLs-SRSF"},
+		{"interleave", "TLs-Interleave"},
+		{"static-rate", "StaticRate"},
+		{"staticrate", "StaticRate"},
+		{"lpf", "TLs-LPF"},
+	}
+	for _, c := range cases {
+		if !Known(c.name) {
+			t.Errorf("Known(%q) = false", c.name)
+			continue
+		}
+		p, err := New(c.name, Params{Bands: 3})
+		if err != nil {
+			t.Errorf("New(%q): %v", c.name, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("New(%q).Name() = %q, want %q", c.name, p.Name(), c.want)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if Known("no-such-policy") {
+		t.Fatal("Known accepted a bogus name")
+	}
+	_, err := New("no-such-policy", Params{})
+	if err == nil {
+		t.Fatal("New accepted a bogus name")
+	}
+	if !strings.Contains(err.Error(), "TLs-RR") {
+		t.Fatalf("error should list registered policies, got: %v", err)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	// "tls-rr" normalizes to the already-registered "TLs-RR".
+	Register("tls_rr", func(Params) Policy { return fifo{} })
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("expected at least 8 registered policies, got %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"FIFO", "TLs-One", "TLs-RR", "TLs-LPF",
+		"StaticRate", "TLs-LAS", "TLs-SRSF", "TLs-Interleave"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Names() missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestMarkerInterfaces(t *testing.T) {
+	mk := func(name string) Policy {
+		p, err := New(name, Params{Bands: 6, IntervalSec: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if p := mk("FIFO"); !IsNoOp(p) || NeedsFeedback(p) || WantsStaticRate(p) || Interval(p) != 0 {
+		t.Fatal("FIFO markers wrong")
+	}
+	if p := mk("TLs-One"); IsNoOp(p) || NeedsFeedback(p) || Interval(p) != 0 {
+		t.Fatal("TLs-One markers wrong")
+	}
+	if p := mk("TLs-RR"); NeedsFeedback(p) || Interval(p) != 20 {
+		t.Fatal("TLs-RR markers wrong")
+	}
+	if p := mk("StaticRate"); !WantsStaticRate(p) || NeedsFeedback(p) {
+		t.Fatal("StaticRate markers wrong")
+	}
+	for _, name := range []string{"TLs-LAS", "TLs-SRSF", "TLs-Interleave"} {
+		p := mk(name)
+		if !NeedsFeedback(p) {
+			t.Fatalf("%s should be FeedbackDriven", name)
+		}
+		if Interval(p) != 20 {
+			t.Fatalf("%s should rotate every IntervalSec", name)
+		}
+		if IsNoOp(p) || WantsStaticRate(p) {
+			t.Fatalf("%s marker overlap", name)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package qdisc
+
+import "testing"
+
+// The Feedback collector attributes per-job service from per-band
+// dequeue counters; these tests pin the BandCounter contract on both
+// managed qdisc shapes: values track what each band actually dequeued,
+// and the returned map is a fresh copy every call.
+
+func TestHTBBandDequeuedBytes(t *testing.T) {
+	h := newTLsHTB(3)
+	var _ BandCounter = h
+	if got := h.BandDequeuedBytes(); len(got) != 3 {
+		t.Fatalf("expected 3 bands, got %v", got)
+	}
+	// Two chunks into band 0, one into band 2; drain everything.
+	h.Enqueue(mkChunk(1, 5000, 1000), 0)
+	h.Enqueue(mkChunk(2, 5000, 500), 0)
+	h.Enqueue(mkChunk(3, 5002, 250), 0)
+	drainAll(h, 0)
+	got := h.BandDequeuedBytes()
+	want := map[int]uint64{0: 1500, 1: 0, 2: 250}
+	for band, w := range want {
+		if got[band] != w {
+			t.Fatalf("band %d dequeued %d, want %d (all: %v)", band, got[band], w, got)
+		}
+	}
+	var sum uint64
+	for _, v := range got {
+		sum += v
+	}
+	if sum != h.Stats().DequeuedBytes {
+		t.Fatalf("band sum %d != total %d", sum, h.Stats().DequeuedBytes)
+	}
+}
+
+func TestHTBBandDequeuedBytesIsACopy(t *testing.T) {
+	h := newTLsHTB(2)
+	h.Enqueue(mkChunk(1, 5000, 1000), 0)
+	drainAll(h, 0)
+	m := h.BandDequeuedBytes()
+	m[0] += 999
+	m[7] = 1
+	fresh := h.BandDequeuedBytes()
+	if fresh[0] != 1000 {
+		t.Fatalf("mutating the returned map leaked into the qdisc: %v", fresh)
+	}
+	if _, ok := fresh[7]; ok {
+		t.Fatal("injected band survived into a fresh copy")
+	}
+}
+
+func TestPrioBandDequeuedBytes(t *testing.T) {
+	p := NewPrio(3)
+	var _ BandCounter = p
+	p.Classifier().Add(Filter{Pref: 0, Match: MatchSrcPort(5000), Target: 0})
+	p.Classifier().Add(Filter{Pref: 1, Match: MatchSrcPort(5001), Target: 1})
+	p.Enqueue(mkChunk(1, 5000, 800), 0)
+	p.Enqueue(mkChunk(2, 5001, 400), 0)
+	for p.Len() > 0 {
+		if p.Dequeue(0) == nil {
+			t.Fatal("prio refused to dequeue")
+		}
+	}
+	got := p.BandDequeuedBytes()
+	if got[0] != 800 || got[1] != 400 {
+		t.Fatalf("prio band counters %v, want band0=800 band1=400", got)
+	}
+	got[1] = 12345
+	if fresh := p.BandDequeuedBytes(); fresh[1] != 400 {
+		t.Fatalf("prio counter map is not a copy: %v", fresh)
+	}
+}

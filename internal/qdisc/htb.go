@@ -426,8 +426,19 @@ func (h *HTB) BacklogBytes() int64 {
 	return n
 }
 
-// Stats returns aggregate counters.
+// Stats returns a copy of the aggregate counters; mutating it does not
+// affect the qdisc.
 func (h *HTB) Stats() Stats { return h.stats }
+
+// BandDequeuedBytes returns cumulative dequeued bytes per class id as
+// a fresh map (BandCounter).
+func (h *HTB) BandDequeuedBytes() map[int]uint64 {
+	out := make(map[int]uint64, len(h.order))
+	for _, id := range h.order {
+		out[int(id)] = h.classes[id].stats.DequeuedBytes
+	}
+	return out
+}
 
 // Kind returns "htb".
 func (h *HTB) Kind() string { return "htb" }

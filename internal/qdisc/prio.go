@@ -106,8 +106,19 @@ func (p *Prio) BacklogBytes() int64 {
 	return n
 }
 
-// Stats returns aggregate counters.
+// Stats returns a copy of the aggregate counters; mutating it does not
+// affect the qdisc.
 func (p *Prio) Stats() Stats { return p.stats }
+
+// BandDequeuedBytes returns cumulative dequeued bytes per band index
+// as a fresh map (BandCounter).
+func (p *Prio) BandDequeuedBytes() map[int]uint64 {
+	out := make(map[int]uint64, len(p.bands))
+	for i, b := range p.bands {
+		out[i] = b.Stats().DequeuedBytes
+	}
+	return out
+}
 
 // Kind returns "prio", or "pfifo_fast" for the kernel-default variant.
 func (p *Prio) Kind() string {

@@ -51,6 +51,15 @@ func (s *Stats) Backlog() int64 {
 	return int64(s.EnqueuedBytes) - int64(s.DequeuedBytes) - int64(s.DroppedBytes)
 }
 
+// BandCounter is implemented by classful qdiscs that expose cumulative
+// per-band dequeued bytes, keyed by band/class id. Implementations
+// return a fresh map on every call: mutating the result cannot corrupt
+// the live counters. TensorLights' feedback collector reads these to
+// attribute attained service to jobs by their assigned band.
+type BandCounter interface {
+	BandDequeuedBytes() map[int]uint64
+}
+
 // Qdisc is a queueing discipline. Implementations are single-threaded:
 // the simulation kernel serializes all calls.
 //

@@ -45,6 +45,7 @@ func TestSweepsDeterministicSequentialVsParallel(t *testing.T) {
 		{"churn", func(o Options) (csvResult, error) { return ChurnSweep(o) }},
 		{"faultrec", func(o Options) (csvResult, error) { return FaultRecovery(o) }},
 		{"collective", func(o Options) (csvResult, error) { return Collective(o) }},
+		{"policy", func(o Options) (csvResult, error) { return PolicySweep(o) }},
 	}
 	for _, s := range sweeps {
 		s := s

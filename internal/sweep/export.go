@@ -149,6 +149,18 @@ func (r *ReplicateResult) WriteCSV(w io.Writer) error {
 	return c.err
 }
 
+// WriteCSV exports the policy-comparison rows.
+func (r *PolicySweepResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("policy", "avg_jct_s", "p95_jct_s", "max_jct_s",
+		"barrier_wait_mean_s", "reconfigs")
+	for _, row := range r.Rows {
+		c.row(row.Policy, row.AvgJCT, row.P95JCT, row.MaxJCT,
+			row.BarrierWaitMean, row.Reconfigs)
+	}
+	return c.err
+}
+
 // WriteCSV exports the churn-sweep policy comparison rows.
 func (r *ChurnSweepResult) WriteCSV(w io.Writer) error {
 	c := &csvWriter{w: w}

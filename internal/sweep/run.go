@@ -16,6 +16,7 @@ import (
 	"repro/internal/dl"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/trace"
 )
 
@@ -143,11 +144,25 @@ func Run(rc RunConfig) (*RunResult, error) {
 		specs[i].GradCompression = rc.GradCompression
 		specs[i].Recovery = rc.Recovery
 	}
+	if err := rc.TLs.Validate(); err != nil {
+		return nil, err
+	}
 	ctl := core.New(tb.K, tb.TC, tb.RNG, rc.TLs)
 	if rc.Tracer != nil {
 		tb.Env.Tracer = rc.Tracer
 		tb.Fabric.Tracer = rc.Tracer
 		ctl.Tracer = rc.Tracer
+	}
+	if ctl.NeedsFeedback() {
+		// Feedback-driven policies get a telemetry collector wired to
+		// the fabric. Legacy policies run without one, so their kernel
+		// event counts (and hence traces and CSVs) stay untouched.
+		fb := policy.NewFeedback(tb.K, policy.FeedbackConfig{
+			SampleIntervalSec: rc.TLs.FeedbackIntervalSec,
+		})
+		fb.Probe = cluster.NewQdiscProbe(tb.Fabric)
+		fb.Tracer = rc.Tracer
+		ctl.AttachFeedback(fb)
 	}
 	jobs, err := tb.Launch(specs, rc.StaggerSec, func(j *dl.Job) {
 		ctl.JobArrived(core.JobInfo{
@@ -155,6 +170,10 @@ func Run(rc RunConfig) (*RunResult, error) {
 			PSHost:      j.Spec.PSHost,
 			PSPort:      j.Spec.PSPort,
 			UpdateBytes: j.Spec.Model.UpdateBytes(),
+			// TargetSteps is in iteration units to match the progress
+			// reported at each barrier: every synchronous iteration
+			// advances the global step count by one step per worker.
+			TargetSteps: (j.Spec.TargetGlobalSteps + j.Spec.NumWorkers - 1) / j.Spec.NumWorkers,
 		})
 		j.OnFinish = func(j *dl.Job) { ctl.JobDeparted(j.Spec.ID) }
 		j.OnFail = func(j *dl.Job) { ctl.JobDeparted(j.Spec.ID) }
@@ -186,6 +205,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 				UpdateBytes: j.Spec.Model.UpdateBytes(),
 				SenderHosts: j.Spec.Hosts,
 				Ports:       []int{j.Spec.Port},
+				TargetSteps: j.Spec.TargetIterations,
 			})
 			j.OnFinish = func(j *collective.Job) { ctl.JobDeparted(j.Spec.ID) }
 			j.OnFail = func(j *collective.Job) { ctl.JobDeparted(j.Spec.ID) }

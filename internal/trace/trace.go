@@ -48,6 +48,14 @@ const (
 	KindRingStep   Kind = "ring_step"
 	KindBucketDone Kind = "bucket_done"
 	KindRingStall  Kind = "ring_stall"
+
+	// Policy-engine kinds (see internal/policy). policy_rank records an
+	// adaptive policy's ranking decision for one host (Detail carries
+	// the job:band assignment), so `tlsim -trace` shows why a band
+	// changed; feedback_sample records one telemetry round for one job
+	// (Value = cumulative attributed service bytes).
+	KindPolicyRank     Kind = "policy_rank"
+	KindFeedbackSample Kind = "feedback_sample"
 )
 
 // allKinds is the registry of every event kind the simulation layers
@@ -63,6 +71,7 @@ var allKinds = []Kind{
 	KindWorkerRestart, KindWorkerDegrade, KindJobFail, KindTcError,
 	KindTcFallback, KindTcRepair,
 	KindRingStep, KindBucketDone, KindRingStall,
+	KindPolicyRank, KindFeedbackSample,
 }
 
 // Kinds returns every registered event kind, in registration order.

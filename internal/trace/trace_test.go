@@ -129,6 +129,11 @@ func TestKindsRegistry(t *testing.T) {
 			t.Fatalf("collective kind %q not registered", k)
 		}
 	}
+	for _, k := range []Kind{KindPolicyRank, KindFeedbackSample} {
+		if !Registered(k) {
+			t.Fatalf("policy kind %q not registered", k)
+		}
+	}
 	if Registered(Kind("no_such_kind")) {
 		t.Fatal("unknown kind reported registered")
 	}

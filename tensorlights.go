@@ -60,10 +60,41 @@ const (
 	// share — the paper's §VII rate-control alternative, which is not
 	// work-conserving.
 	StaticRate
+	// TLsLAS re-ranks least-attained-service first using measured
+	// per-band dequeue bytes with Tiresias-style aging (adaptive,
+	// telemetry-driven; beyond the paper).
+	TLsLAS
+	// TLsSRSF re-ranks shortest-remaining-service first from declared
+	// target steps and observed bytes per iteration (adaptive).
+	TLsSRSF
+	// TLsInterleave offsets colocated jobs' priorities so their
+	// communication bursts interleave instead of collide (adaptive,
+	// CASSINI-inspired).
+	TLsInterleave
 )
 
 // String names the policy as the paper does.
-func (p Policy) String() string { return p.core().String() }
+func (p Policy) String() string {
+	if n := p.adaptiveName(); n != "" {
+		return n
+	}
+	return p.core().String()
+}
+
+// adaptiveName returns the registry name for telemetry-driven policies
+// that have no core.Policy enum value, "" otherwise.
+func (p Policy) adaptiveName() string {
+	switch p {
+	case TLsLAS:
+		return "TLs-LAS"
+	case TLsSRSF:
+		return "TLs-SRSF"
+	case TLsInterleave:
+		return "TLs-Interleave"
+	default:
+		return ""
+	}
+}
 
 func (p Policy) core() core.Policy {
 	switch p {
@@ -100,8 +131,13 @@ type ExperimentConfig struct {
 	Steps      int
 	// Bands is the number of priority bands (default 6).
 	Bands int
-	// RotateIntervalSec is TLs-RR's interval T (default 20 s).
+	// RotateIntervalSec is the re-ranking interval T for TLs-RR and the
+	// adaptive policies (default 20 s).
 	RotateIntervalSec float64
+	// FeedbackIntervalSec is the telemetry sampling period for the
+	// adaptive policies (default 5 s); ignored by the paper's static
+	// policies.
+	FeedbackIntervalSec float64
 	// Async selects asynchronous training.
 	Async bool
 	// Seed makes the run reproducible.
@@ -344,10 +380,16 @@ func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
 		Placement:   placement,
 		Async:       cfg.Async,
 		TLs: core.Config{
-			Policy:      cfg.Policy.core(),
-			Bands:       cfg.Bands,
-			IntervalSec: cfg.RotateIntervalSec,
+			Policy:              cfg.Policy.core(),
+			Bands:               cfg.Bands,
+			IntervalSec:         cfg.RotateIntervalSec,
+			FeedbackIntervalSec: cfg.FeedbackIntervalSec,
 		},
+	}
+	// Adaptive policies have no core.Policy enum value; they resolve by
+	// registry name. The sweep layer attaches their Feedback collector.
+	if name := cfg.Policy.adaptiveName(); name != "" {
+		rc.TLs.PolicyName = name
 	}
 	if cfg.MeasureUtilization {
 		rc.SampleUtilEvery = 1
@@ -505,6 +547,19 @@ func ReproduceCollective(o ReproOptions) (string, error) {
 // restoring priority bands after every fault.
 func ReproduceFaultRecovery(o ReproOptions) (string, error) {
 	r, err := sweep.FaultRecovery(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproducePolicyComparison runs every scheduling policy — FIFO, the
+// paper's TLs-One/TLs-RR, and the telemetry-driven TLs-LAS, TLs-SRSF
+// and TLs-Interleave — on the headline 21-job colocated-PS scenario and
+// reports avg/p95/max JCT per policy plus the best adaptive policy's
+// tail improvement over blind rotation.
+func ReproducePolicyComparison(o ReproOptions) (string, error) {
+	r, err := sweep.PolicySweep(o.sweep())
 	if err != nil {
 		return "", err
 	}
