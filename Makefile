@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race check bench fuzz
+.PHONY: build test vet staticcheck race check bench fuzz examples
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,13 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
-check: build vet staticcheck test race
+# examples builds every example and smoke-runs quickstart, so doc code
+# paths can't rot silently.
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
+
+check: build vet staticcheck test race examples
 
 # bench writes BENCH_sweep.json: trials/sec through the sequential and
 # parallel Engine paths, plus ns/event and allocs/event in the kernel.

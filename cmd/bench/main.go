@@ -1,7 +1,8 @@
 // Command bench measures the sweep harness and simulation kernel and
 // writes the snapshot to BENCH_sweep.json, giving performance work a
 // trajectory to move: trials/sec through the sequential and parallel
-// Engine paths, plus ns/event and allocs/event in the kernel.
+// Engine paths, ns/event and allocs/event in the kernel, and ns/chunk
+// through a contended leaf-spine core link (the simnet hot path).
 //
 // Usage:
 //
@@ -60,5 +61,7 @@ func main() {
 		rep.Parallelism, rep.ParallelSec, rep.TrialsPerSecParallel, rep.Speedup)
 	fmt.Printf("  kernel: %d events, %.0f ns/event, %.4f allocs/event\n",
 		rep.Events, rep.NsPerEvent, rep.AllocsPerEvent)
+	fmt.Printf("  fabric: %d chunks through a contended leaf-spine core link, %.0f ns/chunk\n",
+		rep.FabricChunks, rep.FabricNsPerChunk)
 	fmt.Printf("report written to %s\n", *out)
 }

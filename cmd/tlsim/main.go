@@ -13,6 +13,8 @@
 //	    -fault-flap-every 30 -fault-crash "0:3:60"
 //	tlsim -workload collective -rings 4 -ranks 4 -algorithm ring
 //	tlsim -workload mixed -policy tls-rr -jobs 3 -rings 3
+//	tlsim -topology leafspine -racks 3 -oversub 2 -strategy network-aware \
+//	    -workload collective -rings 3 -ranks 4
 package main
 
 import (
@@ -63,6 +65,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		util       = flag.Bool("util", false, "measure CPU/NIC utilization")
 		workload   = flag.String("workload", "ps", "workload mix: ps | collective | mixed")
+		topology   = flag.String("topology", "flat", "fabric topology: flat (the paper's single switch) | leafspine")
+		racks      = flag.Int("racks", 3, "leafspine: number of racks (21 hosts must divide evenly)")
+		uplinks    = flag.Int("uplinks", 2, "leafspine: spine uplinks per rack (ECMP fan-out)")
+		oversub    = flag.Float64("oversub", 1, "leafspine: core oversubscription ratio (1 = non-blocking)")
+		strategy   = flag.String("strategy", "", "leafspine: rack placement strategy: pack | spread | network-aware (default spread)")
 		rings      = flag.Int("rings", 3, "collective: number of all-reduce jobs")
 		ranks      = flag.Int("ranks", 4, "collective: ranks per all-reduce job")
 		stride     = flag.Int("ring-stride", 0, "collective: host offset between rings (0 = aligned)")
@@ -143,6 +150,13 @@ func main() {
 		Async:              *async,
 		Seed:               *seed,
 		MeasureUtilization: *util,
+	}
+	if *topology != "flat" {
+		cfg.Topology = *topology
+		cfg.Racks = *racks
+		cfg.UplinksPerLeaf = *uplinks
+		cfg.Oversubscription = *oversub
+		cfg.PlacementStrategy = *strategy
 	}
 	switch *workload {
 	case "ps":
@@ -237,6 +251,14 @@ func main() {
 
 	fmt.Printf("workload=%s policy=%s placement=#%d jobs=%d batch=%d steps=%d seed=%d\n",
 		*workload, pol, *placement, cfg.NumJobs, *batch, *steps, *seed)
+	if cfg.Topology != "" {
+		strat := cfg.PlacementStrategy
+		if strat == "" {
+			strat = "spread"
+		}
+		fmt.Printf("topology=%s racks=%d uplinks=%d oversub=%g:1 strategy=%s\n",
+			cfg.Topology, cfg.Racks, cfg.UplinksPerLeaf, cfg.Oversubscription, strat)
+	}
 	fmt.Printf("simulated %.1f s in %d events, %d tc reconfigurations\n",
 		res.SimulatedSeconds, res.Events, res.TcReconfigurations)
 	if len(res.JCTs) > 0 {

@@ -18,13 +18,23 @@ type Placement struct {
 	Index int
 	// Groups are the colocation counts m1..mK.
 	Groups []int
+	// Hosts optionally pins group k's parameter servers to host
+	// Hosts[k] instead of the default host k. Rack-aware placement
+	// strategies use this to steer PS groups onto specific racks; empty
+	// means the paper's implicit "group k on host k".
+	Hosts []int
 }
 
-// String renders the placement like Table I ("5, 16").
+// String renders the placement like Table I ("5, 16"); pinned
+// placements render each group with its host ("5@0, 16@4").
 func (p Placement) String() string {
 	parts := make([]string, len(p.Groups))
 	for i, g := range p.Groups {
-		parts[i] = strconv.Itoa(g)
+		if i < len(p.Hosts) {
+			parts[i] = fmt.Sprintf("%d@%d", g, p.Hosts[i])
+		} else {
+			parts[i] = strconv.Itoa(g)
+		}
 	}
 	return strings.Join(parts, ", ")
 }
@@ -77,19 +87,40 @@ func (p Placement) Validate(numJobs, numHosts int) error {
 		return fmt.Errorf("cluster: placement %q needs %d hosts, have %d",
 			p.String(), len(p.Groups), numHosts)
 	}
+	if len(p.Hosts) > 0 {
+		if len(p.Hosts) != len(p.Groups) {
+			return fmt.Errorf("cluster: placement pins %d hosts for %d groups",
+				len(p.Hosts), len(p.Groups))
+		}
+		seen := make(map[int]bool, len(p.Hosts))
+		for _, h := range p.Hosts {
+			if h < 0 || h >= numHosts {
+				return fmt.Errorf("cluster: placement pins host %d outside [0,%d)", h, numHosts)
+			}
+			if seen[h] {
+				return fmt.Errorf("cluster: placement pins host %d twice", h)
+			}
+			seen[h] = true
+		}
+	}
 	return nil
 }
 
 // PSHosts returns the PS host for each job id 0..numJobs-1: group k's
-// jobs land on host k, filling groups in order.
+// jobs land on host k (or on Hosts[k] when the placement pins hosts),
+// filling groups in order.
 func (p Placement) PSHosts(numJobs, numHosts int) ([]int, error) {
 	if err := p.Validate(numJobs, numHosts); err != nil {
 		return nil, err
 	}
 	hosts := make([]int, 0, numJobs)
 	for k, g := range p.Groups {
+		h := k
+		if k < len(p.Hosts) {
+			h = p.Hosts[k]
+		}
 		for i := 0; i < g; i++ {
-			hosts = append(hosts, k)
+			hosts = append(hosts, h)
 		}
 	}
 	return hosts, nil

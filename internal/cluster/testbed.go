@@ -58,6 +58,10 @@ func NewTestbed(cfg Config) *Testbed {
 			cpus[i].SetSpeed(cfg.HostSpeedFactors[i])
 		}
 	}
+	// Force the topology build now that the host set is final: an
+	// invalid rack/host combination fails here, before any workload
+	// runs, and fault plans can address core links immediately.
+	fab.Topology()
 	tb := &Testbed{
 		Cfg:    cfg,
 		K:      k,

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simnet"
+)
+
+// Strategy names a rack-aware placement policy. Strategies only matter
+// on multi-rack topologies; on the flat switch every strategy collapses
+// to the paper's default placement.
+type Strategy string
+
+const (
+	// StrategyPack fills racks one at a time: jobs land on the fewest
+	// racks possible, concentrating NIC contention but keeping traffic
+	// off the oversubscribed core.
+	StrategyPack Strategy = "pack"
+	// StrategySpread round-robins jobs across racks — the naive
+	// "balance the hosts" policy that maximizes cross-rack traffic.
+	StrategySpread Strategy = "spread"
+	// StrategyNetworkAware places to minimize bytes crossing the
+	// oversubscribed core (CASSINI-style): collective rings are packed
+	// into single racks and balanced across them; PS groups are spread
+	// so no rack's uplinks carry more than their share of the
+	// unavoidable worker fan-in.
+	StrategyNetworkAware Strategy = "network-aware"
+)
+
+// ParseStrategy validates a strategy name ("" = spread).
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case "":
+		return StrategySpread, nil
+	case StrategyPack, StrategySpread, StrategyNetworkAware:
+		return Strategy(s), nil
+	}
+	return "", fmt.Errorf("cluster: unknown placement strategy %q (want pack, spread or network-aware)", s)
+}
+
+// RackAwarePlacement pins a PS placement's groups onto hosts according
+// to the strategy. Groups keep their Table I colocation counts; only
+// which host (and so which rack) each group occupies changes. Workers
+// still run on every non-PS host, so a PS job's fan-in inevitably
+// crosses racks; pack concentrates the PS-side uplink load on one rack
+// while spread and network-aware balance it across all of them.
+func RackAwarePlacement(p Placement, numHosts int, topo simnet.TopologyConfig, strat Strategy) (Placement, error) {
+	if err := topo.ValidateFor(numHosts); err != nil {
+		return Placement{}, err
+	}
+	racks := topo.NumRacksFor(numHosts)
+	if racks <= 1 {
+		return p, nil
+	}
+	if len(p.Groups) > numHosts {
+		return Placement{}, fmt.Errorf("cluster: placement %q needs %d hosts, have %d",
+			p.String(), len(p.Groups), numHosts)
+	}
+	hostsPerRack := numHosts / racks
+	pinned := p
+	pinned.Hosts = make([]int, len(p.Groups))
+	switch strat {
+	case StrategyPack:
+		// Host k in rack-major order — the default layout already packs.
+		for k := range pinned.Hosts {
+			pinned.Hosts[k] = k
+		}
+	case StrategySpread, StrategyNetworkAware:
+		// Largest groups first across racks, so the heaviest PS fan-ins
+		// land on distinct uplink sets; slot g/racks within the rack.
+		order := make([]int, len(p.Groups))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return p.Groups[order[a]] > p.Groups[order[b]]
+		})
+		for g, k := range order {
+			rack := g % racks
+			slot := g / racks
+			if slot >= hostsPerRack {
+				return Placement{}, fmt.Errorf("cluster: placement %q does not fit %d racks of %d hosts",
+					p.String(), racks, hostsPerRack)
+			}
+			pinned.Hosts[k] = rack*hostsPerRack + slot
+		}
+	default:
+		return Placement{}, fmt.Errorf("cluster: unknown placement strategy %q", strat)
+	}
+	return pinned, nil
+}
+
+// RackRingPlacement places numJobs all-reduce rings of ranksPerJob
+// ranks each over a multi-rack topology. On a single-rack (flat)
+// topology it falls back to RingPlacement with stride ranksPerJob.
+//
+//   - pack packs each ring entirely inside one rack (error if a ring
+//     does not fit), assigning rings to racks round-robin.
+//   - spread puts consecutive ranks of a ring in different racks, so
+//     every ring edge crosses the core — the worst case an
+//     oversubscribed fabric can see.
+//   - network-aware packs like pack but balances ring load across
+//     racks by spare capacity, the placement a CASSINI-style scheduler
+//     would pick.
+func RackRingPlacement(numJobs, ranksPerJob, numHosts int, topo simnet.TopologyConfig, strat Strategy) ([][]int, error) {
+	if err := topo.ValidateFor(numHosts); err != nil {
+		return nil, err
+	}
+	racks := topo.NumRacksFor(numHosts)
+	if racks <= 1 {
+		return RingPlacement(numJobs, ranksPerJob, numHosts, ranksPerJob)
+	}
+	if numJobs < 1 {
+		return nil, fmt.Errorf("cluster: ring placement needs >=1 job, got %d", numJobs)
+	}
+	if ranksPerJob < 2 {
+		return nil, fmt.Errorf("cluster: ring placement needs >=2 ranks per job, got %d", ranksPerJob)
+	}
+	if ranksPerJob > numHosts {
+		return nil, fmt.Errorf("cluster: ring of %d ranks does not fit %d hosts",
+			ranksPerJob, numHosts)
+	}
+	hostsPerRack := numHosts / racks
+	rings := make([][]int, numJobs)
+	switch strat {
+	case StrategyPack, StrategyNetworkAware:
+		if ranksPerJob > hostsPerRack {
+			return nil, fmt.Errorf("cluster: %s cannot fit a ring of %d ranks in racks of %d hosts",
+				strat, ranksPerJob, hostsPerRack)
+		}
+		// Rings round-robin across racks; within a rack, successive
+		// rings shift so their NICs overlap as little as possible. For
+		// pack vs network-aware the rack choice differs: pack fills
+		// rack 0 before touching rack 1, network-aware balances.
+		perRack := make([]int, racks)
+		for i := 0; i < numJobs; i++ {
+			rack := 0
+			if strat == StrategyNetworkAware {
+				for r := 1; r < racks; r++ {
+					if perRack[r] < perRack[rack] {
+						rack = r
+					}
+				}
+			} else {
+				rack = (i * ranksPerJob / hostsPerRack) % racks
+			}
+			ring := make([]int, ranksPerJob)
+			for k := 0; k < ranksPerJob; k++ {
+				ring[k] = rack*hostsPerRack + (perRack[rack]*ranksPerJob+k)%hostsPerRack
+			}
+			perRack[rack]++
+			rings[i] = ring
+		}
+	case StrategySpread:
+		// Rank k of ring i on rack k%racks: every hop crosses the core.
+		for i := 0; i < numJobs; i++ {
+			ring := make([]int, ranksPerJob)
+			for k := 0; k < ranksPerJob; k++ {
+				rack := k % racks
+				slot := (i + k/racks) % hostsPerRack
+				ring[k] = rack*hostsPerRack + slot
+			}
+			rings[i] = ring
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement strategy %q", strat)
+	}
+	return rings, nil
+}
+
+// OrderRingByRack reorders a ring's hosts to group same-rack hosts
+// consecutively, minimizing the number of ring edges that cross racks
+// (a ring visiting R racks needs at least R crossings, and grouping
+// achieves exactly R). The relative order within each rack and the
+// rack-first-seen order are preserved, so the result is deterministic.
+func OrderRingByRack(ring []int, numHosts int, topo simnet.TopologyConfig) []int {
+	out := make([]int, 0, len(ring))
+	seen := make(map[int]bool)
+	for _, h := range ring {
+		if seen[h] {
+			continue
+		}
+		r := topo.RackOfHost(h, numHosts)
+		out = append(out, h)
+		seen[h] = true
+		for _, h2 := range ring {
+			if !seen[h2] && topo.RackOfHost(h2, numHosts) == r {
+				out = append(out, h2)
+				seen[h2] = true
+			}
+		}
+	}
+	return out
+}
+
+// CrossRackHops counts the ring edges (including the wraparound edge)
+// whose endpoints sit in different racks.
+func CrossRackHops(ring []int, numHosts int, topo simnet.TopologyConfig) int {
+	if len(ring) < 2 {
+		return 0
+	}
+	n := 0
+	for i, h := range ring {
+		next := ring[(i+1)%len(ring)]
+		if topo.RackOfHost(h, numHosts) != topo.RackOfHost(next, numHosts) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func ls(racks int) simnet.TopologyConfig {
+	return simnet.TopologyConfig{Kind: simnet.TopologyLeafSpine, Racks: racks}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []string{"", "pack", "spread", "network-aware"} {
+		if _, err := ParseStrategy(s); err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseStrategy("random"); err == nil {
+		t.Fatal("ParseStrategy should reject unknown strategies")
+	}
+}
+
+func TestRackAwarePlacementFlatIsIdentity(t *testing.T) {
+	p := Placement{Index: 6, Groups: []int{4, 4, 4, 4, 5}}
+	got, err := RackAwarePlacement(p, 21, simnet.TopologyConfig{}, StrategySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hosts) != 0 || got.String() != p.String() {
+		t.Fatalf("flat topology must leave the placement unpinned, got %q", got.String())
+	}
+}
+
+func TestRackAwarePlacementSpread(t *testing.T) {
+	// 12 hosts, 3 racks of 4. Three PS groups must land on three racks.
+	p := Placement{Groups: []int{3, 2, 1}}
+	got, err := RackAwarePlacement(p, 12, ls(3), StrategySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := ls(3)
+	racks := map[int]bool{}
+	for _, h := range got.Hosts {
+		racks[topo.RackOfHost(h, 12)] = true
+	}
+	if len(racks) != 3 {
+		t.Fatalf("spread put groups on %d racks (hosts %v), want 3", len(racks), got.Hosts)
+	}
+	// Placement semantics preserved: same group sizes, valid mapping.
+	hosts, err := got.PSHosts(6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 6 {
+		t.Fatalf("PSHosts len %d", len(hosts))
+	}
+}
+
+func TestRackAwarePlacementPack(t *testing.T) {
+	p := Placement{Groups: []int{2, 2}}
+	got, err := RackAwarePlacement(p, 12, ls(3), StrategyPack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := ls(3)
+	for _, h := range got.Hosts {
+		if topo.RackOfHost(h, 12) != 0 {
+			t.Fatalf("pack placed a group outside rack 0: hosts %v", got.Hosts)
+		}
+	}
+}
+
+func TestRackRingPlacementPack(t *testing.T) {
+	topo := ls(3)
+	rings, err := RackRingPlacement(3, 4, 12, topo, StrategyPack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ring := range rings {
+		if CrossRackHops(ring, 12, topo) != 0 {
+			t.Fatalf("pack ring %d crosses racks: %v", i, ring)
+		}
+	}
+	// A ring larger than a rack cannot pack.
+	if _, err := RackRingPlacement(1, 5, 12, topo, StrategyPack); err == nil {
+		t.Fatal("pack should reject a 5-rank ring in 4-host racks")
+	}
+}
+
+func TestRackRingPlacementSpread(t *testing.T) {
+	topo := ls(3)
+	rings, err := RackRingPlacement(3, 4, 12, topo, StrategySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ring := range rings {
+		if CrossRackHops(ring, 12, topo) < 3 {
+			t.Fatalf("spread ring %d crosses only %d rack boundaries: %v",
+				i, CrossRackHops(ring, 12, topo), ring)
+		}
+		seen := map[int]bool{}
+		for _, h := range ring {
+			if seen[h] {
+				t.Fatalf("ring %d repeats host %d: %v", i, h, ring)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestRackRingPlacementNetworkAwareBalances(t *testing.T) {
+	topo := ls(3)
+	rings, err := RackRingPlacement(3, 4, 12, topo, StrategyNetworkAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRack := map[int]int{}
+	for _, ring := range rings {
+		if CrossRackHops(ring, 12, topo) != 0 {
+			t.Fatalf("network-aware ring crosses racks: %v", ring)
+		}
+		perRack[topo.RackOfHost(ring[0], 12)]++
+	}
+	// 3 rings over 3 racks must land one per rack.
+	for r := 0; r < 3; r++ {
+		if perRack[r] != 1 {
+			t.Fatalf("network-aware rack load %v, want one ring per rack", perRack)
+		}
+	}
+}
+
+func TestRackRingPlacementValidation(t *testing.T) {
+	var terr *simnet.TopologyError
+	_, err := RackRingPlacement(1, 4, 10, ls(3), StrategyPack)
+	if !errors.As(err, &terr) {
+		t.Fatalf("indivisible hosts: err %v, want *simnet.TopologyError", err)
+	}
+}
+
+func TestOrderRingByRack(t *testing.T) {
+	topo := ls(3)
+	// Alternating racks: worst-case order with 6 crossings.
+	ring := []int{0, 4, 1, 5, 2, 6}
+	if got := CrossRackHops(ring, 12, topo); got != 6 {
+		t.Fatalf("precondition: %d crossings, want 6", got)
+	}
+	ordered := OrderRingByRack(ring, 12, topo)
+	if got := CrossRackHops(ordered, 12, topo); got != 2 {
+		t.Fatalf("ordered ring %v has %d crossings, want 2", ordered, got)
+	}
+	if len(ordered) != len(ring) {
+		t.Fatalf("ordered ring lost hosts: %v", ordered)
+	}
+}
+
+func TestPlacementPinnedHostsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Placement
+		ok   bool
+	}{
+		{"valid pins", Placement{Groups: []int{2, 1}, Hosts: []int{4, 0}}, true},
+		{"wrong pin count", Placement{Groups: []int{2, 1}, Hosts: []int{4}}, false},
+		{"pin out of range", Placement{Groups: []int{2, 1}, Hosts: []int{4, 12}}, false},
+		{"duplicate pin", Placement{Groups: []int{2, 1}, Hosts: []int{4, 4}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate(3, 12)
+			if tc.ok && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate should fail")
+			}
+		})
+	}
+	hosts, err := (Placement{Groups: []int{2, 1}, Hosts: []int{4, 0}}).PSHosts(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hosts[0] != 4 || hosts[1] != 4 || hosts[2] != 0 {
+		t.Fatalf("pinned PSHosts %v", hosts)
+	}
+}
+
+func TestTestbedBuildsLeafSpine(t *testing.T) {
+	tb := NewTestbed(Config{Hosts: 12, Net: simnet.Config{Topology: ls(3)}})
+	if got := len(tb.Fabric.CoreLinks()); got != 12 {
+		t.Fatalf("testbed core links %d, want 12 (3 racks x 2 uplinks x up+down)", got)
+	}
+}

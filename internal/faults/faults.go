@@ -37,6 +37,9 @@ type Counts struct {
 	DropWindows  int
 	TCOutages    int
 	Crashes      int
+	// CoreLinkFaults counts flap/degrade windows opened on fabric core
+	// links (leaf uplinks / spine downlinks in a routed topology).
+	CoreLinkFaults int
 	// PeerCrashes counts collective-rank kills — each one stalls its
 	// whole ring until detection and restart.
 	PeerCrashes int
@@ -59,7 +62,10 @@ type Injector struct {
 	rateDepth map[int]int
 	dropDepth map[int]int
 	tcDepth   map[int]int
-	counts    Counts
+	// Core-link counterparts, keyed by link ID.
+	coreDownDepth map[int]int
+	coreRateDepth map[int]int
+	counts        Counts
 }
 
 // New creates an injector on the testbed's kernel, fabric and tc layer.
@@ -72,10 +78,12 @@ func New(k *sim.Kernel, rng *sim.RNG, fabric *simnet.Fabric, tcc *tc.Controller)
 		rng:       rng.Stream("faults"),
 		fabric:    fabric,
 		tcc:       tcc,
-		linkDepth: make(map[int]int),
-		rateDepth: make(map[int]int),
-		dropDepth: make(map[int]int),
-		tcDepth:   make(map[int]int),
+		linkDepth:     make(map[int]int),
+		rateDepth:     make(map[int]int),
+		dropDepth:     make(map[int]int),
+		tcDepth:       make(map[int]int),
+		coreDownDepth: make(map[int]int),
+		coreRateDepth: make(map[int]int),
 	}
 	if tcc != nil {
 		tcc.SetExecHook(func(host int, cmd string) error {
@@ -166,6 +174,57 @@ func (in *Injector) RateDegrade(host int, at, durSec, factor float64) {
 		})
 }
 
+// CoreLinkFlap takes fabric core link `link` down at `at` for durSec
+// seconds — a leaf uplink or spine downlink failing in a routed
+// topology. The link's Port holds queued and arriving chunks (no loss)
+// and resumes when the flap ends; same-rack and same-host traffic is
+// unaffected, unlike a NIC flap. Overlapping windows nest. Panics if
+// the fabric's topology has no such link (in particular, on flat).
+func (in *Injector) CoreLinkFlap(link int, at, durSec float64) {
+	l := in.fabric.CoreLink(link)
+	in.window(at, durSec,
+		func() {
+			in.counts.CoreLinkFaults++
+			in.coreDownDepth[link]++
+			if in.coreDownDepth[link] == 1 {
+				l.Port().SetDown(true)
+				in.emit(trace.KindLinkDown, -1, durSec, "core link down "+l.Name)
+			}
+		},
+		func() {
+			in.coreDownDepth[link]--
+			if in.coreDownDepth[link] == 0 {
+				l.Port().SetDown(false)
+				in.emit(trace.KindLinkUp, -1, 0, "core link up "+l.Name)
+			}
+		})
+}
+
+// CoreLinkDegrade reduces core link `link`'s service rate to factor
+// (0 < factor < 1) for durSec seconds starting at `at` — a congested or
+// auto-negotiated-down fabric link. Overlapping windows nest; full rate
+// returns when the last window ends.
+func (in *Injector) CoreLinkDegrade(link int, at, durSec, factor float64) {
+	if factor <= 0 || factor >= 1 {
+		panic(fmt.Sprintf("faults: core link degrade factor %g outside (0,1)", factor))
+	}
+	l := in.fabric.CoreLink(link)
+	in.window(at, durSec,
+		func() {
+			in.counts.CoreLinkFaults++
+			in.coreRateDepth[link]++
+			l.Port().SetRateFactor(factor)
+			in.emit(trace.KindLinkDown, -1, factor, "core link degrade "+l.Name)
+		},
+		func() {
+			in.coreRateDepth[link]--
+			if in.coreRateDepth[link] == 0 {
+				l.Port().SetRateFactor(1)
+				in.emit(trace.KindLinkUp, -1, 1, "core link restored "+l.Name)
+			}
+		})
+}
+
 // DropWindow sets a per-chunk loss probability (0 <= prob < 1) on the
 // host's egress for durSec seconds starting at `at`. Lost chunks are
 // retransmitted by the sender after the fabric's retransmission timeout,
@@ -252,6 +311,17 @@ type CrashPlan struct {
 	AtSec  float64 // crash time
 }
 
+// CoreLinkPlan schedules one fault window on a fabric core link,
+// addressed by link ID (index into simnet.Fabric.CoreLinks).
+type CoreLinkPlan struct {
+	Link   int
+	AtSec  float64
+	DurSec float64
+	// Factor, when in (0,1), degrades the link's rate to that factor;
+	// 0 takes the link fully down for the window.
+	Factor float64
+}
+
 // OutagePlan schedules one standalone tc actuation outage, independent
 // of the flap schedule (e.g. a management-path outage with the data
 // path healthy).
@@ -304,12 +374,15 @@ type Plan struct {
 	PeerCrashes []CrashPlan
 	// TCOutages lists standalone tc outages to schedule.
 	TCOutages []OutagePlan
+	// CoreLinks lists fault windows on fabric core links (routed
+	// topologies only; invalid link IDs fail in Apply).
+	CoreLinks []CoreLinkPlan
 }
 
 // Active reports whether the plan injects anything.
 func (p Plan) Active() bool {
 	return p.flapping() || len(p.Crashes) > 0 || len(p.PeerCrashes) > 0 ||
-		len(p.TCOutages) > 0
+		len(p.TCOutages) > 0 || len(p.CoreLinks) > 0
 }
 
 func (p Plan) flapping() bool {
@@ -364,6 +437,20 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("faults: TCOutages[%d].Host %d invalid", i, o.Host)
 		}
 	}
+	for i, c := range p.CoreLinks {
+		if c.Link < 0 {
+			return fmt.Errorf("faults: CoreLinks[%d].Link %d is negative", i, c.Link)
+		}
+		if c.AtSec < 0 {
+			return fmt.Errorf("faults: CoreLinks[%d].AtSec %g is negative", i, c.AtSec)
+		}
+		if c.DurSec <= 0 {
+			return fmt.Errorf("faults: CoreLinks[%d].DurSec %g must be positive", i, c.DurSec)
+		}
+		if c.Factor < 0 || c.Factor >= 1 {
+			return fmt.Errorf("faults: CoreLinks[%d].Factor %g outside [0,1)", i, c.Factor)
+		}
+	}
 	return nil
 }
 
@@ -415,6 +502,17 @@ func (in *Injector) Apply(p Plan, psHosts []int, jobs map[int]*dl.Job,
 					in.TCOutage(h, at, p.FlapDurationSec+p.TCOutageExtraSec)
 				}
 			}
+		}
+	}
+	for i, c := range p.CoreLinks {
+		if n := len(in.fabric.CoreLinks()); c.Link >= n {
+			return fmt.Errorf("faults: CoreLinks[%d] names link %d, but the %s topology has %d core links",
+				i, c.Link, in.fabric.Topology().Kind(), n)
+		}
+		if c.Factor > 0 {
+			in.CoreLinkDegrade(c.Link, c.AtSec, c.DurSec, c.Factor)
+		} else {
+			in.CoreLinkFlap(c.Link, c.AtSec, c.DurSec)
 		}
 	}
 	for _, o := range p.TCOutages {

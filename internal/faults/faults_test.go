@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dl"
+	"repro/internal/simnet"
 	"repro/internal/trace"
 )
 
@@ -357,5 +358,82 @@ func TestApplyRejectsBadTargets(t *testing.T) {
 	if err := inj.Apply(Plan{PeerCrashes: []CrashPlan{{Job: 1000}}},
 		nil, nil, nil); err == nil {
 		t.Error("unknown peer-crash job accepted")
+	}
+}
+
+// leafSpineTestbed builds a 2-rack, 8-host testbed so core-link faults
+// have links to target.
+func leafSpineTestbed(seed int64) *cluster.Testbed {
+	return cluster.NewTestbed(cluster.Config{
+		Hosts: 8,
+		Net: simnet.Config{Topology: simnet.TopologyConfig{
+			Kind: simnet.TopologyLeafSpine, Racks: 2, UplinksPerLeaf: 1,
+		}},
+		Seed: seed,
+	})
+}
+
+func TestCoreLinkFlapDelaysCrossRackJob(t *testing.T) {
+	run := func(plan Plan) float64 {
+		tb := leafSpineTestbed(7)
+		// PS in rack 0, workers in rack 1: all traffic crosses the core.
+		spec := dl.JobSpec{
+			ID: 0, Name: "j0", Model: dl.ResNet32,
+			NumWorkers: 3, LocalBatch: 4, TargetGlobalSteps: 30,
+			PSHost: 0, PSPort: 5000, WorkerHosts: []int{5, 6, 7},
+		}
+		jobs := launch(t, tb, []dl.JobSpec{spec}, nil)
+		inj := New(tb.K, tb.RNG, tb.Fabric, nil)
+		if err := inj.Apply(plan, nil, map[int]*dl.Job{0: jobs[0]}, nil); err != nil {
+			t.Fatal(err)
+		}
+		tb.RunToCompletion(jobs, 0)
+		if !jobs[0].Done() {
+			t.Fatal("job did not finish")
+		}
+		return jobs[0].JCT()
+	}
+	clean := run(Plan{})
+	// Flap both directions' links mid-run for 1s.
+	faulty := run(Plan{CoreLinks: []CoreLinkPlan{
+		{Link: 0, AtSec: clean / 2, DurSec: 1},
+		{Link: 1, AtSec: clean / 2, DurSec: 1},
+		{Link: 2, AtSec: clean / 2, DurSec: 1},
+		{Link: 3, AtSec: clean / 2, DurSec: 1},
+	}})
+	if faulty < clean+0.9 {
+		t.Fatalf("core flap JCT %v vs clean %v: flap had no effect", faulty, clean)
+	}
+	// Degrade is milder than a full flap but still slows the job.
+	degraded := run(Plan{CoreLinks: []CoreLinkPlan{
+		{Link: 0, AtSec: clean / 2, DurSec: 1, Factor: 0.1},
+		{Link: 1, AtSec: clean / 2, DurSec: 1, Factor: 0.1},
+	}})
+	if degraded <= clean {
+		t.Fatalf("core degrade JCT %v vs clean %v: degrade had no effect", degraded, clean)
+	}
+}
+
+func TestCoreLinkPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{CoreLinks: []CoreLinkPlan{{Link: -1, DurSec: 1}}},
+		{CoreLinks: []CoreLinkPlan{{Link: 0, AtSec: -1, DurSec: 1}}},
+		{CoreLinks: []CoreLinkPlan{{Link: 0}}},
+		{CoreLinks: []CoreLinkPlan{{Link: 0, DurSec: 1, Factor: 1}}},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad core-link plan %d accepted", i)
+		}
+	}
+	if !(Plan{CoreLinks: []CoreLinkPlan{{Link: 0, DurSec: 1}}}).Active() {
+		t.Error("core-link plan claims to be inactive")
+	}
+	// Apply rejects link IDs beyond the topology (flat has none).
+	tb := testbed(1)
+	inj := New(tb.K, tb.RNG, tb.Fabric, nil)
+	if err := inj.Apply(Plan{CoreLinks: []CoreLinkPlan{{Link: 0, DurSec: 1}}},
+		nil, nil, nil); err == nil {
+		t.Error("core-link fault on flat topology accepted")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cpusim"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // HostSnapshot captures one host's cumulative counters at an instant.
@@ -23,6 +24,21 @@ type HostUtil struct {
 	CPU    float64
 	NetOut float64
 	NetIn  float64
+}
+
+// LinkSnapshot captures one fabric core link's cumulative counters.
+type LinkSnapshot struct {
+	At       float64
+	Bytes    int64
+	BusyTime float64
+}
+
+// LinkUtil is one core link's utilization over a window.
+type LinkUtil struct {
+	Link  int
+	Name  string
+	Util  float64 // busy fraction of the window, [0,1]
+	Bytes int64   // bytes carried during the window
 }
 
 // UtilizationSampler periodically snapshots every host's CPU busy time
@@ -43,6 +59,14 @@ type UtilizationSampler struct {
 	stopped  bool
 	// series[host] is the snapshot time series.
 	series [][]HostSnapshot
+	// linkSeries[link] is the core-link snapshot series (empty on the
+	// flat topology, which has no core links).
+	linkSeries [][]LinkSnapshot
+	links      []*simnet.Link
+	// Tracer, when non-nil before Start, receives a link_util event per
+	// core link per tick (Host = link ID, Value = busy fraction since
+	// the previous tick).
+	Tracer trace.Tracer
 }
 
 // NewUtilizationSampler creates a sampler; call Start to begin.
@@ -50,12 +74,15 @@ func NewUtilizationSampler(k *sim.Kernel, fabric *simnet.Fabric, cpus []*cpusim.
 	if intervalSec <= 0 {
 		intervalSec = 1
 	}
+	links := fabric.CoreLinks()
 	return &UtilizationSampler{
-		k:        k,
-		fabric:   fabric,
-		cpus:     cpus,
-		interval: intervalSec,
-		series:   make([][]HostSnapshot, fabric.NumHosts()),
+		k:          k,
+		fabric:     fabric,
+		cpus:       cpus,
+		interval:   intervalSec,
+		series:     make([][]HostSnapshot, fabric.NumHosts()),
+		linkSeries: make([][]LinkSnapshot, len(links)),
+		links:      links,
 	}
 }
 
@@ -92,10 +119,76 @@ func (s *UtilizationSampler) snapshot() {
 			EgressQ: host.Egress.QueuedBytes(),
 		})
 	}
+	for i, l := range s.links {
+		snap := LinkSnapshot{At: now, Bytes: l.Port().Bytes(), BusyTime: l.Port().BusyTime()}
+		if s.Tracer != nil {
+			util := 0.0
+			if prev := s.linkSeries[i]; len(prev) > 0 {
+				if dt := now - prev[len(prev)-1].At; dt > 0 {
+					util = (snap.BusyTime - prev[len(prev)-1].BusyTime) / dt
+				}
+			}
+			s.Tracer.Emit(trace.Event{
+				At: now, Kind: trace.KindLinkUtil, Job: -1, Host: l.ID,
+				Worker: -1, Value: util, Detail: l.Name,
+			})
+		}
+		s.linkSeries[i] = append(s.linkSeries[i], snap)
+	}
 }
 
 // Series returns the snapshot series for a host.
 func (s *UtilizationSampler) Series(host int) []HostSnapshot { return s.series[host] }
+
+// LinkSeries returns the snapshot series for a core link.
+func (s *UtilizationSampler) LinkSeries(link int) []LinkSnapshot { return s.linkSeries[link] }
+
+// LinkWindow computes per-core-link utilization over [start, end],
+// mirroring Window for the fabric's internal links. Returns an empty
+// slice on the flat topology.
+func (s *UtilizationSampler) LinkWindow(start, end float64) ([]LinkUtil, error) {
+	if end <= start {
+		return nil, fmt.Errorf("metrics: bad window [%.3f, %.3f]", start, end)
+	}
+	out := make([]LinkUtil, 0, len(s.linkSeries))
+	for i, series := range s.linkSeries {
+		a, err := linkSnapshotAtOrBefore(series, start)
+		if err != nil {
+			return nil, fmt.Errorf("link %d: %w", i, err)
+		}
+		b, err := linkSnapshotAtOrBefore(series, end)
+		if err != nil {
+			return nil, fmt.Errorf("link %d: %w", i, err)
+		}
+		dt := b.At - a.At
+		if dt <= 0 {
+			return nil, fmt.Errorf("metrics: link %d window collapsed (%.3f)", i, dt)
+		}
+		out = append(out, LinkUtil{
+			Link:  s.links[i].ID,
+			Name:  s.links[i].Name,
+			Util:  (b.BusyTime - a.BusyTime) / dt,
+			Bytes: b.Bytes - a.Bytes,
+		})
+	}
+	return out, nil
+}
+
+// linkSnapshotAtOrBefore finds the latest link snapshot with At <= t.
+func linkSnapshotAtOrBefore(series []LinkSnapshot, t float64) (LinkSnapshot, error) {
+	var found *LinkSnapshot
+	for i := range series {
+		if series[i].At <= t+1e-9 {
+			found = &series[i]
+		} else {
+			break
+		}
+	}
+	if found == nil {
+		return LinkSnapshot{}, fmt.Errorf("metrics: no snapshot at or before t=%.3f", t)
+	}
+	return *found, nil
+}
 
 // snapshotAtOrBefore finds the latest snapshot with At <= t.
 func snapshotAtOrBefore(series []HostSnapshot, t float64) (HostSnapshot, error) {

@@ -24,6 +24,11 @@ type Chunk struct {
 	Seq     int    // index of this chunk within its flow
 	Last    bool   // true on the final chunk of the flow
 	Retrans bool   // true when re-injected after a wire loss
+	// Hop is the index of the core link the chunk is currently
+	// traversing on its flow's route (managed by internal/simnet's
+	// fabric; always 0 on the flat topology, where flows take no core
+	// links). Qdiscs never inspect it.
+	Hop int
 
 	// Payload carries opaque fabric state (e.g. delivery target);
 	// qdiscs never inspect it.

@@ -7,14 +7,17 @@ import (
 	"repro/internal/sim"
 )
 
-// Port is one direction of a host NIC: a rate-limited server draining a
-// queueing discipline. Egress ports carry the configurable qdisc (where
-// tc — and thus TensorLights — operates); ingress ports are fixed FIFO,
-// matching Linux, where tc shapes only outbound traffic.
+// Port is a rate-limited server draining a queueing discipline: one
+// direction of a host NIC, or a core link inside a routed topology.
+// Egress ports carry the configurable qdisc (where tc — and thus
+// TensorLights — operates); ingress ports are fixed FIFO, matching
+// Linux, where tc shapes only outbound traffic; link ports serve a
+// topology-owned core link (host is nil there, link is set).
 type Port struct {
 	fabric *Fabric
 	host   *Host
-	dir    string // "egress" | "ingress"
+	link   *Link
+	dir    string // "egress" | "ingress" | "link"
 
 	rateBytes float64 // bytes/sec service rate
 	q         qdisc.Qdisc
@@ -36,6 +39,13 @@ type Port struct {
 func newPort(f *Fabric, h *Host, dir string, rateBytes float64, q qdisc.Qdisc) *Port {
 	return &Port{fabric: f, host: h, dir: dir, rateBytes: rateBytes, rateFactor: 1, q: q}
 }
+
+func newLinkPort(f *Fabric, l *Link, rateBytes float64, q qdisc.Qdisc) *Port {
+	return &Port{fabric: f, link: l, dir: "link", rateBytes: rateBytes, rateFactor: 1, q: q}
+}
+
+// Link returns the core link this port serves, or nil for a NIC port.
+func (p *Port) Link() *Link { return p.link }
 
 // Down reports whether the port is administratively down.
 func (p *Port) Down() bool { return p.down }
@@ -191,23 +201,24 @@ func (p *Port) serveNext() {
 	})
 }
 
-// finishChunk routes a served chunk onward: egress hands to the switch
-// (propagation delay then the destination ingress), ingress delivers to
-// the flow. An egress chunk may be lost on the wire when fault
-// injection has set a drop probability on the host; the sender then
-// retransmits it after the retransmission timeout, as TCP would.
+// finishChunk routes a served chunk onward: egress hands to the fabric
+// topology (a propagation delay then the destination ingress or the
+// first core link of the flow's route), a core link forwards along the
+// route, and ingress delivers to the flow. An egress chunk may be lost
+// on the wire when fault injection has set a drop probability on the
+// host; the sender then retransmits it after the retransmission
+// timeout, as TCP would.
 func (p *Port) finishChunk(c *qdisc.Chunk) {
-	if p.dir == "egress" {
+	switch p.dir {
+	case "egress":
 		if pr := p.host.dropProb; pr > 0 && p.fabric.dropRNG.Float64() < pr {
 			p.fabric.chunkLost(p, c)
 			return
 		}
-		fl := c.Payload.(*Flow)
-		dst := p.fabric.Host(fl.Spec.Dst)
-		p.fabric.k.PostAfter(p.fabric.cfg.PropDelaySec, func() {
-			dst.Ingress.Inject(c)
-		})
-		return
+		p.fabric.forwardFromEgress(c)
+	case "link":
+		p.fabric.forwardFromLink(c)
+	default:
+		p.fabric.chunkDelivered(c)
 	}
-	p.fabric.chunkDelivered(c)
 }

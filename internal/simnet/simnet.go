@@ -59,6 +59,10 @@ type Config struct {
 	// chunks lost to an injected per-chunk drop probability (see
 	// Host.SetChunkDropProb). Default 5 ms.
 	RetransmitTimeoutSec float64
+	// Topology selects the fabric behind the NIC ports (see
+	// TopologyConfig). The zero value is the flat ideal switch the paper
+	// assumes, which behaves exactly as the pre-topology fabric did.
+	Topology TopologyConfig
 }
 
 // Validate reports configuration errors. New panics on an invalid
@@ -82,7 +86,7 @@ func (c Config) Validate() error {
 	if c.RetransmitTimeoutSec < 0 {
 		return fmt.Errorf("simnet: RetransmitTimeoutSec %g is negative", c.RetransmitTimeoutSec)
 	}
-	return nil
+	return c.Topology.Validate()
 }
 
 func (c *Config) fillDefaults() {
@@ -118,6 +122,7 @@ func (c *Config) fillDefaults() {
 	if c.RetransmitTimeoutSec <= 0 {
 		c.RetransmitTimeoutSec = 5e-3
 	}
+	c.Topology.fillDefaults(c.PropDelaySec)
 }
 
 // Fabric owns the hosts and moves chunks between them.
@@ -134,6 +139,9 @@ type Fabric struct {
 	// of the main simnet stream.
 	dropRNG       *sim.RNG
 	droppedChunks uint64
+	// topo is the routed fabric behind the NIC ports, built lazily on
+	// first use (once the host set is final).
+	topo Topology
 	// Tracer, when non-nil, receives a flow_done event per completed
 	// transfer (value = transfer seconds).
 	Tracer trace.Tracer
@@ -172,6 +180,9 @@ func (f *Fabric) AddHost(name string) *Host {
 	}
 	h.Egress = newPort(f, h, "egress", rateBytes, qdisc.NewPFIFO(0))
 	h.Ingress = newPort(f, h, "ingress", rateBytes, qdisc.NewPFIFO(0))
+	if f.topo != nil {
+		panic("simnet: AddHost after the topology was built")
+	}
 	f.hosts = append(f.hosts, h)
 	return h
 }
@@ -186,6 +197,30 @@ func (f *Fabric) Host(i int) *Host {
 
 // NumHosts returns the host count.
 func (f *Fabric) NumHosts() int { return len(f.hosts) }
+
+// Topology returns the fabric's routed topology, building it on first
+// call. Call only after every AddHost: the topology is sized to the
+// host set and is immutable once built (AddHost afterwards panics).
+func (f *Fabric) Topology() Topology {
+	if f.topo == nil {
+		f.topo = buildTopology(f)
+	}
+	return f.topo
+}
+
+// CoreLinks returns the fabric's contended core links in ID order
+// (empty on the flat topology). Fault injection addresses links through
+// this slice.
+func (f *Fabric) CoreLinks() []*Link { return f.Topology().Links() }
+
+// CoreLink returns the core link with the given ID.
+func (f *Fabric) CoreLink(id int) *Link {
+	links := f.CoreLinks()
+	if id < 0 || id >= len(links) {
+		panic(fmt.Sprintf("simnet: core link %d out of range [0,%d)", id, len(links)))
+	}
+	return links[id]
+}
 
 // Hosts returns the host slice (do not mutate).
 func (f *Fabric) Hosts() []*Host { return f.hosts }
@@ -289,7 +324,14 @@ type Flow struct {
 	// yet admitted to the egress qdisc.
 	window  int
 	pending []*qdisc.Chunk
+	// route is the ordered core links the flow's chunks traverse
+	// between the source egress and destination ingress NICs (nil on
+	// single-hop paths: flat topology, or same-rack in leaf-spine).
+	route []*Link
 }
+
+// Route returns the flow's core-link path (nil for single-hop paths).
+func (fl *Flow) Route() []*Link { return fl.route }
 
 // Window returns the flow's socket window in chunks.
 func (fl *Flow) Window() int { return fl.window }
@@ -338,6 +380,9 @@ func (f *Fabric) SendBurst(src int, specs []FlowSpec) []*Flow {
 			}
 			continue
 		}
+		// Routing is a pure flow-hash lookup (no RNG), so computing it
+		// here perturbs nothing on the flat topology.
+		fl.route = f.Topology().Route(spec.Src, spec.Dst, spec.SrcPort, spec.DstPort)
 		// Admit the first window; the rest inject as chunks drain.
 		w := fl.window
 		if w > len(chunks) {
@@ -472,6 +517,45 @@ func (f *Fabric) makeChunks(fl *Flow) []*qdisc.Chunk {
 		}
 	}
 	return chunks
+}
+
+// forwardFromEgress routes a chunk leaving its source NIC: straight to
+// the destination ingress on single-hop paths (the pre-topology
+// behaviour, event-for-event), or onto the first core link of the
+// flow's route.
+func (f *Fabric) forwardFromEgress(c *qdisc.Chunk) {
+	fl := c.Payload.(*Flow)
+	if len(fl.route) == 0 {
+		dst := f.Host(fl.Spec.Dst)
+		f.k.PostAfter(f.cfg.PropDelaySec, func() {
+			dst.Ingress.Inject(c)
+		})
+		return
+	}
+	c.Hop = 0
+	first := fl.route[0].port
+	f.k.PostAfter(f.cfg.Topology.HopDelaySec, func() {
+		first.Inject(c)
+	})
+}
+
+// forwardFromLink advances a chunk that finished serving on a core
+// link: to the next link on the route, or into the destination ingress.
+func (f *Fabric) forwardFromLink(c *qdisc.Chunk) {
+	fl := c.Payload.(*Flow)
+	c.Hop++
+	hop := f.cfg.Topology.HopDelaySec
+	if c.Hop < len(fl.route) {
+		next := fl.route[c.Hop].port
+		f.k.PostAfter(hop, func() {
+			next.Inject(c)
+		})
+		return
+	}
+	dst := f.Host(fl.Spec.Dst)
+	f.k.PostAfter(hop, func() {
+		dst.Ingress.Inject(c)
+	})
 }
 
 func (f *Fabric) deliverLoopback(fl *Flow, ch *qdisc.Chunk) {

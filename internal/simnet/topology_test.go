@@ -1,0 +1,316 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func leafSpineFabric(t *testing.T, cfg Config, hosts int, seed int64) (*sim.Kernel, *Fabric) {
+	t.Helper()
+	k := sim.NewKernel()
+	f := New(k, sim.NewRNG(seed), cfg)
+	for i := 0; i < hosts; i++ {
+		f.AddHost("h")
+	}
+	return k, f
+}
+
+func TestTopologyConfigValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       TopologyConfig
+		numHosts  int
+		wantField string // "" = valid
+	}{
+		{"zero value is flat", TopologyConfig{}, 8, ""},
+		{"explicit flat", TopologyConfig{Kind: TopologyFlat}, 8, ""},
+		{"leafspine ok", TopologyConfig{Kind: TopologyLeafSpine, Racks: 2}, 8, ""},
+		{"unknown kind", TopologyConfig{Kind: "torus"}, 8, "Kind"},
+		{"negative racks", TopologyConfig{Racks: -1}, 8, "Racks"},
+		{"leafspine zero racks", TopologyConfig{Kind: TopologyLeafSpine}, 8, "Racks"},
+		{"racks exceed hosts", TopologyConfig{Kind: TopologyLeafSpine, Racks: 9}, 8, "Racks"},
+		{"hosts not divisible", TopologyConfig{Kind: TopologyLeafSpine, Racks: 3}, 8, "Racks"},
+		{"negative uplinks", TopologyConfig{Kind: TopologyLeafSpine, Racks: 2, UplinksPerLeaf: -1}, 8, "UplinksPerLeaf"},
+		{"negative oversub", TopologyConfig{Kind: TopologyLeafSpine, Racks: 2, Oversubscription: -2}, 8, "Oversubscription"},
+		{"negative hop delay", TopologyConfig{Kind: TopologyLeafSpine, Racks: 2, HopDelaySec: -1e-6}, 8, "HopDelaySec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.ValidateFor(tc.numHosts)
+			if tc.wantField == "" {
+				if err != nil {
+					t.Fatalf("ValidateFor(%d) = %v, want nil", tc.numHosts, err)
+				}
+				return
+			}
+			var terr *TopologyError
+			if !errors.As(err, &terr) {
+				t.Fatalf("ValidateFor(%d) = %v, want *TopologyError", tc.numHosts, err)
+			}
+			if terr.Field != tc.wantField {
+				t.Fatalf("error field %q, want %q (err: %v)", terr.Field, tc.wantField, terr)
+			}
+		})
+	}
+}
+
+func TestFabricValidatesTopology(t *testing.T) {
+	err := Config{Topology: TopologyConfig{Kind: "torus"}}.Validate()
+	var terr *TopologyError
+	if !errors.As(err, &terr) {
+		t.Fatalf("Config.Validate = %v, want *TopologyError", err)
+	}
+	// Host-count-dependent errors surface when the topology is built.
+	defer func() {
+		r := recover()
+		if _, ok := r.(*TopologyError); !ok {
+			t.Fatalf("Topology() panic = %v, want *TopologyError", r)
+		}
+	}()
+	_, f := leafSpineFabric(t, Config{
+		Topology: TopologyConfig{Kind: TopologyLeafSpine, Racks: 3},
+	}, 8, 1)
+	f.Topology()
+}
+
+func TestFlatTopologyShape(t *testing.T) {
+	_, f := leafSpineFabric(t, Config{}, 4, 1)
+	topo := f.Topology()
+	if topo.Kind() != TopologyFlat {
+		t.Fatalf("default kind %q", topo.Kind())
+	}
+	if len(topo.Links()) != 0 || topo.NumRacks() != 1 || topo.RackOf(3) != 0 {
+		t.Fatal("flat topology must have no links and one rack")
+	}
+	if r := topo.Route(0, 3, 100, 200); r != nil {
+		t.Fatalf("flat route = %v, want nil", r)
+	}
+}
+
+func TestLeafSpineShape(t *testing.T) {
+	cfg := Config{
+		LinkRateBps: 8e9, // 1 GB/s per host NIC
+		Topology: TopologyConfig{
+			Kind: TopologyLeafSpine, Racks: 3, UplinksPerLeaf: 2,
+			Oversubscription: 2,
+		},
+	}
+	_, f := leafSpineFabric(t, cfg, 12, 1)
+	topo := f.Topology()
+	if topo.NumRacks() != 3 {
+		t.Fatalf("racks %d", topo.NumRacks())
+	}
+	// 3 racks x 2 uplinks, each with a paired downlink.
+	if len(topo.Links()) != 12 {
+		t.Fatalf("links %d, want 12", len(topo.Links()))
+	}
+	for i, l := range topo.Links() {
+		if l.ID != i {
+			t.Fatalf("link %d has ID %d", i, l.ID)
+		}
+		// 4 hosts/rack x 1 GB/s over 2 uplinks at 2:1 oversub = 1 GB/s.
+		if got := l.Port().RateBytes(); math.Abs(got-1e9) > 1 {
+			t.Fatalf("link %s rate %g, want 1e9", l.Name, got)
+		}
+	}
+	if topo.RackOf(0) != 0 || topo.RackOf(4) != 1 || topo.RackOf(11) != 2 {
+		t.Fatal("rack assignment")
+	}
+	// Same-rack routes stay inside the non-blocking leaf.
+	if r := topo.Route(0, 3, 10, 20); r != nil {
+		t.Fatalf("same-rack route %v, want nil", r)
+	}
+	// Cross-rack routes are exactly uplink then downlink.
+	r := topo.Route(0, 4, 10, 20)
+	if len(r) != 2 {
+		t.Fatalf("cross-rack route %v, want 2 hops", r)
+	}
+	if r[0].Name[:4] != "leaf" || r[1].Name[:5] != "spine" {
+		t.Fatalf("route order %s then %s", r[0].Name, r[1].Name)
+	}
+}
+
+// TestECMPRoutingStable is the routing-determinism property: the route
+// of a four-tuple is a pure function — identical across fabrics,
+// independent of RNG seed and of how many other routes were looked up
+// first.
+func TestECMPRoutingStable(t *testing.T) {
+	cfg := Config{Topology: TopologyConfig{
+		Kind: TopologyLeafSpine, Racks: 4, UplinksPerLeaf: 3,
+	}}
+	_, fa := leafSpineFabric(t, cfg, 16, 1)
+	_, fb := leafSpineFabric(t, cfg, 16, 999)
+	ta, tb := fa.Topology(), fb.Topology()
+	// Warm tb with unrelated lookups: order must not matter.
+	for i := 0; i < 50; i++ {
+		tb.Route(i%16, (i+7)%16, i, i*3)
+	}
+	routeKey := func(r []*Link) string {
+		s := ""
+		for _, l := range r {
+			s += fmt.Sprintf("%d,", l.ID)
+		}
+		return s
+	}
+	prop := func(src, dst uint8, sp, dp uint16) bool {
+		s, d := int(src)%16, int(dst)%16
+		ra := ta.Route(s, d, int(sp), int(dp))
+		rb := tb.Route(s, d, int(sp), int(dp))
+		rb2 := tb.Route(s, d, int(sp), int(dp))
+		return routeKey(ra) == routeKey(rb) && routeKey(rb) == routeKey(rb2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECMPSpreadsAcrossSpines(t *testing.T) {
+	cfg := Config{Topology: TopologyConfig{
+		Kind: TopologyLeafSpine, Racks: 2, UplinksPerLeaf: 4,
+	}}
+	_, f := leafSpineFabric(t, cfg, 8, 1)
+	topo := f.Topology()
+	used := map[int]bool{}
+	for port := 0; port < 64; port++ {
+		r := topo.Route(0, 4, 5000+port, 6000)
+		used[r[0].ID] = true
+	}
+	if len(used) < 3 {
+		t.Fatalf("64 flows hashed onto only %d of 4 uplinks", len(used))
+	}
+}
+
+// TestLinkByteConservation is the byte-conservation property: every
+// byte a NIC sends cross-rack crosses exactly one uplink and one
+// downlink, and same-rack bytes cross no core link.
+func TestLinkByteConservation(t *testing.T) {
+	cfg := Config{
+		InjectJitter: 1,
+		Topology: TopologyConfig{
+			Kind: TopologyLeafSpine, Racks: 2, UplinksPerLeaf: 2,
+			Oversubscription: 2,
+		},
+	}
+	k, f := leafSpineFabric(t, cfg, 8, 42)
+	topo := f.Topology()
+	var crossBytes, sameBytes int64
+	specs := []FlowSpec{
+		{Src: 0, Dst: 5, SrcPort: 100, DstPort: 200, Bytes: 3 << 20},
+		{Src: 0, Dst: 6, SrcPort: 101, DstPort: 201, Bytes: 5 << 20},
+		{Src: 0, Dst: 2, SrcPort: 102, DstPort: 202, Bytes: 7 << 20},
+		{Src: 0, Dst: 7, SrcPort: 103, DstPort: 203, Bytes: 1 << 19},
+	}
+	for _, s := range specs {
+		if topo.RackOf(s.Src) != topo.RackOf(s.Dst) {
+			crossBytes += s.Bytes
+		} else {
+			sameBytes += s.Bytes
+		}
+	}
+	f.SendBurst(0, specs)
+	f.Send(FlowSpec{Src: 6, Dst: 1, SrcPort: 104, DstPort: 204, Bytes: 2 << 20})
+	crossBytes += 2 << 20
+	k.Run(nil)
+	var upBytes, downBytes int64
+	for _, l := range topo.Links() {
+		if l.Name[:4] == "leaf" {
+			upBytes += l.Port().Bytes()
+		} else {
+			downBytes += l.Port().Bytes()
+		}
+	}
+	if upBytes != crossBytes || downBytes != crossBytes {
+		t.Fatalf("uplink bytes %d, downlink bytes %d, want %d each",
+			upBytes, downBytes, crossBytes)
+	}
+	var nicBytes int64
+	for _, h := range f.Hosts() {
+		nicBytes += h.Egress.Bytes()
+	}
+	if nicBytes != crossBytes+sameBytes {
+		t.Fatalf("NIC egress %d, want %d", nicBytes, crossBytes+sameBytes)
+	}
+}
+
+// TestOversubscriptionSlowsCrossRack checks the core of the model:
+// oversubscription binds only under contention, so two rack-0 senders
+// sharing one 4:1-oversubscribed uplink finish ~2x slower cross-rack
+// than same-rack, while at 1:1 cross-rack costs nothing.
+func TestOversubscriptionSlowsCrossRack(t *testing.T) {
+	run := func(oversub float64, dsts [2]int) float64 {
+		cfg := Config{
+			LinkRateBps:     8e9,
+			WireOverhead:    1,
+			MinWindowChunks: 4, MaxWindowChunks: 4,
+			Topology: TopologyConfig{
+				Kind: TopologyLeafSpine, Racks: 2, UplinksPerLeaf: 1,
+				Oversubscription: oversub,
+			},
+		}
+		k, f := leafSpineFabric(t, cfg, 8, 7)
+		var last float64
+		for i, src := range []int{0, 1} {
+			f.Send(FlowSpec{Src: src, Dst: dsts[i], SrcPort: 100 + i, DstPort: 200,
+				Bytes: 64 << 20, OnComplete: func(fl *Flow) {
+					if fl.Finished > last {
+						last = fl.Finished
+					}
+				}})
+		}
+		k.Run(nil)
+		return last
+	}
+	same := run(4, [2]int{2, 3})
+	cross1 := run(1, [2]int{5, 6})
+	cross4 := run(4, [2]int{5, 6})
+	if cross4 < 1.7*same {
+		t.Fatalf("4:1 cross-rack JCT %v not ~2x same-rack %v", cross4, same)
+	}
+	if cross1 > 1.3*same {
+		t.Fatalf("1:1 cross-rack JCT %v should be close to same-rack %v", cross1, same)
+	}
+}
+
+// TestCoreLinkFaults exercises the Port fault machinery on a core link:
+// a downed uplink holds traffic without losing it, and a degraded one
+// stretches completion.
+func TestCoreLinkFaults(t *testing.T) {
+	cfg := Config{
+		LinkRateBps:     8e9,
+		WireOverhead:    1,
+		MinWindowChunks: 4, MaxWindowChunks: 4,
+		Topology: TopologyConfig{
+			Kind: TopologyLeafSpine, Racks: 2, UplinksPerLeaf: 1,
+		},
+	}
+	k, f := leafSpineFabric(t, cfg, 4, 7)
+	up := f.CoreLink(0)
+	up.Port().SetDown(true)
+	var jct float64
+	f.Send(FlowSpec{Src: 0, Dst: 3, SrcPort: 1, DstPort: 2, Bytes: 8 << 20,
+		OnComplete: func(fl *Flow) { jct = fl.Finished }})
+	k.PostAfter(0.5, func() { up.Port().SetDown(false) })
+	k.Run(nil)
+	if jct < 0.5 {
+		t.Fatalf("flow finished at %v despite downed uplink until 0.5", jct)
+	}
+	if up.Port().Bytes() != 8<<20 {
+		t.Fatalf("uplink carried %d bytes, want %d", up.Port().Bytes(), 8<<20)
+	}
+}
+
+func TestAddHostAfterTopologyPanics(t *testing.T) {
+	_, f := leafSpineFabric(t, Config{}, 2, 1)
+	f.Topology()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddHost after Topology() should panic")
+		}
+	}()
+	f.AddHost("late")
+}

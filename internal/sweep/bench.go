@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 // BenchConfig sizes the sweep benchmark. The workload is the replicate
@@ -54,6 +56,12 @@ type BenchReport struct {
 	Events         uint64  `json:"events"`
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+
+	// FabricChunks/FabricNsPerChunk track the simnet hot path: chunks
+	// pushed through a contended leaf-spine core link (see
+	// measureFabricBench) and the wall-clock cost per chunk.
+	FabricChunks     uint64  `json:"fabric_chunks"`
+	FabricNsPerChunk float64 `json:"fabric_ns_per_chunk"`
 }
 
 // benchRunConfigs builds the replicate-shaped trial grid.
@@ -69,6 +77,45 @@ func benchRunConfigs(cfg BenchConfig) []RunConfig {
 		rcs[i] = rc
 	}
 	return rcs
+}
+
+// measureFabricBench times the simnet hot path in isolation: four
+// concurrent cross-rack flows ECMP-sharing the single contended uplink
+// of a 2:1-oversubscribed two-rack leaf-spine fabric. Every chunk is
+// served by the source NIC's egress qdisc, the leaf uplink, the spine
+// downlink and the destination ingress, so ns/chunk prices the full
+// routed pipeline — two more queue services per chunk than the flat
+// switch.
+func measureFabricBench(seed int64) (chunks uint64, nsPerChunk float64) {
+	const (
+		senders   = 4
+		flowBytes = int64(512 << 20)
+	)
+	k := sim.NewKernel()
+	f := simnet.New(k, sim.NewRNG(seed), simnet.Config{
+		Topology: simnet.TopologyConfig{
+			Kind:             simnet.TopologyLeafSpine,
+			Racks:            2,
+			UplinksPerLeaf:   1,
+			Oversubscription: 2,
+		},
+	})
+	for i := 0; i < 2*senders; i++ {
+		f.AddHost(fmt.Sprintf("bench%d", i))
+	}
+	start := time.Now()
+	for i := 0; i < senders; i++ {
+		f.Send(simnet.FlowSpec{
+			Src: i, Dst: senders + i,
+			SrcPort: i, DstPort: 1000 + i,
+			Bytes: flowBytes,
+		})
+	}
+	k.Run(nil)
+	wallSec := time.Since(start).Seconds()
+	chunkBytes := f.Config().ChunkBytes
+	chunks = uint64(senders) * uint64((flowBytes+chunkBytes-1)/chunkBytes)
+	return chunks, wallSec * 1e9 / float64(chunks)
 }
 
 // MeasureSweepBench times the same trial grid through the sequential
@@ -117,6 +164,7 @@ func MeasureSweepBench(cfg BenchConfig) (*BenchReport, error) {
 		rep.NsPerEvent = seqSec * 1e9 / float64(events)
 		rep.AllocsPerEvent = float64(eventAllocs) / float64(events)
 	}
+	rep.FabricChunks, rep.FabricNsPerChunk = measureFabricBench(cfg.Seed)
 	return rep, nil
 }
 

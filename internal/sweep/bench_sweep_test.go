@@ -40,6 +40,19 @@ func BenchmarkTrial(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// BenchmarkFabricChunk measures the routed simnet hot path — chunks
+// served through a contended, oversubscribed leaf-spine core link (the
+// scenario measureFabricBench records into BENCH_sweep.json).
+func BenchmarkFabricChunk(b *testing.B) {
+	b.ReportAllocs()
+	var chunks uint64
+	for i := 0; i < b.N; i++ {
+		n, _ := measureFabricBench(1)
+		chunks += n
+	}
+	b.ReportMetric(float64(chunks)/b.Elapsed().Seconds(), "chunks/sec")
+}
+
 // BenchmarkSweepSequential runs a 4-trial grid through the legacy
 // sequential path.
 func BenchmarkSweepSequential(b *testing.B) {

@@ -46,6 +46,7 @@ func TestSweepsDeterministicSequentialVsParallel(t *testing.T) {
 		{"faultrec", func(o Options) (csvResult, error) { return FaultRecovery(o) }},
 		{"collective", func(o Options) (csvResult, error) { return Collective(o) }},
 		{"policy", func(o Options) (csvResult, error) { return PolicySweep(o) }},
+		{"topology", func(o Options) (csvResult, error) { return TopologySweep(o) }},
 	}
 	for _, s := range sweeps {
 		s := s

@@ -172,6 +172,18 @@ func (r *ChurnSweepResult) WriteCSV(w io.Writer) error {
 	return c.err
 }
 
+// WriteCSV exports the topology sweep's grid rows.
+func (r *TopologyResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("oversub", "strategy", "policy", "avg_jct_s", "p95_jct_s",
+		"cross_rack_ratio", "max_link_util", "reconfigs")
+	for _, row := range r.Rows {
+		c.row(row.Oversub, row.Strategy, row.Policy, row.AvgJCT, row.P95JCT,
+			row.CrossRackRatio, row.MaxLinkUtil, row.Reconfigs)
+	}
+	return c.err
+}
+
 // WriteCSV exports Table II's normalized utilization rows.
 func (r *TableIIResult) WriteCSV(w io.Writer) error {
 	c := &csvWriter{w: w}

@@ -118,6 +118,21 @@ type RunResult struct {
 	// Collective workload accounting (empty without CollectiveSpecs).
 	CollectiveJCTs   []float64 // per all-reduce job, in spec order
 	CollectiveStalls int       // ring stalls observed across all jobs
+
+	// Topology accounting: per-core-link totals over the whole run
+	// (empty on the flat topology) and the total bytes all host NICs
+	// transmitted, for cross-rack traffic ratios.
+	LinkStats   []LinkStat
+	EgressBytes int64
+}
+
+// LinkStat summarizes one fabric core link over a whole run.
+type LinkStat struct {
+	Link  int
+	Name  string
+	Bytes int64
+	// Util is the link's busy fraction of the full simulated time.
+	Util float64
 }
 
 // AvgJCT returns the mean job completion time.
@@ -246,6 +261,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 	var sampler *metrics.UtilizationSampler
 	if rc.SampleUtilEvery > 0 {
 		sampler = metrics.NewUtilizationSampler(tb.K, tb.Fabric, tb.CPUs, rc.SampleUtilEvery)
+		sampler.Tracer = rc.Tracer
 		sampler.Start()
 	}
 	tb.RunMixedToCompletion(jobs, cjobs, 0)
@@ -306,6 +322,18 @@ func Run(rc RunConfig) (*RunResult, error) {
 	}
 	res.DroppedChunks = tb.Fabric.DroppedChunks()
 	res.TcRecovery = ctl.Stats()
+	for _, l := range tb.Fabric.CoreLinks() {
+		util := 0.0
+		if res.SimTime > 0 {
+			util = l.Port().BusyTime() / res.SimTime
+		}
+		res.LinkStats = append(res.LinkStats, LinkStat{
+			Link: l.ID, Name: l.Name, Bytes: l.Port().Bytes(), Util: util,
+		})
+	}
+	for _, h := range tb.Fabric.Hosts() {
+		res.EgressBytes += h.Egress.Bytes()
+	}
 	for h := 0; h < tb.Fabric.NumHosts(); h++ {
 		if psSet[h] {
 			res.PSHosts = append(res.PSHosts, h)

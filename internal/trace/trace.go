@@ -56,6 +56,12 @@ const (
 	// (Value = cumulative attributed service bytes).
 	KindPolicyRank     Kind = "policy_rank"
 	KindFeedbackSample Kind = "feedback_sample"
+
+	// Topology kind (see internal/metrics). link_util records one
+	// utilization sample for one fabric core link (Host = link ID,
+	// Value = busy fraction since the previous sample, Detail = link
+	// name), emitted when a UtilizationSampler has a Tracer attached.
+	KindLinkUtil Kind = "link_util"
 )
 
 // allKinds is the registry of every event kind the simulation layers
@@ -72,6 +78,7 @@ var allKinds = []Kind{
 	KindTcFallback, KindTcRepair,
 	KindRingStep, KindBucketDone, KindRingStall,
 	KindPolicyRank, KindFeedbackSample,
+	KindLinkUtil,
 }
 
 // Kinds returns every registered event kind, in registration order.

@@ -7,7 +7,7 @@
 //   - internal/sim      — deterministic discrete-event kernel
 //   - internal/qdisc    — pfifo / prio / htb / tbf / sfq disciplines
 //   - internal/tc       — Linux-tc-style configuration layer
-//   - internal/simnet   — host NICs, switch, chunked transfers
+//   - internal/simnet   — host NICs, routed fabric topologies, chunked transfers
 //   - internal/cpusim   — processor-sharing host CPUs
 //   - internal/dl       — parameter-server training jobs
 //   - internal/cluster  — testbed, Table I placements, scheduler
@@ -34,6 +34,7 @@ import (
 	"repro/internal/dl"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/simnet"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -138,6 +139,23 @@ type ExperimentConfig struct {
 	// adaptive policies (default 5 s); ignored by the paper's static
 	// policies.
 	FeedbackIntervalSec float64
+	// Topology selects the fabric behind the NIC ports: "" or "flat"
+	// keeps the paper's single non-blocking switch; "leafspine" routes
+	// cross-rack flows over a two-tier fabric whose core links are
+	// contended, rate-limited ports.
+	Topology string
+	// Racks partitions the hosts into racks on the leafspine topology
+	// (default 3 — the 21-host testbed divides into 3 racks of 7).
+	Racks int
+	// UplinksPerLeaf is each rack's ECMP spine fan-out (default 2).
+	UplinksPerLeaf int
+	// Oversubscription is rack host bandwidth over rack core bandwidth
+	// (default 1, non-blocking; 2 halves cross-rack capacity).
+	Oversubscription float64
+	// PlacementStrategy maps PS groups and collective rings onto racks:
+	// "pack", "spread" or "network-aware" ("" = spread). Ignored on the
+	// flat topology.
+	PlacementStrategy string
 	// Async selects asynchronous training.
 	Async bool
 	// Seed makes the run reproducible.
@@ -370,9 +388,19 @@ func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
 			return zero, err
 		}
 	}
+	topo, strat, err := cfg.topology()
+	if err != nil {
+		return zero, err
+	}
+	if topo.Kind == simnet.TopologyLeafSpine {
+		placement, err = cluster.RackAwarePlacement(placement, testbedHosts, topo, strat)
+		if err != nil {
+			return zero, err
+		}
+	}
 	rc := sweep.RunConfig{
 		Label:       fmt.Sprintf("%s-p%d", cfg.Policy, cfg.PlacementIndex),
-		Cluster:     cluster.Config{Seed: cfg.Seed},
+		Cluster:     cluster.Config{Seed: cfg.Seed, Net: simnet.Config{Topology: topo}},
 		Model:       model,
 		NumJobs:     cfg.NumJobs,
 		LocalBatch:  cfg.LocalBatch,
@@ -401,7 +429,7 @@ func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
 		MaxRestarts:       cfg.Faults.MaxRestarts,
 	}
 	if cfg.Collective != nil {
-		specs, err := collectiveSpecs(cfg)
+		specs, err := collectiveSpecs(cfg, topo, strat)
 		if err != nil {
 			return zero, err
 		}
@@ -410,8 +438,39 @@ func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
 	return rc, nil
 }
 
-// collectiveSpecs expands CollectiveConfig into per-job specs.
-func collectiveSpecs(cfg ExperimentConfig) ([]collective.JobSpec, error) {
+// testbedHosts is the paper's cluster size; the façade always runs it.
+const testbedHosts = 21
+
+// topology resolves the experiment's fabric config and rack-placement
+// strategy, applying the façade-level leafspine defaults.
+func (cfg ExperimentConfig) topology() (simnet.TopologyConfig, cluster.Strategy, error) {
+	strat, err := cluster.ParseStrategy(cfg.PlacementStrategy)
+	if err != nil {
+		return simnet.TopologyConfig{}, "", err
+	}
+	kind := simnet.TopologyKind(cfg.Topology)
+	if kind == "" {
+		kind = simnet.TopologyFlat
+	}
+	topo := simnet.TopologyConfig{Kind: kind}
+	if kind != simnet.TopologyFlat {
+		topo.Racks = cfg.Racks
+		if topo.Racks == 0 {
+			topo.Racks = 3
+		}
+		topo.UplinksPerLeaf = cfg.UplinksPerLeaf
+		topo.Oversubscription = cfg.Oversubscription
+	}
+	if err := topo.ValidateFor(testbedHosts); err != nil {
+		return simnet.TopologyConfig{}, "", err
+	}
+	return topo, strat, nil
+}
+
+// collectiveSpecs expands CollectiveConfig into per-job specs. On a
+// leafspine topology the rings are placed rack-aware per the strategy
+// (Stride only applies on flat, where ring layout is host-arithmetic).
+func collectiveSpecs(cfg ExperimentConfig, topo simnet.TopologyConfig, strat cluster.Strategy) ([]collective.JobSpec, error) {
 	cc := *cfg.Collective
 	if cc.Jobs <= 0 {
 		cc.Jobs = 3
@@ -446,8 +505,12 @@ func collectiveSpecs(cfg ExperimentConfig) ([]collective.JobSpec, error) {
 	if err != nil {
 		return nil, err
 	}
-	const testbedHosts = 21 // the façade always runs the paper's cluster
-	rings, err := cluster.RingPlacement(cc.Jobs, cc.Ranks, testbedHosts, cc.Stride)
+	var rings [][]int
+	if topo.Kind == simnet.TopologyLeafSpine {
+		rings, err = cluster.RackRingPlacement(cc.Jobs, cc.Ranks, testbedHosts, topo, strat)
+	} else {
+		rings, err = cluster.RingPlacement(cc.Jobs, cc.Ranks, testbedHosts, cc.Stride)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -560,6 +623,21 @@ func ReproduceFaultRecovery(o ReproOptions) (string, error) {
 // tail improvement over blind rotation.
 func ReproducePolicyComparison(o ReproOptions) (string, error) {
 	r, err := sweep.PolicySweep(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceTopology runs the leaf-spine fabric experiment: the
+// collective AlexNet rings swept across core oversubscription ratios
+// (1:1, 2:1, 4:1), placement strategies (naive spread vs CASSINI-style
+// network-aware packing) and scheduling policies, reporting per-cell
+// JCTs, cross-rack traffic ratios, peak core-link utilization and the
+// headline placement gaps — the in-network-contention axis the paper's
+// single-switch testbed cannot explore.
+func ReproduceTopology(o ReproOptions) (string, error) {
+	r, err := sweep.TopologySweep(o.sweep())
 	if err != nil {
 		return "", err
 	}
