@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race check bench fuzz examples
+.PHONY: build test vet staticcheck race check bench fuzz examples serve-smoke
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,12 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
 
-check: build vet staticcheck test race examples
+# serve-smoke boots a real tlsimd, submits a tiny experiment with
+# tlctl, checks dedup + metrics, and SIGTERM-drains it.
+serve-smoke:
+	GO=$(GO) sh scripts/serve_smoke.sh
+
+check: build vet staticcheck test race examples serve-smoke
 
 # bench writes BENCH_sweep.json: trials/sec through the sequential and
 # parallel Engine paths, plus ns/event and allocs/event in the kernel.

@@ -18,12 +18,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	tensorlights "repro"
 )
@@ -212,14 +216,24 @@ func main() {
 			cfg.Faults.TCOutage = *faultTC
 		}
 	}
+	// Ctrl-C (or SIGTERM) cancels the simulation mid-grid instead of
+	// leaving the process to be killed: the context is threaded through
+	// the sweep engine down to the event kernel, so runs stop promptly
+	// and any partial trace file is clearly marked as such.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *replicates > 1 {
 		if *traceOut != "" {
 			fmt.Fprintln(os.Stderr, "tlsim: -trace is incompatible with -replicates > 1")
 			os.Exit(2)
 		}
-		stats, err := tensorlights.ReplicateExperiment(cfg, *replicates, *parallel)
+		stats, err := tensorlights.ReplicateExperimentContext(ctx, cfg, *replicates, *parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tlsim: %v\n", err)
+			if errors.Is(err, context.Canceled) {
+				os.Exit(130) // 128 + SIGINT, the conventional interrupted exit
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("workload=%s policy=%s placement=#%d jobs=%d batch=%d steps=%d seeds=%d..%d parallel=%d\n",
@@ -240,9 +254,18 @@ func main() {
 		traceFile = f
 		cfg.TraceCSV = f
 	}
-	res, err := tensorlights.RunExperiment(cfg)
+	res, err := tensorlights.RunExperimentContext(ctx, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlsim: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			if traceFile != nil {
+				// RunExperimentContext already flushed the partial trace
+				// with a leading "# partial trace" comment line.
+				fmt.Fprintf(os.Stderr, "tlsim: partial event trace written to %s\n", traceFile.Name())
+				traceFile.Close() // os.Exit skips the deferred close
+			}
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if traceFile != nil {

@@ -1,0 +1,112 @@
+// Command tlsimd is the crash-safe simulation-as-a-service daemon: it
+// accepts TensorLights experiment submissions over HTTP/JSON, runs
+// them on a bounded worker pool, and journals every job transition to
+// an append-only JSONL write-ahead log so a killed-and-restarted
+// daemon recovers its queue and re-runs interrupted jobs exactly once.
+//
+// Usage:
+//
+//	tlsimd -addr :8080 -journal tlsimd.journal.jsonl -workers 4
+//
+// Then, with tlctl:
+//
+//	tlctl submit -policy tls-rr -jobs 4 -steps 3000
+//	tlctl wait j000000
+//	tlctl drain
+//
+// SIGTERM and SIGINT trigger a graceful drain: submissions are refused
+// with 503, in-flight jobs run to completion (up to -drain-timeout,
+// after which they are abandoned non-terminally and re-run on the next
+// start), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		journal      = flag.String("journal", "tlsimd.journal.jsonl", "write-ahead journal path (created if missing; replayed on start)")
+		workers      = flag.Int("workers", 2, "concurrent experiment workers")
+		queue        = flag.Int("queue", 64, "bounded admission queue depth (full queue sheds with 429)")
+		retries      = flag.Int("retries", 2, "retry budget per job after the first attempt")
+		backoff      = flag.Duration("backoff", 200*time.Millisecond, "base retry backoff (doubles per attempt, with seeded jitter)")
+		maxBackoff   = flag.Duration("max-backoff", 10*time.Second, "retry backoff cap")
+		timeout      = flag.Duration("timeout", 15*time.Minute, "default per-job deadline (per attempt); jobs may override per submission")
+		rate         = flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+		burst        = flag.Int("burst", 10, "per-client submission burst")
+		parallelism  = flag.Int("parallel", 0, "sweep parallelism inside one experiment (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "graceful drain bound on SIGTERM; in-flight jobs still running after this are abandoned for restart recovery")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "tlsimd: ", log.LstdFlags)
+	s, err := server.New(server.Config{
+		JournalPath:    *journal,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxRetries:     *retries,
+		RetryBackoff:   *backoff,
+		MaxBackoff:     *maxBackoff,
+		DefaultTimeout: *timeout,
+		RatePerSec:     *rate,
+		RateBurst:      *burst,
+		Parallelism:    *parallelism,
+		Logf: func(format string, args ...any) {
+			logger.Printf(format, args...)
+		},
+	})
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	s.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (journal %s, %d workers, queue %d)",
+		*addr, *journal, *workers, *queue)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%v: draining (bound %v)", sig, *drainTimeout)
+	case <-s.DrainBegan():
+		logger.Printf("drain requested over HTTP; waiting for in-flight jobs")
+	case err := <-serveErr:
+		// Listener died underneath us; drain so journaled state is synced
+		// before exit.
+		logger.Printf("http server: %v — draining", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	_ = httpSrv.Shutdown(shutCtx)
+
+	if drainErr != nil && !errors.Is(drainErr, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "tlsimd: forced drain: %v (abandoned jobs will re-run on next start)\n", drainErr)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

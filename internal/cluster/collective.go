@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/collective"
@@ -97,11 +98,47 @@ func (tb *Testbed) LaunchCollective(specs []collective.JobSpec, staggerSec float
 // collective job finishes or fails. maxEvents guards against runaway
 // simulations (0 = default guard).
 func (tb *Testbed) RunMixedToCompletion(jobs []*dl.Job, cjobs []*collective.Job, maxEvents uint64) {
+	_ = tb.RunMixedToCompletionCtx(context.Background(), jobs, cjobs, maxEvents)
+}
+
+// ctxCheckEvery is how many kernel events fire between context polls in
+// RunMixedToCompletionCtx. Polling a context is a synchronized channel
+// peek; amortizing it keeps the ~ns/event hot loop unaffected while
+// still bounding cancellation latency to a few thousand events.
+const ctxCheckEvery = 4096
+
+// RunMixedToCompletionCtx is RunMixedToCompletion with cancellation:
+// when ctx is cancelled the kernel stops between events (the simulation
+// state stays consistent — no event is half-fired) and the context's
+// error is returned. A nil or never-cancelled ctx reproduces
+// RunMixedToCompletion exactly, event for event.
+func (tb *Testbed) RunMixedToCompletionCtx(ctx context.Context, jobs []*dl.Job, cjobs []*collective.Job, maxEvents uint64) error {
 	if maxEvents == 0 {
 		maxEvents = 500_000_000
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tb.K.MaxEvents = maxEvents
+	done := ctx.Done()
+	cancelled := done != nil && ctx.Err() != nil
+	var sinceCheck int
 	tb.K.Run(func() bool {
+		if cancelled {
+			return true
+		}
+		if done != nil {
+			sinceCheck++
+			if sinceCheck >= ctxCheckEvery {
+				sinceCheck = 0
+				select {
+				case <-done:
+					cancelled = true
+					return true
+				default:
+				}
+			}
+		}
 		for _, j := range jobs {
 			if !j.Done() && !j.Failed() {
 				return false
@@ -114,4 +151,8 @@ func (tb *Testbed) RunMixedToCompletion(jobs []*dl.Job, cjobs []*collective.Job,
 		}
 		return true
 	})
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
 }

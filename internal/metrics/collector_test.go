@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCollectorPrometheusOutput(t *testing.T) {
+	c := NewCollector()
+	jobs := c.Counter("tlsimd_jobs_completed_total", "Jobs run to completion.")
+	jobs.Inc()
+	jobs.Add(2)
+	rejQ := c.Counter("tlsimd_jobs_rejected_total", "Rejected submissions.", Label{"reason", "queue_full"})
+	rejR := c.Counter("tlsimd_jobs_rejected_total", "Rejected submissions.", Label{"reason", "rate_limited"})
+	rejQ.Inc()
+	rejR.Add(4)
+	depth := c.Gauge("tlsimd_queue_depth", "Jobs waiting in the bounded queue.")
+	depth.Set(7)
+	depth.Add(-2)
+	c.GaugeFunc("tlsimd_cache_entries", "Content-addressed result cache size.", func() float64 { return 3 })
+
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP tlsimd_jobs_completed_total Jobs run to completion.",
+		"# TYPE tlsimd_jobs_completed_total counter",
+		"tlsimd_jobs_completed_total 3",
+		`tlsimd_jobs_rejected_total{reason="queue_full"} 1`,
+		`tlsimd_jobs_rejected_total{reason="rate_limited"} 4`,
+		"# TYPE tlsimd_queue_depth gauge",
+		"tlsimd_queue_depth 5",
+		"tlsimd_cache_entries 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render must be byte-identical.
+	var b2 strings.Builder
+	if err := c.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestCollectorIdempotentRegistration(t *testing.T) {
+	c := NewCollector()
+	a := c.Counter("x_total", "X.")
+	b := c.Counter("x_total", "X.")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Fatalf("re-registration did not return the same series: %v vs %v", a.Value(), b.Value())
+	}
+	// Same name, different label sets: distinct series.
+	l1 := c.Counter("y_total", "Y.", Label{"k", "a"})
+	l2 := c.Counter("y_total", "Y.", Label{"k", "b"})
+	l1.Inc()
+	if l2.Value() != 0 {
+		t.Fatal("label sets alias the same series")
+	}
+	// Label order must not matter for series identity.
+	m1 := c.Gauge("z", "Z.", Label{"a", "1"}, Label{"b", "2"})
+	m2 := c.Gauge("z", "Z.", Label{"b", "2"}, Label{"a", "1"})
+	m1.Set(9)
+	if m2.Value() != 9 {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestCollectorTypeConflictPanics(t *testing.T) {
+	c := NewCollector()
+	c.Counter("t_total", "T.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge should panic")
+		}
+	}()
+	c.Gauge("t_total", "T.")
+}
+
+func TestCollectorConcurrentUse(t *testing.T) {
+	c := NewCollector()
+	ctr := c.Counter("conc_total", "Concurrency.")
+	g := c.Gauge("conc_gauge", "Concurrency.")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ctr.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if ctr.Value() != 8000 {
+		t.Fatalf("lost increments: %v", ctr.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge drifted: %v", g.Value())
+	}
+}

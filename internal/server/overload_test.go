@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tensorlights "repro"
+)
+
+// gatedServer builds a Workers=1 daemon whose runner parks on a gate,
+// so tests can hold the worker busy and fill the queue behind it.
+func gatedServer(t *testing.T, queueDepth int) (*Server, chan struct{}, chan struct{}, *atomic.Int32) {
+	t.Helper()
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	cfg.QueueDepth = queueDepth
+	gate := make(chan struct{})
+	started := make(chan struct{}, 16)
+	var calls atomic.Int32
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		calls.Add(1)
+		started <- struct{}{}
+		select {
+		case <-gate:
+			return &tensorlights.Result{AvgJCT: float64(c.Seed)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() { s.Kill() })
+	return s, gate, started, &calls
+}
+
+// TestOverloadShedsWithRetryAfter is the overload acceptance test:
+// with the single worker busy and the bounded queue full, the next
+// submission is shed with a queue_full OverloadError carrying a
+// Retry-After hint — it is not silently queued or dropped.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	s, gate, started, _ := gatedServer(t, 1)
+
+	if _, err := s.Submit(expCfg(1), 0, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	<-started // seed 1 occupies the worker; queue is empty again
+	if _, err := s.Submit(expCfg(2), 0, "c1"); err != nil {
+		t.Fatal(err) // fills the depth-1 queue
+	}
+
+	_, err := s.Submit(expCfg(3), 0, "c1")
+	var over *OverloadError
+	if !errors.As(err, &over) {
+		t.Fatalf("submit into full queue returned %v, want OverloadError", err)
+	}
+	if over.Reason != "queue_full" || over.RetryAfter <= 0 {
+		t.Fatalf("shed with %+v, want queue_full and a positive Retry-After", over)
+	}
+	if got := s.met.rejQueue.Value(); got != 1 {
+		t.Fatalf("queue_full rejection counter %v, want 1", got)
+	}
+
+	// Shedding is temporary: once the queue moves, the same config is
+	// admitted.
+	close(gate)
+	st3 := func() *JobStatus {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if st, err := s.Submit(expCfg(3), 0, "c1"); err == nil {
+				return st
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatal("queue never drained enough to admit the shed job")
+		return nil
+	}()
+	if fin := waitTerminal(t, s, st3.ID); fin.State != JobDone {
+		t.Fatalf("re-submitted job settled as %+v", fin)
+	}
+}
+
+// TestDedupCacheServesIdenticalResubmission: an identical (config,
+// seed) resubmission after completion is answered from the
+// content-addressed cache — done immediately, same result, and the
+// runner is NOT invoked again. A different seed is a different hash
+// and does execute.
+func TestDedupCacheServesIdenticalResubmission(t *testing.T) {
+	s, gate, started, calls := gatedServer(t, 8)
+	close(gate) // runner returns immediately
+
+	first, err := s.Submit(expCfg(7), 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, s, first.ID)
+	if fin.State != JobDone {
+		t.Fatalf("first run settled as %+v", fin)
+	}
+	<-started
+
+	again, err := s.Submit(expCfg(7), 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Deduped || again.State != JobDone || again.Result == nil {
+		t.Fatalf("resubmission got %+v, want deduped done with result", again)
+	}
+	if again.Result.AvgJCT != fin.Result.AvgJCT {
+		t.Fatalf("cached result %v differs from original %v", again.Result.AvgJCT, fin.Result.AvgJCT)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("runner executed %d times for identical submissions, want 1", got)
+	}
+	if got := s.met.deduped.Value(); got != 1 {
+		t.Fatalf("dedup counter %v, want 1", got)
+	}
+
+	// Different seed → different hash → real execution.
+	other, err := s.Submit(expCfg(8), 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Deduped {
+		t.Fatalf("distinct config was wrongly deduped: %+v", other)
+	}
+	waitTerminal(t, s, other.ID)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("distinct config ran %d times total, want 2", got)
+	}
+}
+
+// TestDedupCoalescesInFlightDuplicate: submitting a config identical
+// to one still queued/running attaches to that job instead of
+// consuming a queue slot.
+func TestDedupCoalescesInFlightDuplicate(t *testing.T) {
+	s, gate, started, calls := gatedServer(t, 2)
+
+	first, err := s.Submit(expCfg(4), 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	dup, err := s.Submit(expCfg(4), 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Deduped || dup.ID != first.ID {
+		t.Fatalf("in-flight duplicate got %+v, want coalesced onto %s", dup, first.ID)
+	}
+	close(gate)
+	waitTerminal(t, s, first.ID)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("coalesced duplicate executed separately: %d calls", got)
+	}
+}
+
+// TestRateLimitShedsBurst: per-client token bucket rejects the
+// submission after the burst is spent, with a rate_limited reason and
+// a wait hint; a different client is unaffected.
+func TestRateLimitShedsBurst(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RatePerSec = 0.5
+	cfg.RateBurst = 2
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		return &tensorlights.Result{AvgJCT: 1}, nil
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Kill()
+
+	if _, err := s.Submit(expCfg(1), 0, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(expCfg(2), 0, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Submit(expCfg(3), 0, "alice")
+	var over *OverloadError
+	if !errors.As(err, &over) || over.Reason != "rate_limited" {
+		t.Fatalf("third rapid submit returned %v, want rate_limited OverloadError", err)
+	}
+	if over.RetryAfter <= 0 {
+		t.Fatalf("rate_limited shed carries no wait hint: %+v", over)
+	}
+	// A different client has its own bucket.
+	if _, err := s.Submit(expCfg(3), 0, "bob"); err != nil {
+		t.Fatalf("unrelated client was shed: %v", err)
+	}
+}

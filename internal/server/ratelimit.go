@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client key (the
+// X-Client-ID header, falling back to the remote host) accrues rate
+// tokens per second up to burst, and one submission costs one token.
+// When a client is out of tokens the limiter reports how long until
+// the next token — surfaced to the client as a Retry-After header.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; <= 0 disables limiting
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket map: beyond it, idle (full) buckets are
+// pruned so a scan of spoofed client ids cannot grow memory unbounded.
+const maxClients = 4096
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), now: now, buckets: map[string]*bucket{}}
+}
+
+// allow spends one token for client, reporting (false, wait) when the
+// bucket is empty.
+func (l *rateLimiter) allow(client string) (bool, time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= maxClients {
+			l.prune()
+		}
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[client] = b
+	}
+	b.tokens += t.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops buckets that have refilled to (near) capacity — clients
+// idle long enough that forgetting them loses nothing. Called with the
+// lock held.
+func (l *rateLimiter) prune() {
+	t := l.now()
+	for k, b := range l.buckets {
+		tokens := b.tokens + t.Sub(b.last).Seconds()*l.rate
+		if tokens >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

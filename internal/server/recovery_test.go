@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tensorlights "repro"
+)
+
+// TestCrashRecoveryByteIdenticalResult is the headline robustness
+// test: a daemon killed (SIGKILL-equivalent, in-process) mid-job and
+// restarted against the same journal must re-run the interrupted job
+// exactly once and produce a result byte-identical to an uninterrupted
+// run. The restarted daemon runs the REAL simulation — determinism
+// from seed to result is what makes crash recovery lossless.
+func TestCrashRecoveryByteIdenticalResult(t *testing.T) {
+	exp := expCfg(11)
+
+	// Uninterrupted reference: the same experiment through a daemon
+	// that is never killed.
+	refCfg := testConfig(t)
+	ref, err := New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Start()
+	refSt, err := ref.Submit(exp, 0, "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFin := waitTerminal(t, ref, refSt.ID)
+	if refFin.State != JobDone {
+		t.Fatalf("reference run settled as %+v", refFin)
+	}
+	ref.Kill()
+
+	// Victim daemon: the runner parks mid-job (as if deep inside a long
+	// sweep) until the process dies.
+	victimCfg := testConfig(t)
+	running := make(chan struct{}, 1)
+	victimCfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		running <- struct{}{}
+		<-ctx.Done() // SIGKILL: the attempt just stops
+		return nil, ctx.Err()
+	}
+	victim, err := New(victimCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.Start()
+	st, err := victim.Submit(exp, 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running // the job is mid-attempt: journal says submitted+running
+	victim.Kill()
+
+	// Restart against the same journal with the real runner.
+	recCfg := testConfig(t)
+	recCfg.JournalPath = victimCfg.JournalPath
+	rec, err := New(recCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.met.recovered.Value(); got != 1 {
+		t.Fatalf("recovered %v jobs from journal, want exactly 1", got)
+	}
+	rec.Start()
+	defer rec.Kill()
+	fin := waitTerminal(t, rec, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("recovered job settled as %+v", fin)
+	}
+	if fin.Attempts != 1 {
+		t.Fatalf("recovered job re-ran %d times, want exactly once", fin.Attempts)
+	}
+	if fin.ID != st.ID {
+		t.Fatalf("recovery minted a new job id %s for %s", fin.ID, st.ID)
+	}
+
+	gotJSON, err := json.Marshal(fin.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(refFin.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("recovered result differs from uninterrupted run:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+}
+
+// TestCrashRecoverySurvivesDoubleCrash kills the daemon twice — once
+// mid-job, once again mid-recovery-run — and checks the third process
+// still completes the job once.
+func TestCrashRecoverySurvivesDoubleCrash(t *testing.T) {
+	exp := expCfg(5)
+	path := ""
+	var id string
+	for round := 0; round < 2; round++ {
+		cfg := testConfig(t)
+		if path == "" {
+			path = cfg.JournalPath
+		}
+		cfg.JournalPath = path
+		running := make(chan struct{}, 1)
+		cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+			running <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		s.Start()
+		if round == 0 {
+			st, err := s.Submit(exp, 0, "c1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			id = st.ID
+		}
+		<-running
+		s.Kill()
+	}
+
+	final := testConfig(t)
+	final.JournalPath = path
+	s, err := New(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Kill()
+	fin := waitTerminal(t, s, id)
+	if fin.State != JobDone || fin.Result == nil {
+		t.Fatalf("job did not survive double crash: %+v", fin)
+	}
+	if len(s.List()) != 1 {
+		t.Fatalf("recovery duplicated the job: %d entries", len(s.List()))
+	}
+}
+
+// TestRecoveryReplaysTerminalStatesWithoutReruns restarts a daemon
+// whose journal holds one done and one failed job: neither re-runs,
+// the done result is served from the replayed cache, and submitting
+// the done config again dedupes instead of executing.
+func TestRecoveryReplaysTerminalStatesWithoutReruns(t *testing.T) {
+	cfg := testConfig(t)
+	var calls atomic.Int64
+	okCfg, badCfg := expCfg(1), expCfg(2)
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		calls.Add(1)
+		if c.Seed == 2 {
+			return nil, context.DeadlineExceeded
+		}
+		return &tensorlights.Result{AvgJCT: 7}, nil
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	okSt, _ := s.Submit(okCfg, 0, "c1")
+	badSt, _ := s.Submit(badCfg, 0, "c1")
+	waitTerminal(t, s, okSt.ID)
+	waitTerminal(t, s, badSt.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	callsBefore := calls.Load()
+
+	cfg2 := testConfig(t)
+	cfg2.JournalPath = cfg.JournalPath
+	cfg2.Runner = cfg.Runner
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Kill()
+	if got := s2.met.recovered.Value(); got != 0 {
+		t.Fatalf("terminal jobs were re-queued: recovered=%v", got)
+	}
+	st, err := s2.Status(okSt.ID)
+	if err != nil || st.State != JobDone || st.Result == nil {
+		t.Fatalf("done job lost across restart: %v %+v", err, st)
+	}
+	stBad, err := s2.Status(badSt.ID)
+	if err != nil || stBad.State != JobFailed || stBad.Error == "" {
+		t.Fatalf("failed job lost its cause across restart: %v %+v", err, stBad)
+	}
+	// Resubmitting the done config hits the replayed cache.
+	dedup, err := s2.Submit(okCfg, 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dedup.Deduped || dedup.State != JobDone || dedup.Result == nil {
+		t.Fatalf("resubmission after restart was not served from cache: %+v", dedup)
+	}
+	if got := calls.Load(); got != callsBefore {
+		t.Fatalf("restart re-executed terminal jobs: %d calls, had %d", got, callsBefore)
+	}
+}

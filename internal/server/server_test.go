@@ -1,0 +1,312 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tensorlights "repro"
+)
+
+// testConfig is a fast-by-default daemon config over a temp journal.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		JournalPath:  journalPath(t),
+		Workers:      2,
+		QueueDepth:   8,
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+}
+
+// expCfg builds distinct tiny experiment configs keyed by seed.
+func expCfg(seed int64) tensorlights.ExperimentConfig {
+	return tensorlights.ExperimentConfig{
+		Policy:    tensorlights.TLsRR,
+		NumJobs:   2,
+		Placement: "2",
+		Steps:     60,
+		Seed:      seed,
+	}
+}
+
+// waitTerminal polls until the job settles or the deadline passes.
+func waitTerminal(t *testing.T, s *Server, id string) *JobStatus {
+	t.Helper()
+	ch, err := s.Done(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s never settled", id)
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestServerRunsSubmittedJob(t *testing.T) {
+	cfg := testConfig(t)
+	var calls atomic.Int32
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		calls.Add(1)
+		return &tensorlights.Result{AvgJCT: float64(c.Seed)}, nil
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Kill()
+
+	st, err := s.Submit(expCfg(3), 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobQueued && st.State != JobRunning && st.State != JobDone {
+		t.Fatalf("fresh submission in state %q", st.State)
+	}
+	fin := waitTerminal(t, s, st.ID)
+	if fin.State != JobDone || fin.Result == nil || fin.Result.AvgJCT != 3 {
+		t.Fatalf("job settled as %+v", fin)
+	}
+	if fin.Attempts != 1 || calls.Load() != 1 {
+		t.Fatalf("clean job took %d attempts / %d calls", fin.Attempts, calls.Load())
+	}
+}
+
+func TestServerRetriesThenSucceeds(t *testing.T) {
+	cfg := testConfig(t)
+	var calls atomic.Int32
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		if calls.Add(1) < 3 {
+			return nil, errors.New("transient failure")
+		}
+		return &tensorlights.Result{AvgJCT: 1}, nil
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Kill()
+
+	st, _ := s.Submit(expCfg(1), 0, "c1")
+	fin := waitTerminal(t, s, st.ID)
+	if fin.State != JobDone || fin.Attempts != 3 {
+		t.Fatalf("got state %q after %d attempts, want done after 3", fin.State, fin.Attempts)
+	}
+	if got := s.met.retries.Value(); got != 2 {
+		t.Fatalf("retry counter %v, want 2", got)
+	}
+}
+
+func TestServerPanicIsolatedAndRetried(t *testing.T) {
+	// An always-panicking job must never crash the daemon: it burns its
+	// retry budget, is reported failed with the panic as cause, and a
+	// job submitted afterwards still runs.
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		if c.Seed == 666 {
+			panic("worker exploded")
+		}
+		return &tensorlights.Result{AvgJCT: 1}, nil
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Kill()
+
+	bad, _ := s.Submit(expCfg(666), 0, "c1")
+	good, err := s.Submit(expCfg(1), 0, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finBad := waitTerminal(t, s, bad.ID)
+	if finBad.State != JobFailed || !strings.Contains(finBad.Error, "panicked") || !strings.Contains(finBad.Error, "worker exploded") {
+		t.Fatalf("panicking job settled as %+v", finBad)
+	}
+	if finBad.Attempts != 3 {
+		t.Fatalf("panicking job got %d attempts, want full budget of 3", finBad.Attempts)
+	}
+	if got := s.met.panics.Value(); got != 3 {
+		t.Fatalf("panic counter %v, want 3", got)
+	}
+	finGood := waitTerminal(t, s, good.ID)
+	if finGood.State != JobDone {
+		t.Fatalf("job after the panicking one settled as %+v — daemon did not survive", finGood)
+	}
+}
+
+func TestServerDeadlineEnforcedAndReported(t *testing.T) {
+	// A stuck trial: the runner only returns when its context fires.
+	// The per-job deadline must abort each attempt, and the job must
+	// settle failed with the deadline as cause — daemon intact.
+	cfg := testConfig(t)
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	cfg.MaxRetries = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Kill()
+
+	st, _ := s.Submit(expCfg(1), 0.02, "c1")
+	fin := waitTerminal(t, s, st.ID)
+	if fin.State != JobFailed || !strings.Contains(fin.Error, "deadline") {
+		t.Fatalf("stuck job settled as %+v, want failed with deadline cause", fin)
+	}
+	if fin.Attempts != 2 {
+		t.Fatalf("stuck job got %d attempts, want 2 (1 retry)", fin.Attempts)
+	}
+}
+
+func TestServerCancelQueuedAndRunning(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	gate := make(chan struct{})
+	started := make(chan string, 8)
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		started <- fmt.Sprint(c.Seed)
+		select {
+		case <-gate:
+			return &tensorlights.Result{AvgJCT: 1}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Kill()
+
+	run, _ := s.Submit(expCfg(1), 0, "c1")
+	<-started // seed 1 now occupies the only worker
+	queued, _ := s.Submit(expCfg(2), 0, "c1")
+
+	// Cancel the queued job: settles immediately, worker never runs it.
+	stQ, err := s.Cancel(queued.ID)
+	if err != nil || stQ.State != JobCancelled {
+		t.Fatalf("queued cancel: %v %+v", err, stQ)
+	}
+	// Cancel the running job: its context fires, no retry is attempted.
+	if _, err := s.Cancel(run.ID); err != nil {
+		t.Fatal(err)
+	}
+	finR := waitTerminal(t, s, run.ID)
+	if finR.State != JobCancelled || finR.Attempts != 1 {
+		t.Fatalf("running cancel settled as %+v", finR)
+	}
+	select {
+	case seed := <-started:
+		t.Fatalf("cancelled queued job (seed %s) was executed", seed)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestServerDrainFinishesInFlight(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	gate := make(chan struct{})
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		select {
+		case <-gate:
+			return &tensorlights.Result{AvgJCT: 1}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	st, _ := s.Submit(expCfg(1), 0, "c1")
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Draining: new submissions are refused while the in-flight job
+	// keeps running.
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(expCfg(2), 0, "c1"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	fin, err := s.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobDone {
+		t.Fatalf("in-flight job settled as %q during graceful drain, want done", fin.State)
+	}
+}
+
+func TestServerForcedDrainAbandonsForRecovery(t *testing.T) {
+	// Drain with an already-expired context: the in-flight job is
+	// abandoned non-terminally, and a restart re-runs it.
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	running := make(chan struct{}, 1)
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		running <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	st, _ := s.Submit(expCfg(1), 0, "c1")
+	<-running
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Drain(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("forced drain returned %v", err)
+	}
+
+	cfg2 := testConfig(t)
+	cfg2.JournalPath = cfg.JournalPath
+	cfg2.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		return &tensorlights.Result{AvgJCT: 42}, nil
+	}
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Kill()
+	fin := waitTerminal(t, s2, st.ID)
+	if fin.State != JobDone || fin.Result.AvgJCT != 42 {
+		t.Fatalf("abandoned job did not re-run after restart: %+v", fin)
+	}
+}

@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func TestEngineRecoversPanicToTrialError(t *testing.T) {
+	// A panicking trial must not take down the process: the panic
+	// becomes that trial's error (index + cause attached) and the
+	// lowest-index-error-wins contract still holds against a plain
+	// error at a higher index.
+	for _, par := range []int{1, 2, 4} {
+		var ran int32
+		err := Engine{Parallelism: par}.ForEach(8, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 2 {
+				panic("trial blew up")
+			}
+			if i == 6 {
+				return fmt.Errorf("boom 6")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("parallelism %d: panic was swallowed", par)
+		}
+		if !strings.Contains(err.Error(), "trial 2 panicked") || !strings.Contains(err.Error(), "trial blew up") {
+			t.Fatalf("parallelism %d: error %q does not carry the panicking trial", par, err)
+		}
+		if par > 1 && atomic.LoadInt32(&ran) != 8 {
+			t.Fatalf("parallelism %d: parallel path attempted %d trials, want all 8", par, ran)
+		}
+	}
+}
+
+func TestEngineForEachContextCancelStopsDispatch(t *testing.T) {
+	// Cancel after the third trial starts: no trial should begin once
+	// ctx is done, and the returned error must report cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	err := Engine{Parallelism: 1}.ForEachContext(ctx, 100, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&started); n != 3 {
+		t.Fatalf("started %d trials after cancellation, want 3", n)
+	}
+}
+
+func TestEngineForEachContextParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- Engine{Parallelism: 2}.ForEachContext(ctx, 64, func(ctx context.Context, i int) error {
+			atomic.AddInt32(&started, 1)
+			<-release
+			return ctx.Err()
+		})
+	}()
+	// Wait for both workers to pick up a trial, then cancel and let
+	// them finish: every remaining queued index must be skipped.
+	for atomic.LoadInt32(&started) < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&started); n > 4 {
+		t.Fatalf("%d trials started after cancellation of 64, want only the in-flight ones", n)
+	}
+}
+
+func TestRunContextCancelsMidSimulation(t *testing.T) {
+	// A real simulation must stop between events when its context is
+	// cancelled while the kernel is running, and report how far it got.
+	p1, err := cluster.PlacementByIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Steps: 4000, Seed: 1}
+	o.fillDefaults()
+	rc := o.baseRun(p1, core.PolicyRR)
+	rc.Label = "cancel-mid-run"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let the simulation get going, then pull the plug. The exact
+		// point does not matter; finishing 21 jobs × 4000 steps takes
+		// far longer than 30 ms.
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res, err := RunContext(ctx, rc)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got res=%v err=%v, want nil result and context.Canceled", res, err)
+	}
+	if !strings.Contains(err.Error(), "cancelled at sim time") {
+		t.Fatalf("error %q does not report the cancellation point", err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	// RunContext with a background ctx must be event-for-event
+	// identical to Run: the amortized ctx poll may not perturb results.
+	p1, err := cluster.PlacementByIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Steps: 120, Seed: 3}
+	o.fillDefaults()
+	rc := o.baseRun(p1, core.PolicyOne)
+	rc.Label = "ctx-vs-plain"
+
+	plain, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxRes, err := RunContext(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Events != ctxRes.Events || plain.SimTime != ctxRes.SimTime || plain.AvgJCT() != ctxRes.AvgJCT() {
+		t.Fatalf("RunContext diverged from Run: events %d vs %d, simtime %v vs %v",
+			plain.Events, ctxRes.Events, plain.SimTime, ctxRes.SimTime)
+	}
+}
+
+func TestRunManyContextCancelAbandonsGrid(t *testing.T) {
+	p1, err := cluster.PlacementByIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Steps: 4000, Seed: 1}
+	o.fillDefaults()
+	var rcs []RunConfig
+	for i := 0; i < 6; i++ {
+		rc := o.baseRun(p1, core.PolicyFIFO)
+		rc.Cluster.Seed = int64(i + 1)
+		rc.Label = fmt.Sprintf("grid-%d", i)
+		rcs = append(rcs, rc)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := RunManyContext(ctx, rcs, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -43,14 +45,34 @@ func (e Engine) workers(n int) int {
 // Callers communicate results by writing into slot i of a pre-sized
 // slice: index addressing is what makes the gather deterministic.
 func (e Engine) ForEach(n int, fn func(i int) error) error {
+	return e.ForEachContext(context.Background(), n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ForEachContext is ForEach with cancellation: once ctx is done no new
+// trial starts, and the returned error is the lowest-index trial error
+// if any trial failed, otherwise ctx's error. Trials already running
+// when ctx fires are expected to observe the ctx they were handed and
+// return promptly. A trial that panics does not take down the process:
+// the panic is recovered in the worker and converted into that trial's
+// error (with the trial index and stack attached), preserving the
+// lowest-index-error-wins contract.
+func (e Engine) ForEachContext(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if e.workers(n) == 1 {
 		// Legacy sequential path: no goroutines, fail fast. The error,
 		// if any, is necessarily the lowest-index one.
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := safeTrial(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -64,7 +86,12 @@ func (e Engine) ForEach(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				errs[i] = fn(i)
+				if ctx.Err() != nil {
+					// Cancelled: drain the channel without starting
+					// further trials.
+					continue
+				}
+				errs[i] = safeTrial(ctx, i, fn)
 			}
 		}()
 	}
@@ -78,7 +105,20 @@ func (e Engine) ForEach(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
+}
+
+// safeTrial runs one trial with panic isolation: a panicking trial is
+// converted into an error carrying the trial index and stack trace, so
+// one bad trial cannot take down the whole sweep (or, above it, the
+// tlsimd daemon process).
+func safeTrial(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: trial %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, i)
 }
 
 // Gather maps job over configs on the engine's pool and returns the

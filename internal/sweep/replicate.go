@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,13 +45,22 @@ func Replicate(n int, baseSeed int64, metric func(seed int64) (float64, error)) 
 // folded sequentially: the stats are bit-identical to Replicate's.
 // parallelism follows Engine semantics (<= 0 GOMAXPROCS, 1 sequential).
 func ReplicateParallel(n int, baseSeed int64, parallelism int, metric func(seed int64) (float64, error)) (ReplicateStats, error) {
+	return ReplicateParallelContext(context.Background(), n, baseSeed, parallelism,
+		func(_ context.Context, seed int64) (float64, error) { return metric(seed) })
+}
+
+// ReplicateParallelContext is ReplicateParallel with cancellation: the
+// ctx handed to each metric evaluation is the one to thread into
+// RunContext/RunExperimentContext, so an interrupted replicate sweep
+// abandons queued seeds and stops in-flight simulations mid-run.
+func ReplicateParallelContext(ctx context.Context, n int, baseSeed int64, parallelism int, metric func(ctx context.Context, seed int64) (float64, error)) (ReplicateStats, error) {
 	if n < 1 {
 		return ReplicateStats{}, fmt.Errorf("sweep: replicate needs n >= 1")
 	}
 	vals := make([]float64, n)
-	err := Engine{Parallelism: parallelism}.ForEach(n, func(i int) error {
+	err := Engine{Parallelism: parallelism}.ForEachContext(ctx, n, func(ctx context.Context, i int) error {
 		seed := baseSeed + int64(i)
-		v, err := metric(seed)
+		v, err := metric(ctx, seed)
 		if err != nil {
 			return fmt.Errorf("sweep: replicate seed %d: %w", seed, err)
 		}

@@ -7,6 +7,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -140,6 +141,15 @@ func (r *RunResult) AvgJCT() float64 { return metrics.Mean(r.JCTs) }
 
 // Run executes one simulation to completion.
 func Run(rc RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), rc)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline passes) the simulation stops between events and the context
+// error is returned wrapped, so long runs are abortable mid-flight —
+// the tlsimd service layer uses this to enforce per-job deadlines and
+// tlsim wires SIGINT to it. A background ctx reproduces Run exactly.
+func RunContext(ctx context.Context, rc RunConfig) (*RunResult, error) {
 	rc.fillDefaults()
 	start := time.Now()
 	tb := cluster.NewTestbed(rc.Cluster)
@@ -264,9 +274,13 @@ func Run(rc RunConfig) (*RunResult, error) {
 		sampler.Tracer = rc.Tracer
 		sampler.Start()
 	}
-	tb.RunMixedToCompletion(jobs, cjobs, 0)
+	runErr := tb.RunMixedToCompletionCtx(ctx, jobs, cjobs, 0)
 	if sampler != nil {
 		sampler.Stop()
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("sweep: run %q cancelled at sim time %.3f s: %w",
+			rc.Label, tb.K.Now(), runErr)
 	}
 
 	res := &RunResult{
@@ -372,9 +386,17 @@ func Run(rc RunConfig) (*RunResult, error) {
 // single-threaded) and returns results in input order. parallelism <= 0
 // uses GOMAXPROCS; 1 runs the legacy sequential path.
 func RunMany(rcs []RunConfig, parallelism int) ([]*RunResult, error) {
+	return RunManyContext(context.Background(), rcs, parallelism)
+}
+
+// RunManyContext is RunMany with cancellation threaded through the
+// Engine into every trial: once ctx is done, no new trial starts and
+// in-flight simulations stop between events, so a long grid can be
+// abandoned mid-sweep (SIGINT in tlsim, drain/deadline in tlsimd).
+func RunManyContext(ctx context.Context, rcs []RunConfig, parallelism int) ([]*RunResult, error) {
 	results := make([]*RunResult, len(rcs))
-	err := Engine{Parallelism: parallelism}.ForEach(len(rcs), func(i int) error {
-		r, err := Run(rcs[i])
+	err := Engine{Parallelism: parallelism}.ForEachContext(ctx, len(rcs), func(ctx context.Context, i int) error {
+		r, err := RunContext(ctx, rcs[i])
 		if err != nil {
 			return fmt.Errorf("sweep: run %d (%s): %w", i, rcs[i].Label, err)
 		}

@@ -25,6 +25,7 @@
 package tensorlights
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -321,6 +322,16 @@ type HostUtilization struct {
 
 // RunExperiment executes one experiment to completion.
 func RunExperiment(cfg ExperimentConfig) (*Result, error) {
+	return RunExperimentContext(context.Background(), cfg)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: when ctx is
+// cancelled (SIGINT in tlsim, a per-job deadline in tlsimd) the
+// simulation stops between events and the context error is returned
+// wrapped. If TraceCSV was set, the events collected so far are still
+// written, preceded by a "# partial trace" comment line so a truncated
+// dump can never be mistaken for a complete run.
+func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*Result, error) {
 	rc, err := toRunConfig(cfg)
 	if err != nil {
 		return nil, err
@@ -330,8 +341,15 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 		buf = &trace.Buffer{}
 		rc.Tracer = buf
 	}
-	res, err := sweep.Run(rc)
+	res, err := sweep.RunContext(ctx, rc)
 	if err != nil {
+		if buf != nil && ctx.Err() != nil {
+			// Best effort: the run was cancelled, not broken — dump what
+			// we have, clearly marked. A dump error cannot outrank the
+			// cancellation itself.
+			fmt.Fprintf(cfg.TraceCSV, "# partial trace: experiment cancelled before completion (%v)\n", ctx.Err())
+			_ = buf.WriteCSV(cfg.TraceCSV)
+		}
 		return nil, err
 	}
 	if buf != nil {
@@ -687,13 +705,21 @@ func (r ReplicateStats) String() string {
 // the parallelism level. TraceCSV is rejected: one writer cannot serve
 // concurrent trials.
 func ReplicateExperiment(cfg ExperimentConfig, n, parallelism int) (ReplicateStats, error) {
+	return ReplicateExperimentContext(context.Background(), cfg, n, parallelism)
+}
+
+// ReplicateExperimentContext is ReplicateExperiment with cancellation:
+// once ctx is done no further seed starts and in-flight trials stop
+// between events (no stats are returned for an interrupted sweep — a
+// partial mean would be silently biased toward fast seeds).
+func ReplicateExperimentContext(ctx context.Context, cfg ExperimentConfig, n, parallelism int) (ReplicateStats, error) {
 	if cfg.TraceCSV != nil {
 		return ReplicateStats{}, fmt.Errorf("tensorlights: ReplicateExperiment does not support TraceCSV; trace a single RunExperiment instead")
 	}
-	s, err := sweep.ReplicateParallel(n, cfg.Seed, parallelism, func(seed int64) (float64, error) {
+	s, err := sweep.ReplicateParallelContext(ctx, n, cfg.Seed, parallelism, func(ctx context.Context, seed int64) (float64, error) {
 		c := cfg
 		c.Seed = seed
-		res, err := RunExperiment(c)
+		res, err := RunExperimentContext(ctx, c)
 		if err != nil {
 			return 0, err
 		}
