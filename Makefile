@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race check bench fuzz examples serve-smoke
+.PHONY: build test vet staticcheck race check bench fuzz examples serve-smoke scheduler-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,13 @@ examples:
 serve-smoke:
 	GO=$(GO) sh scripts/serve_smoke.sh
 
-check: build vet staticcheck test race examples serve-smoke
+# scheduler-smoke runs the online cluster-scheduler sweep at smoke
+# scale through the real experiments CLI, so the placement x end-host
+# policy grid can't rot between releases.
+scheduler-smoke:
+	$(GO) run ./cmd/experiments -steps 300 -only scheduler -parallel 4
+
+check: build vet staticcheck test race examples serve-smoke scheduler-smoke
 
 # bench writes BENCH_sweep.json: trials/sec through the sequential and
 # parallel Engine paths, plus ns/event and allocs/event in the kernel.

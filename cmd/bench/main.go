@@ -1,12 +1,15 @@
 // Command bench measures the sweep harness and simulation kernel and
-// writes the snapshot to BENCH_sweep.json, giving performance work a
-// trajectory to move: trials/sec through the sequential and parallel
-// Engine paths, ns/event and allocs/event in the kernel, and ns/chunk
-// through a contended leaf-spine core link (the simnet hot path).
+// appends the snapshot to the run history in BENCH_sweep.json, giving
+// performance work a trajectory to move: trials/sec through the
+// sequential and parallel Engine paths, ns/event and allocs/event in
+// the kernel, and ns/chunk through a contended leaf-spine core link
+// (the simnet hot path). Each run is keyed by git SHA and date and
+// diffed against the previous entry; metrics that moved the wrong way
+// by more than 25% are flagged as regressions.
 //
 // Usage:
 //
-//	bench                       # default sizing, writes BENCH_sweep.json
+//	bench                       # default sizing, appends to BENCH_sweep.json
 //	bench -steps 1200 -trials 8 -parallel 4 -out BENCH_sweep.json
 package main
 
@@ -14,9 +17,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
+	"time"
 
 	"repro/internal/sweep"
 )
+
+// regressionTol flags metrics that moved the wrong way by more than
+// this fraction versus the previous history entry. Wall-clock numbers
+// on a shared machine are noisy; 25% separates real regressions from
+// scheduler jitter.
+const regressionTol = 0.25
+
+// gitSHA returns the short HEAD commit hash, or "" when not in a git
+// checkout (the history entry is still useful, just undated by commit).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// loadHistory reads an existing history file, migrating the legacy
+// single-report layout. A missing file is an empty history.
+func loadHistory(path string) (*sweep.BenchHistory, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &sweep.BenchHistory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sweep.LoadBenchHistory(f)
+}
 
 func main() {
 	var (
@@ -24,7 +60,7 @@ func main() {
 		trials   = flag.Int("trials", 8, "trials in the benchmark grid")
 		parallel = flag.Int("parallel", 4, "parallel leg's worker count")
 		seed     = flag.Int64("seed", 1, "base seed")
-		out      = flag.String("out", "BENCH_sweep.json", "output JSON path")
+		out      = flag.String("out", "BENCH_sweep.json", "output JSON history path")
 	)
 	flag.Parse()
 
@@ -38,12 +74,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
+	hist, err := loadHistory(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	hist.Append(sweep.BenchRun{
+		GitSHA: gitSHA(),
+		Date:   time.Now().UTC().Format("2006-01-02"),
+		Report: rep,
+	})
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	if err := rep.WriteJSON(f); err != nil {
+	if err := hist.WriteJSON(f); err != nil {
 		f.Close()
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
@@ -63,5 +109,20 @@ func main() {
 		rep.Events, rep.NsPerEvent, rep.AllocsPerEvent)
 	fmt.Printf("  fabric: %d chunks through a contended leaf-spine core link, %.0f ns/chunk\n",
 		rep.FabricChunks, rep.FabricNsPerChunk)
-	fmt.Printf("report written to %s\n", *out)
+	fmt.Printf("run %d appended to %s\n", len(hist.Runs), *out)
+	if len(hist.Runs) > 1 {
+		prev := hist.Runs[len(hist.Runs)-2]
+		label := prev.GitSHA
+		if label == "" {
+			label = "previous run"
+		}
+		if regs := hist.Regressions(regressionTol); len(regs) > 0 {
+			fmt.Printf("REGRESSIONS vs %s:\n", label)
+			for _, r := range regs {
+				fmt.Printf("  %s\n", r)
+			}
+			os.Exit(3)
+		}
+		fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", label, 100*regressionTol)
+	}
 }

@@ -3,9 +3,11 @@
 // fault-recovery comparison (faultrec), the collective-workload
 // comparison (collective), the scheduling-policy comparison
 // (policy, including the telemetry-driven TLs-LAS/TLs-SRSF/
-// TLs-Interleave) and the leaf-spine topology sweep (topology:
-// placement strategy x core oversubscription x policy), and prints
-// the measured rows
+// TLs-Interleave), the leaf-spine topology sweep (topology:
+// placement strategy x core oversubscription x policy) and the online
+// cluster-scheduler sweep (scheduler: contention-aware and phase-aware
+// placement vs the naive baselines, crossed with end-host policies),
+// and prints the measured rows
 // next to the paper's reported numbers. At full scale
 // (-steps 30000, the paper's setting) the complete suite is a large
 // computation; -steps 3000 gives the same shapes in a few minutes.
@@ -40,7 +42,7 @@ func main() {
 	var (
 		steps    = flag.Int("steps", 30000, "target global steps per job (paper: 30000)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2|faultrec|collective|replicate|churn|policy|topology")
+		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2|faultrec|collective|replicate|churn|policy|topology|scheduler")
 		parallel = flag.Int("parallel", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential)")
 		csvdir   = flag.String("csvdir", "", "directory to write per-figure CSV data files")
 	)
@@ -64,6 +66,7 @@ func main() {
 		{"churn", func(o sweep.Options) (renderable, error) { return sweep.ChurnSweep(o) }},
 		{"policy", func(o sweep.Options) (renderable, error) { return sweep.PolicySweep(o) }},
 		{"topology", func(o sweep.Options) (renderable, error) { return sweep.TopologySweep(o) }},
+		{"scheduler", func(o sweep.Options) (renderable, error) { return sweep.SchedulerSweep(o) }},
 	}
 	if *csvdir != "" {
 		if err := os.MkdirAll(*csvdir, 0o755); err != nil {

@@ -15,6 +15,7 @@
 //	tlsim -workload mixed -policy tls-rr -jobs 3 -rings 3
 //	tlsim -topology leafspine -racks 3 -oversub 2 -strategy network-aware \
 //	    -workload collective -rings 3 -ranks 4
+//	tlsim -scheduler phase-aware -oversub 2 -policy tls-rr -steps 3000
 package main
 
 import (
@@ -74,6 +75,8 @@ func main() {
 		uplinks    = flag.Int("uplinks", 2, "leafspine: spine uplinks per rack (ECMP fan-out)")
 		oversub    = flag.Float64("oversub", 1, "leafspine: core oversubscription ratio (1 = non-blocking)")
 		strategy   = flag.String("strategy", "", "leafspine: rack placement strategy: pack | spread | network-aware (default spread)")
+		schedule   = flag.String("scheduler", "", "run the online cluster-scheduler workload with this placement: random | pack | spread | network-aware | contention-aware | phase-aware")
+		arrival    = flag.Float64("arrival-rate", 0, "scheduler: Poisson job arrival rate per second (0 = default 1/s)")
 		rings      = flag.Int("rings", 3, "collective: number of all-reduce jobs")
 		ranks      = flag.Int("ranks", 4, "collective: ranks per all-reduce job")
 		stride     = flag.Int("ring-stride", 0, "collective: host offset between rings (0 = aligned)")
@@ -187,6 +190,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tlsim: unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
+	if *schedule != "" {
+		if *faultFlapPS || len(crashes) > 0 {
+			fmt.Fprintln(os.Stderr, "tlsim: fault flags are incompatible with -scheduler")
+			os.Exit(2)
+		}
+		// -jobs and -oversub keep their PS-workload defaults (21 and 1),
+		// which are wrong for the scheduler trial; only forward them when
+		// the user set them explicitly so the trial defaults (9 jobs,
+		// 2:1 oversubscription) apply otherwise.
+		sc := &tensorlights.SchedulerConfig{
+			Placement:         *schedule,
+			ArrivalRatePerSec: *arrival,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "jobs":
+				sc.Jobs = *jobs
+			case "oversub":
+				sc.Oversubscription = *oversub
+			}
+		})
+		cfg.Scheduler = sc
+	}
 	if *faultFlapPS || len(crashes) > 0 {
 		// Crashes naming a collective job (ID >= CollectiveJobIDBase)
 		// are ring-peer crashes; the rest are PS-worker crashes.
@@ -272,8 +298,24 @@ func main() {
 		fmt.Printf("event trace written to %s\n", traceFile.Name())
 	}
 
-	fmt.Printf("workload=%s policy=%s placement=#%d jobs=%d batch=%d steps=%d seed=%d\n",
-		*workload, pol, *placement, cfg.NumJobs, *batch, *steps, *seed)
+	if sc := cfg.Scheduler; sc != nil {
+		// Echo the trial defaults for anything the user left unset.
+		schedJobs, schedOversub, schedRate := sc.Jobs, sc.Oversubscription, sc.ArrivalRatePerSec
+		if schedJobs <= 0 {
+			schedJobs = 9
+		}
+		if schedOversub <= 0 {
+			schedOversub = 2
+		}
+		if schedRate <= 0 {
+			schedRate = 1
+		}
+		fmt.Printf("scheduler placement=%s policy=%s oversub=%g:1 jobs=%d arrival-rate=%g/s steps=%d seed=%d\n",
+			sc.Placement, pol, schedOversub, schedJobs, schedRate, *steps, *seed)
+	} else {
+		fmt.Printf("workload=%s policy=%s placement=#%d jobs=%d batch=%d steps=%d seed=%d\n",
+			*workload, pol, *placement, cfg.NumJobs, *batch, *steps, *seed)
+	}
 	if cfg.Topology != "" {
 		strat := cfg.PlacementStrategy
 		if strat == "" {

@@ -48,6 +48,7 @@ func main() {
 		rate         = flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
 		burst        = flag.Int("burst", 10, "per-client submission burst")
 		parallelism  = flag.Int("parallel", 0, "sweep parallelism inside one experiment (0 = GOMAXPROCS)")
+		queuePolicy  = flag.String("queue-policy", server.QueueFIFO, "queued-job order: fifo (submission order) | srsf (smallest expected remaining work first)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "graceful drain bound on SIGTERM; in-flight jobs still running after this are abandoned for restart recovery")
 	)
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 		RatePerSec:     *rate,
 		RateBurst:      *burst,
 		Parallelism:    *parallelism,
+		QueuePolicy:    *queuePolicy,
 		Logf: func(format string, args ...any) {
 			logger.Printf(format, args...)
 		},
@@ -80,8 +82,8 @@ func main() {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (journal %s, %d workers, queue %d)",
-		*addr, *journal, *workers, *queue)
+	logger.Printf("listening on %s (journal %s, %d workers, queue %d, %s order)",
+		*addr, *journal, *workers, *queue, *queuePolicy)
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -255,6 +255,30 @@ func (f *Feedback) BytesPerIteration(id int) float64 {
 	return float64(t.attained) / float64(t.progress)
 }
 
+// Period returns the job's estimated seconds per iteration (the
+// progress EWMA) and whether an estimate exists yet. The cluster
+// scheduler's phase-aware interleaving consumes it together with
+// LastProgressAt to predict where the job's next communication burst
+// will land.
+func (f *Feedback) Period(id int) (float64, bool) {
+	t, ok := f.jobs[id]
+	if !ok || t.periodEWMA <= 0 {
+		return 0, false
+	}
+	return t.periodEWMA, true
+}
+
+// LastProgressAt returns the sim time of the job's most recent
+// completed iteration — the anchor of its communication phase: burst k
+// is expected near LastProgressAt + k*Period.
+func (f *Feedback) LastProgressAt(id int) (float64, bool) {
+	t, ok := f.jobs[id]
+	if !ok {
+		return 0, false
+	}
+	return t.lastProgressAt, true
+}
+
 // Phase returns how far the job is through its current iteration as a
 // fraction of its estimated period, and whether a period estimate
 // exists. A job near phase 1 is about to emit its next communication

@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFeedbackPhaseEstimateConverges drives the collector with a
+// synthetic periodic-burst job — iteration k completes at
+// offset + k*period, with deterministic per-iteration jitter — and
+// checks that the derived phase signals the cluster scheduler consumes
+// (Period, LastProgressAt, Phase) converge to the true period and
+// burst offset within tolerance.
+func TestFeedbackPhaseEstimateConverges(t *testing.T) {
+	const (
+		period = 3.0
+		offset = 0.4 // first burst lands at t=0.4
+		bursts = 12
+	)
+	// ±50ms of deterministic jitter: real iteration times wobble, and
+	// the EWMA must smooth through it rather than track it.
+	jitter := []float64{0.05, -0.03, 0.02, -0.05, 0.04, -0.01}
+
+	k := sim.NewKernel()
+	fb := NewFeedback(k, FeedbackConfig{SampleIntervalSec: 1})
+	fb.JobArrived(7)
+
+	var lastBurstAt float64
+	for i := 1; i <= bursts; i++ {
+		i := i
+		at := offset + float64(i-1)*period + jitter[i%len(jitter)]
+		lastBurstAt = at
+		k.Post(at, func() { fb.OnProgress(7, i) })
+	}
+	k.RunUntil(lastBurstAt)
+
+	p, ok := fb.Period(7)
+	if !ok {
+		t.Fatal("no period estimate after 12 bursts")
+	}
+	if math.Abs(p-period) > 0.05*period {
+		t.Fatalf("period estimate %.4fs, want %.1fs +/- 5%%", p, period)
+	}
+	anchor, ok := fb.LastProgressAt(7)
+	if !ok || anchor != lastBurstAt {
+		t.Fatalf("burst anchor = %.4f (ok=%v), want the last burst at %.4f", anchor, ok, lastBurstAt)
+	}
+	// The predicted next burst (anchor + period estimate) must land
+	// within jitter-scale error of the true one.
+	next := offset + float64(bursts)*period
+	if got := anchor + p; math.Abs(got-next) > 0.2 {
+		t.Fatalf("predicted next burst at %.3f, true one at %.3f", got, next)
+	}
+
+	// Mid-iteration the phase fraction reads ~0.5.
+	k.RunUntil(lastBurstAt + period/2)
+	if frac, ok := fb.Phase(7); !ok || math.Abs(frac-0.5) > 0.1 {
+		t.Fatalf("mid-iteration phase = %.3f (ok=%v), want ~0.5", frac, ok)
+	}
+
+	// Progress reported at an unchanged iteration count must not
+	// corrupt the estimate (barrier retries re-report iterations).
+	fb.OnProgress(7, bursts)
+	if p2, _ := fb.Period(7); p2 != p {
+		t.Fatalf("duplicate progress report moved the period: %.4f -> %.4f", p, p2)
+	}
+}
+
+// TestFeedbackPhaseTracksPeriodChange shifts the synthetic job to a
+// faster cadence mid-run; the EWMA (0.7 retention) should re-converge
+// within ~10 iterations.
+func TestFeedbackPhaseTracksPeriodChange(t *testing.T) {
+	k := sim.NewKernel()
+	fb := NewFeedback(k, FeedbackConfig{SampleIntervalSec: 1})
+	fb.JobArrived(3)
+
+	at := 0.0
+	iter := 0
+	post := func(period float64, n int) {
+		for i := 0; i < n; i++ {
+			at += period
+			iter++
+			it := iter
+			when := at
+			k.Post(when, func() { fb.OnProgress(3, it) })
+		}
+	}
+	post(3.0, 10)
+	post(2.0, 12)
+	k.RunUntil(at)
+
+	p, ok := fb.Period(3)
+	if !ok {
+		t.Fatal("no period estimate")
+	}
+	if math.Abs(p-2.0) > 0.1 {
+		t.Fatalf("period estimate %.4fs did not re-converge to 2.0s", p)
+	}
+}

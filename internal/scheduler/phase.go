@@ -1,0 +1,105 @@
+package scheduler
+
+import "math"
+
+// PhaseJob models one job's periodic communication pattern as seen by
+// the interleaver: every PeriodSec seconds the job opens a burst of
+// BurstSec seconds on the links it occupies, the first burst beginning
+// at AnchorSec. Weight scales the job's contribution to the overlap
+// cost — the scheduler sets it to the number of bottleneck links the
+// job shares with the arriving job, which is the edge weight of the
+// CASSINI affinity graph between the two jobs.
+type PhaseJob struct {
+	PeriodSec float64
+	AnchorSec float64
+	BurstSec  float64
+	Weight    float64
+}
+
+// fraction maps an absolute time onto the job's unit circle: the
+// position in [0, 1) of t within the job's own period.
+func (p PhaseJob) fraction(t float64) float64 {
+	f := math.Mod(t/p.PeriodSec, 1)
+	if f < 0 {
+		f += 1
+	}
+	return f
+}
+
+// arcLen is the burst's length on the unit circle, capped at a full
+// revolution (a burst longer than the period occupies the whole link).
+func (p PhaseJob) arcLen() float64 {
+	l := p.BurstSec / p.PeriodSec
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+// InterleaveShift returns the start delay in [0, job.PeriodSec) that
+// minimizes the weighted burst overlap between job and others, CASSINI
+// style: each job's timeline is normalized onto a unit circle (position
+// = (t mod P_i)/P_i, so jobs with different periods are compared by
+// phase fraction — the paper's unified-circle approximation), the new
+// job's burst arc is rotated through `slots` evenly spaced candidate
+// shifts of its own period, and the shift with the smallest total
+// arc-overlap wins. Ties break toward the smallest shift, so the result
+// is deterministic and a conflict-free arrival starts immediately.
+//
+// The returned shift is a pure start-time delay: the scheduler realizes
+// it by postponing the job's launch, which rotates every subsequent
+// burst by the same phase.
+func InterleaveShift(job PhaseJob, others []PhaseJob, slots int) float64 {
+	if job.PeriodSec <= 0 || job.BurstSec <= 0 || len(others) == 0 {
+		return 0
+	}
+	if slots < 2 {
+		slots = 16
+	}
+	newLen := job.arcLen()
+	bestSlot, bestCost := 0, math.Inf(1)
+	for k := 0; k < slots; k++ {
+		shift := float64(k) * job.PeriodSec / float64(slots)
+		cost := 0.0
+		for _, o := range others {
+			if o.PeriodSec <= 0 || o.BurstSec <= 0 {
+				continue
+			}
+			w := o.Weight
+			if w <= 0 {
+				w = 1
+			}
+			cost += w * circularOverlap(
+				job.fraction(job.AnchorSec+shift), newLen,
+				o.fraction(o.AnchorSec), o.arcLen())
+		}
+		// Strict improvement only: equal-cost later slots lose to the
+		// earliest one, keeping shifts minimal and deterministic.
+		if cost < bestCost-1e-12 {
+			bestSlot, bestCost = k, cost
+		}
+		if bestCost <= 1e-12 && bestSlot == 0 {
+			return 0
+		}
+	}
+	return float64(bestSlot) * job.PeriodSec / float64(slots)
+}
+
+// circularOverlap returns the overlap of two arcs [a1, a1+l1) and
+// [a2, a2+l2) on the unit circle, with positions in [0, 1) and lengths
+// in [0, 1]. Unrolling arc 2 to the three linear copies that can touch
+// arc 1 covers every wraparound case.
+func circularOverlap(a1, l1, a2, l2 float64) float64 {
+	total := 0.0
+	for _, off := range [3]float64{-1, 0, 1} {
+		lo := math.Max(a1, a2+off)
+		hi := math.Min(a1+l1, a2+off+l2)
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	if total > math.Min(l1, l2) {
+		total = math.Min(l1, l2)
+	}
+	return total
+}

@@ -1,0 +1,654 @@
+// Package scheduler is the cluster-scheduler tier that sits above
+// cluster/simnet: an online placer that decides, at each job arrival,
+// which hosts the job occupies and when it starts. TensorLights proper
+// fights contention at the NIC after placement has already decided who
+// collides; this tier moves the fight earlier, in two steps the
+// related work argues for:
+//
+//   - Contention-aware placement (Wang et al., arXiv 2002.10105): a
+//     link-load model predicts each candidate placement's expected
+//     bytes/second on every rack uplink from the dl model zoo and the
+//     ring/PS traffic pattern, and the placement minimizing the
+//     maximum expected core-link load wins.
+//   - Phase-aware interleaving (CASSINI, arXiv 2308.00852): each
+//     running job's communication phase (period + offset, fed from the
+//     policy Feedback collector's per-iteration EWMA when available)
+//     forms an affinity graph over shared bottleneck links, and the
+//     arriving job's start is delayed by the time-shift that slots its
+//     bursts into the gaps left by its neighbors' (see phase.go).
+//
+// The scheduler is deliberately model-driven, not measurement-driven:
+// placement must happen before the job has sent a byte, so expected
+// loads come from the analytic per-iteration cost of the job's model
+// and placement, normalized by the job's analytic iteration time. All
+// decisions are deterministic given the config and arrival order
+// (PolicyRandom draws from its own seeded RNG stream).
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dl"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Policy names a placement policy.
+type Policy string
+
+const (
+	// PolicyRandom places each task on a uniformly random free-ish host
+	// — the no-information baseline.
+	PolicyRandom Policy = "random"
+	// PolicyPack fills racks in order, concentrating NIC contention but
+	// keeping traffic off the core.
+	PolicyPack Policy = "pack"
+	// PolicySpread round-robins tasks across racks — the naive
+	// host-balancing policy that maximizes cross-rack traffic.
+	PolicySpread Policy = "spread"
+	// PolicyNetworkAware puts each job in the rack with the fewest
+	// placed tasks (spilling only when full), balancing by task count
+	// without modeling traffic volume.
+	PolicyNetworkAware Policy = "network-aware"
+	// PolicyContentionAware scores candidate racks by the link-load
+	// model and picks the placement minimizing the maximum expected
+	// uplink bytes/second.
+	PolicyContentionAware Policy = "contention-aware"
+	// PolicyPhaseAware is contention-aware placement plus CASSINI-style
+	// start-time shifts that interleave communication phases of jobs
+	// sharing a bottleneck.
+	PolicyPhaseAware Policy = "phase-aware"
+)
+
+// Policies returns every placement policy, in sweep order.
+func Policies() []Policy {
+	return []Policy{PolicyRandom, PolicyPack, PolicySpread,
+		PolicyNetworkAware, PolicyContentionAware, PolicyPhaseAware}
+}
+
+// ParsePolicy validates a policy name ("" = spread, matching
+// cluster.ParseStrategy's default).
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "":
+		return PolicySpread, nil
+	case PolicyRandom, PolicyPack, PolicySpread, PolicyNetworkAware,
+		PolicyContentionAware, PolicyPhaseAware:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("scheduler: unknown placement policy %q (want random, pack, spread, network-aware, contention-aware or phase-aware)", s)
+}
+
+// Kind classifies the job's communication pattern, which decides how
+// the load model charges rack uplinks.
+type Kind int
+
+const (
+	// KindCollective is a bucketized ring all-reduce: every rank sends
+	// 2(N-1)/N * UpdateBytes per iteration to its ring successor.
+	KindCollective Kind = iota
+	// KindPS is a parameter-server job: every worker pushes one
+	// gradient update up and pulls one model update down per iteration.
+	KindPS
+)
+
+// JobReq describes an arriving job to the scheduler.
+type JobReq struct {
+	ID    int
+	Kind  Kind
+	Model dl.Model
+	// Tasks is the ring size for KindCollective and the worker count
+	// for KindPS (the PS process itself occupies one extra host, chosen
+	// by the scheduler as Hosts[0]).
+	Tasks      int
+	LocalBatch int
+}
+
+// taskCount is the number of hosts the request occupies.
+func (r JobReq) taskCount() int {
+	if r.Kind == KindPS {
+		return r.Tasks + 1
+	}
+	return r.Tasks
+}
+
+// Decision is the scheduler's answer for one arrival.
+type Decision struct {
+	// Hosts lists the occupied hosts. For KindCollective it is the ring
+	// order (same-rack hosts grouped so the ring crosses each rack
+	// boundary once); for KindPS, Hosts[0] is the PS and the rest are
+	// workers.
+	Hosts []int
+	// Score is the predicted maximum rack-uplink load (bytes/second)
+	// after placing the job — the quantity contention-aware placement
+	// minimizes. Count-based policies report it too, for tracing.
+	Score float64
+	// ShiftSec delays the job's start to interleave its communication
+	// phase with its bottleneck neighbors (phase-aware only).
+	ShiftSec float64
+}
+
+// Config sizes the scheduler.
+type Config struct {
+	// Hosts is the cluster size; Topo its topology (flat topologies
+	// collapse every policy to host-count balancing).
+	Hosts int
+	Topo  simnet.TopologyConfig
+	// LinkRateBps is the access-link rate used to normalize expected
+	// per-iteration bytes into bytes/second (default 10 Gbps, matching
+	// simnet's default).
+	LinkRateBps float64
+	Policy      Policy
+	// Slots is the phase-shift search resolution (default 16 candidate
+	// shifts per period).
+	Slots int
+	// RNG supplies PolicyRandom's draws; the scheduler derives its own
+	// "scheduler" stream so placement randomness never perturbs the
+	// simulation's other streams. Required only for PolicyRandom.
+	RNG *sim.RNG
+	// Feedback, when non-nil, supplies measured per-iteration periods
+	// (the phase EWMA) and last-progress anchors for running jobs; the
+	// phase-aware policy falls back to the analytic model for jobs the
+	// collector has not converged on yet.
+	Feedback *policy.Feedback
+	// Tracer, when non-nil, receives sched_place / sched_shift events.
+	Tracer trace.Tracer
+}
+
+// placedJob is the scheduler's record of one admitted job.
+type placedJob struct {
+	req    JobReq
+	hosts  []int
+	load   []float64 // expected bytes/sec added to each rack uplink
+	period float64   // analytic seconds/iteration
+	burst  float64   // analytic communication seconds/iteration
+	start  float64   // scheduled start time (anchor fallback)
+}
+
+// Scheduler is the online placer. Not safe for concurrent use: it is
+// driven from simulation events, which are single-threaded per kernel.
+type Scheduler struct {
+	cfg          Config
+	racks        int
+	hostsPerRack int
+	rng          *sim.RNG
+
+	hostTasks []int     // placed task count per host
+	hostLoad  []float64 // expected NIC tx bytes/sec per host
+	rackUp    []float64 // expected uplink bytes/sec per rack
+	active    map[int]*placedJob
+
+	shifted    int
+	shiftTotal float64
+}
+
+// New builds a scheduler for an empty cluster.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("scheduler: need >=1 host, got %d", cfg.Hosts)
+	}
+	if err := cfg.Topo.ValidateFor(cfg.Hosts); err != nil {
+		return nil, err
+	}
+	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicySpread
+	}
+	if cfg.LinkRateBps <= 0 {
+		cfg.LinkRateBps = 10e9
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 16
+	}
+	racks := cfg.Topo.NumRacksFor(cfg.Hosts)
+	if racks < 1 {
+		racks = 1
+	}
+	s := &Scheduler{
+		cfg:          cfg,
+		racks:        racks,
+		hostsPerRack: cfg.Hosts / racks,
+		hostTasks:    make([]int, cfg.Hosts),
+		hostLoad:     make([]float64, cfg.Hosts),
+		rackUp:       make([]float64, racks),
+		active:       map[int]*placedJob{},
+	}
+	if cfg.RNG != nil {
+		s.rng = cfg.RNG.Stream("scheduler")
+	}
+	return s, nil
+}
+
+// Policy returns the configured placement policy.
+func (s *Scheduler) Policy() Policy { return s.cfg.Policy }
+
+// Shifts reports how many placements were delayed and the total delay.
+func (s *Scheduler) Shifts() (jobs int, totalSec float64) {
+	return s.shifted, s.shiftTotal
+}
+
+// RackLoads returns a copy of the modeled per-rack uplink loads
+// (bytes/second) of all active jobs.
+func (s *Scheduler) RackLoads() []float64 {
+	out := make([]float64, len(s.rackUp))
+	copy(out, s.rackUp)
+	return out
+}
+
+// HostTasks returns a copy of the per-host placed task counts.
+func (s *Scheduler) HostTasks() []int {
+	out := make([]int, len(s.hostTasks))
+	copy(out, s.hostTasks)
+	return out
+}
+
+func (s *Scheduler) rackOf(h int) int {
+	return s.cfg.Topo.RackOfHost(h, s.cfg.Hosts)
+}
+
+// Place admits a job at simulation time now and returns its placement.
+func (s *Scheduler) Place(req JobReq, now float64) (Decision, error) {
+	if _, ok := s.active[req.ID]; ok {
+		return Decision{}, fmt.Errorf("scheduler: job %d already placed", req.ID)
+	}
+	minTasks := 2
+	if req.Kind == KindPS {
+		minTasks = 1
+	}
+	if req.Tasks < minTasks {
+		return Decision{}, fmt.Errorf("scheduler: job %d needs >=%d tasks, got %d",
+			req.ID, minTasks, req.Tasks)
+	}
+	n := req.taskCount()
+	if n > s.cfg.Hosts {
+		return Decision{}, fmt.Errorf("scheduler: job %d needs %d hosts, cluster has %d",
+			req.ID, n, s.cfg.Hosts)
+	}
+	if req.Model.Params <= 0 {
+		return Decision{}, fmt.Errorf("scheduler: job %d has an empty model", req.ID)
+	}
+
+	var hosts []int
+	switch s.cfg.Policy {
+	case PolicyRandom:
+		if s.rng == nil {
+			return Decision{}, fmt.Errorf("scheduler: %s placement needs Config.RNG", s.cfg.Policy)
+		}
+		hosts = append(hosts, s.rng.Perm(s.cfg.Hosts)[:n]...)
+	case PolicyPack:
+		hosts = s.pickPacked(n)
+	case PolicySpread:
+		hosts = s.pickSpread(n)
+	case PolicyNetworkAware:
+		hosts = s.pickPreferRack(s.leastTaskedRack(), n)
+	case PolicyContentionAware, PolicyPhaseAware:
+		hosts = s.pickContentionAware(req, n)
+	default:
+		return Decision{}, fmt.Errorf("scheduler: unknown placement policy %q", s.cfg.Policy)
+	}
+	if req.Kind == KindCollective {
+		// Group same-rack hosts consecutively so the ring crosses each
+		// rack boundary at most once — any real launcher would.
+		hosts = cluster.OrderRingByRack(hosts, s.cfg.Hosts, s.cfg.Topo)
+	}
+
+	pj := s.admit(req, hosts, now)
+	score := s.maxRackLoad()
+	dec := Decision{Hosts: hosts, Score: score}
+	if s.cfg.Policy == PolicyPhaseAware {
+		dec.ShiftSec = s.interleave(pj, now)
+		if dec.ShiftSec > 0 {
+			s.shifted++
+			s.shiftTotal += dec.ShiftSec
+			pj.start = now + dec.ShiftSec
+		}
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(trace.Event{
+			At: now, Kind: trace.KindSchedPlace, Job: req.ID, Host: hosts[0],
+			Value:  score,
+			Detail: fmt.Sprintf("policy=%s hosts=%v", s.cfg.Policy, hosts),
+		})
+		if dec.ShiftSec > 0 {
+			s.cfg.Tracer.Emit(trace.Event{
+				At: now, Kind: trace.KindSchedShift, Job: req.ID, Host: hosts[0],
+				Value:  dec.ShiftSec,
+				Detail: fmt.Sprintf("period=%.4f burst=%.4f", pj.period, pj.burst),
+			})
+		}
+	}
+	return dec, nil
+}
+
+// Release frees a finished job's hosts and modeled load.
+func (s *Scheduler) Release(id int) {
+	pj, ok := s.active[id]
+	if !ok {
+		return
+	}
+	delete(s.active, id)
+	for i, h := range pj.hosts {
+		s.hostTasks[h]--
+		s.hostLoad[h] -= s.nicLoad(pj.req, i)
+	}
+	for r, l := range pj.load {
+		s.rackUp[r] -= l
+	}
+}
+
+// admit commits the placement to the scheduler's load model.
+func (s *Scheduler) admit(req JobReq, hosts []int, now float64) *placedJob {
+	pj := &placedJob{
+		req:    req,
+		hosts:  hosts,
+		load:   s.uplinkLoad(req, hosts),
+		period: s.iterationSec(req),
+		burst:  s.commSec(req),
+		start:  now,
+	}
+	s.active[req.ID] = pj
+	for i, h := range hosts {
+		s.hostTasks[h]++
+		s.hostLoad[h] += s.nicLoad(req, i)
+	}
+	for r, l := range pj.load {
+		s.rackUp[r] += l
+	}
+	return pj
+}
+
+// --- analytic load model ---------------------------------------------
+
+// commBytesPerTask is the bytes one task transmits per iteration: a
+// ring rank forwards 2(N-1) segments of UpdateBytes/N each; a PS pushes
+// one model update per worker; a PS worker pushes one gradient.
+func commBytesPerTask(req JobReq, taskIdx int) float64 {
+	ub := float64(req.Model.UpdateBytes())
+	switch req.Kind {
+	case KindCollective:
+		n := float64(req.Tasks)
+		return 2 * (n - 1) / n * ub
+	case KindPS:
+		if taskIdx == 0 {
+			return float64(req.Tasks) * ub
+		}
+		return ub
+	}
+	return 0
+}
+
+// commSec estimates the serialized communication seconds per iteration
+// through the job's busiest NIC at the access-link rate.
+func (s *Scheduler) commSec(req JobReq) float64 {
+	rate := s.cfg.LinkRateBps / 8
+	return commBytesPerTask(req, 0) / rate
+}
+
+// iterationSec is the analytic seconds per iteration: local compute
+// plus the busiest task's communication time. It normalizes expected
+// per-iteration bytes into bytes/second without having observed the
+// job run.
+func (s *Scheduler) iterationSec(req JobReq) float64 {
+	return req.Model.StepComputeSec(req.LocalBatch) + s.commSec(req)
+}
+
+// nicLoad is the expected NIC tx bytes/second of the job's task i.
+func (s *Scheduler) nicLoad(req JobReq, taskIdx int) float64 {
+	return commBytesPerTask(req, taskIdx) / s.iterationSec(req)
+}
+
+// uplinkLoad predicts the bytes/second the placement adds to each
+// rack's uplinks. Ring edges whose endpoints sit in different racks
+// charge the sender's rack; a PS worker in a different rack than its
+// PS charges both its own rack (gradient up) and the PS's rack (model
+// update down).
+func (s *Scheduler) uplinkLoad(req JobReq, hosts []int) []float64 {
+	load := make([]float64, s.racks)
+	if s.racks <= 1 {
+		return load
+	}
+	iter := s.iterationSec(req)
+	ub := float64(req.Model.UpdateBytes())
+	switch req.Kind {
+	case KindCollective:
+		n := len(hosts)
+		edge := 2 * float64(n-1) / float64(n) * ub / iter
+		for i, h := range hosts {
+			next := hosts[(i+1)%n]
+			if s.rackOf(h) != s.rackOf(next) {
+				load[s.rackOf(h)] += edge
+			}
+		}
+	case KindPS:
+		ps := hosts[0]
+		per := ub / iter
+		for _, w := range hosts[1:] {
+			if s.rackOf(w) != s.rackOf(ps) {
+				load[s.rackOf(w)] += per
+				load[s.rackOf(ps)] += per
+			}
+		}
+	}
+	return load
+}
+
+// maxRackLoad is the busiest modeled uplink load (bytes/second).
+func (s *Scheduler) maxRackLoad() float64 {
+	max := 0.0
+	for _, l := range s.rackUp {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// --- placement candidate generation ----------------------------------
+
+// byLoad orders host ids ascending by (placed tasks, modeled NIC load,
+// id) — the shared "least loaded first" comparator.
+func (s *Scheduler) byLoad(ids []int) {
+	sort.Slice(ids, func(a, b int) bool {
+		ha, hb := ids[a], ids[b]
+		if s.hostTasks[ha] != s.hostTasks[hb] {
+			return s.hostTasks[ha] < s.hostTasks[hb]
+		}
+		if s.hostLoad[ha] != s.hostLoad[hb] {
+			return s.hostLoad[ha] < s.hostLoad[hb]
+		}
+		return ha < hb
+	})
+}
+
+// pickPacked fills racks in index order, least-loaded hosts first
+// within a rack.
+func (s *Scheduler) pickPacked(n int) []int {
+	ids := make([]int, s.cfg.Hosts)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ha, hb := ids[a], ids[b]
+		ra, rb := s.rackOf(ha), s.rackOf(hb)
+		if ra != rb {
+			return ra < rb
+		}
+		if s.hostTasks[ha] != s.hostTasks[hb] {
+			return s.hostTasks[ha] < s.hostTasks[hb]
+		}
+		return ha < hb
+	})
+	return append([]int(nil), ids[:n]...)
+}
+
+// pickSpread puts task k in rack k mod racks, least-loaded host within.
+func (s *Scheduler) pickSpread(n int) []int {
+	perRack := make([][]int, s.racks)
+	for h := 0; h < s.cfg.Hosts; h++ {
+		r := s.rackOf(h)
+		perRack[r] = append(perRack[r], h)
+	}
+	for r := range perRack {
+		s.byLoad(perRack[r])
+	}
+	taken := make([]int, s.racks)
+	hosts := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		r := k % s.racks
+		// Skip full racks (possible when n approaches the cluster size).
+		for taken[r] >= len(perRack[r]) {
+			r = (r + 1) % s.racks
+		}
+		hosts = append(hosts, perRack[r][taken[r]])
+		taken[r]++
+	}
+	return hosts
+}
+
+// leastTaskedRack returns the rack with the fewest placed tasks.
+func (s *Scheduler) leastTaskedRack() int {
+	perRack := make([]int, s.racks)
+	for h, t := range s.hostTasks {
+		perRack[s.rackOf(h)] += t
+	}
+	best := 0
+	for r := 1; r < s.racks; r++ {
+		if perRack[r] < perRack[best] {
+			best = r
+		}
+	}
+	return best
+}
+
+// pickPreferRack takes the n least-loaded hosts of rack r first,
+// spilling to the least-loaded hosts of other racks when r is full.
+func (s *Scheduler) pickPreferRack(r, n int) []int {
+	var in, out []int
+	for h := 0; h < s.cfg.Hosts; h++ {
+		if s.rackOf(h) == r {
+			in = append(in, h)
+		} else {
+			out = append(out, h)
+		}
+	}
+	s.byLoad(in)
+	s.byLoad(out)
+	hosts := append([]int(nil), in...)
+	hosts = append(hosts, out...)
+	return hosts[:n]
+}
+
+// pickContentionAware tries one candidate placement per primary rack
+// (that rack's least-loaded hosts, spilling by load) and keeps the one
+// minimizing the predicted maximum rack-uplink load. Ties break toward
+// the candidate on less loaded hosts, then the lower rack index, so
+// the choice is deterministic and NIC pressure stays balanced even
+// when no candidate adds core traffic.
+func (s *Scheduler) pickContentionAware(req JobReq, n int) []int {
+	var best []int
+	bestScore, bestNic := 0.0, 0.0
+	for r := 0; r < s.racks; r++ {
+		cand := s.pickPreferRack(r, n)
+		if req.Kind == KindCollective {
+			cand = cluster.OrderRingByRack(cand, s.cfg.Hosts, s.cfg.Topo)
+		}
+		load := s.uplinkLoad(req, cand)
+		score := 0.0
+		for rr := range load {
+			if t := s.rackUp[rr] + load[rr]; t > score {
+				score = t
+			}
+		}
+		nic := 0.0
+		for i, h := range cand {
+			nic += s.hostLoad[h] + s.nicLoad(req, i)
+		}
+		if best == nil || score < bestScore-1e-9 ||
+			(score <= bestScore+1e-9 && nic < bestNic-1e-9) {
+			best, bestScore, bestNic = cand, score, nic
+		}
+	}
+	return best
+}
+
+// --- phase interleaving ----------------------------------------------
+
+// bottleneck resources are keyed as host ids for NICs and
+// uplinkKeyBase+rack for rack uplinks.
+const uplinkKeyBase = 1 << 20
+
+// bottlenecks returns the set of contended resources a placed job
+// occupies: its hosts' NICs always, plus the uplinks of racks its
+// traffic model actually charges.
+func (s *Scheduler) bottlenecks(pj *placedJob) map[int]bool {
+	set := make(map[int]bool, len(pj.hosts)+2)
+	for _, h := range pj.hosts {
+		set[h] = true
+	}
+	for r, l := range pj.load {
+		if l > 0 {
+			set[uplinkKeyBase+r] = true
+		}
+	}
+	return set
+}
+
+// interleave computes the CASSINI start-time shift for a just-admitted
+// job: every other active job sharing a bottleneck contributes a
+// PhaseJob weighted by the number of shared resources (the affinity
+// edge weight), with its measured period and last-progress anchor from
+// the Feedback collector when available and the analytic model
+// otherwise. The new job's burst is anchored at the end of its first
+// iteration's compute, which is where its communication would land if
+// started now.
+func (s *Scheduler) interleave(pj *placedJob, now float64) float64 {
+	mine := s.bottlenecks(pj)
+	var others []PhaseJob
+	ids := make([]int, 0, len(s.active))
+	for id := range s.active {
+		if id != pj.req.ID {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids) // deterministic accumulation order
+	for _, id := range ids {
+		o := s.active[id]
+		shared := 0
+		for b := range s.bottlenecks(o) {
+			if mine[b] {
+				shared++
+			}
+		}
+		if shared == 0 {
+			continue
+		}
+		period, anchor := o.period, o.start+o.period-o.burst
+		if s.cfg.Feedback != nil {
+			if p, ok := s.cfg.Feedback.Period(id); ok {
+				period = p
+				if at, ok := s.cfg.Feedback.LastProgressAt(id); ok {
+					// Progress fires at iteration end, i.e. the end of a
+					// burst: the burst occupies [at-burst, at) mod period.
+					anchor = at - o.burst
+				}
+			}
+		}
+		others = append(others, PhaseJob{
+			PeriodSec: period,
+			AnchorSec: anchor,
+			BurstSec:  o.burst,
+			Weight:    float64(shared),
+		})
+	}
+	return InterleaveShift(PhaseJob{
+		PeriodSec: pj.period,
+		AnchorSec: now + pj.period - pj.burst,
+		BurstSec:  pj.burst,
+	}, others, s.cfg.Slots)
+}

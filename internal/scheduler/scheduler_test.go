@@ -1,0 +1,329 @@
+package scheduler
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dl"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// testTopo is a 3-rack leaf-spine over 12 hosts (4 per rack).
+func testTopo() simnet.TopologyConfig {
+	return simnet.TopologyConfig{
+		Kind:             simnet.TopologyLeafSpine,
+		Racks:            3,
+		UplinksPerLeaf:   2,
+		Oversubscription: 2,
+	}
+}
+
+func newTestScheduler(t *testing.T, pol Policy) *Scheduler {
+	t.Helper()
+	s, err := New(Config{
+		Hosts:  12,
+		Topo:   testTopo(),
+		Policy: pol,
+		RNG:    sim.NewRNG(7),
+	})
+	if err != nil {
+		t.Fatalf("New(%s): %v", pol, err)
+	}
+	return s
+}
+
+func ringReq(id int, m dl.Model, ranks int) JobReq {
+	return JobReq{ID: id, Kind: KindCollective, Model: m, Tasks: ranks, LocalBatch: 1}
+}
+
+func psReq(id int, m dl.Model, workers int) JobReq {
+	return JobReq{ID: id, Kind: KindPS, Model: m, Tasks: workers, LocalBatch: 4}
+}
+
+func rackOf(h int) int { return testTopo().RackOfHost(h, 12) }
+
+func racksUsed(hosts []int) map[int]bool {
+	set := map[int]bool{}
+	for _, h := range hosts {
+		set[rackOf(h)] = true
+	}
+	return set
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(string(p))
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p, got, err)
+		}
+	}
+	if got, err := ParsePolicy(""); err != nil || got != PolicySpread {
+		t.Errorf("ParsePolicy(\"\") = %v, %v; want spread", got, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) should fail")
+	}
+}
+
+func TestPackStaysInFirstRack(t *testing.T) {
+	s := newTestScheduler(t, PolicyPack)
+	dec, err := s.Place(ringReq(1, dl.AlexNet, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range dec.Hosts {
+		if rackOf(h) != 0 {
+			t.Fatalf("pack placed host %d outside rack 0: %v", h, dec.Hosts)
+		}
+	}
+	// A second ring still packs into rack 0 (it has a free host slot).
+	dec2, err := s.Place(ringReq(2, dl.AlexNet, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := racksUsed(dec2.Hosts); len(got) != 1 || !got[0] {
+		t.Fatalf("pack's second ring left rack 0: %v", dec2.Hosts)
+	}
+}
+
+func TestSpreadCrossesRacks(t *testing.T) {
+	s := newTestScheduler(t, PolicySpread)
+	dec, err := s.Place(ringReq(1, dl.AlexNet, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := racksUsed(dec.Hosts); len(got) != 3 {
+		t.Fatalf("spread should hit all 3 racks, got %v", dec.Hosts)
+	}
+}
+
+func TestNetworkAwareBalancesRacks(t *testing.T) {
+	s := newTestScheduler(t, PolicyNetworkAware)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		dec, err := s.Place(ringReq(i+1, dl.AlexNet, 3), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		racks := racksUsed(dec.Hosts)
+		if len(racks) != 1 {
+			t.Fatalf("ring %d split across racks: %v", i, dec.Hosts)
+		}
+		for r := range racks {
+			if seen[r] {
+				t.Fatalf("ring %d landed on already-used rack %d", i, r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestContentionAwareKeepsRingsOffCore(t *testing.T) {
+	s := newTestScheduler(t, PolicyContentionAware)
+	for i := 0; i < 3; i++ {
+		dec, err := s.Place(ringReq(i+1, dl.AlexNet, 3), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := racksUsed(dec.Hosts); len(got) != 1 {
+			t.Fatalf("contention-aware split ring %d across racks: %v", i, dec.Hosts)
+		}
+		if dec.Score != 0 {
+			t.Fatalf("ring %d should add no modeled core load, score %g", i, dec.Score)
+		}
+	}
+	// Rack loads stay zero: every ring is intra-rack.
+	for r, l := range s.RackLoads() {
+		if l != 0 {
+			t.Fatalf("rack %d has modeled uplink load %g", r, l)
+		}
+	}
+}
+
+func TestContentionAwarePSChoosesQuietRack(t *testing.T) {
+	s := newTestScheduler(t, PolicyContentionAware)
+	// Fill racks 0 and 1 with intra-rack rings so their hosts are busy.
+	if _, err := s.Place(ringReq(1, dl.AlexNet, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(ringReq(2, dl.AlexNet, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A 3-worker PS job fits entirely in rack 2: contention-aware must
+	// find the zero-core-traffic placement there.
+	dec, err := s.Place(psReq(3, dl.ResNet56, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := racksUsed(dec.Hosts); len(got) != 1 || !got[2] {
+		t.Fatalf("PS job should land in idle rack 2, got %v", dec.Hosts)
+	}
+}
+
+func TestReleaseRestoresState(t *testing.T) {
+	s := newTestScheduler(t, PolicyContentionAware)
+	before := append([]int(nil), s.HostTasks()...)
+	dec, err := s.Place(psReq(1, dl.AlexNet, 6), 0) // must cross racks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Score <= 0 {
+		t.Fatalf("7-host PS job cannot avoid core traffic, score %g", dec.Score)
+	}
+	s.Release(1)
+	if !reflect.DeepEqual(before, s.HostTasks()) {
+		t.Fatalf("Release left host tasks %v, want %v", s.HostTasks(), before)
+	}
+	for r, l := range s.RackLoads() {
+		if l > 1e-9 || l < -1e-9 {
+			t.Fatalf("Release left rack %d load %g", r, l)
+		}
+	}
+	// Releasing twice (or an unknown id) is a no-op.
+	s.Release(1)
+	s.Release(99)
+}
+
+func TestPhaseAwareShiftsCollidingJob(t *testing.T) {
+	s := newTestScheduler(t, PolicyPhaseAware)
+	// Two PS jobs too big to fit in one rack: both charge the core, so
+	// the second shares bottleneck uplinks with the first and should be
+	// phase-shifted.
+	d1, err := s.Place(psReq(1, dl.AlexNet, 6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.ShiftSec != 0 {
+		t.Fatalf("first job should not shift, got %g", d1.ShiftSec)
+	}
+	d2, err := s.Place(psReq(2, dl.AlexNet, 6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ShiftSec <= 0 {
+		t.Fatalf("second colliding job should shift, got %g", d2.ShiftSec)
+	}
+	jobs, total := s.Shifts()
+	if jobs != 1 || total != d2.ShiftSec {
+		t.Fatalf("Shifts() = %d, %g; want 1, %g", jobs, total, d2.ShiftSec)
+	}
+}
+
+func TestPhaseAwareUsesFeedbackPeriod(t *testing.T) {
+	k := sim.NewKernel()
+	fb := policy.NewFeedback(k, policy.FeedbackConfig{})
+	s, err := New(Config{
+		Hosts: 12, Topo: testTopo(), Policy: PolicyPhaseAware, Feedback: fb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(psReq(1, dl.AlexNet, 6), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the collector a measured period for job 1 wildly different
+	// from the analytic one; the second job must still get a shift
+	// bounded by its own period.
+	fb.JobArrived(1)
+	k.Post(3.0, func() { fb.OnProgress(1, 1) })
+	k.Post(6.0, func() { fb.OnProgress(1, 2) })
+	// RunUntil, not Run: the collector's recurring sampling loop keeps
+	// the event queue non-empty forever.
+	k.RunUntil(7.0)
+	if p, ok := fb.Period(1); !ok || p < 2.99 || p > 3.01 {
+		t.Fatalf("Feedback period = %g, %v; want 3", p, ok)
+	}
+	d2, err := s.Place(psReq(2, dl.AlexNet, 6), k.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ShiftSec < 0 || d2.ShiftSec >= s.active[2].period {
+		t.Fatalf("shift %g outside [0, own period %g)", d2.ShiftSec, s.active[2].period)
+	}
+}
+
+func TestPlaceEmitsTraceEvents(t *testing.T) {
+	buf := &trace.Buffer{}
+	s, err := New(Config{
+		Hosts: 12, Topo: testTopo(), Policy: PolicyPhaseAware, Tracer: buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(psReq(1, dl.AlexNet, 6), 1.5); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Place(psReq(2, dl.AlexNet, 6), 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	places := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindSchedPlace })
+	if len(places) != 2 {
+		t.Fatalf("want 2 sched_place events, got %d", len(places))
+	}
+	if places[0].At != 1.5 || places[0].Job != 1 {
+		t.Fatalf("bad first place event: %+v", places[0])
+	}
+	shifts := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.KindSchedShift })
+	if d2.ShiftSec > 0 && (len(shifts) != 1 || shifts[0].Value != d2.ShiftSec) {
+		t.Fatalf("want 1 sched_shift with value %g, got %+v", d2.ShiftSec, shifts)
+	}
+}
+
+func TestRandomIsSeedDeterministic(t *testing.T) {
+	place := func() [][]int {
+		s, err := New(Config{
+			Hosts: 12, Topo: testTopo(), Policy: PolicyRandom, RNG: sim.NewRNG(42),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]int
+		for i := 0; i < 4; i++ {
+			dec, err := s.Place(ringReq(i+1, dl.ResNet50, 3), float64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, dec.Hosts)
+		}
+		return out
+	}
+	if a, b := place(), place(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("random placement not seed-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	s := newTestScheduler(t, PolicySpread)
+	if _, err := s.Place(ringReq(1, dl.AlexNet, 1), 0); err == nil {
+		t.Error("1-rank ring should fail")
+	}
+	if _, err := s.Place(ringReq(1, dl.AlexNet, 13), 0); err == nil {
+		t.Error("oversized ring should fail")
+	}
+	if _, err := s.Place(JobReq{ID: 1, Kind: KindCollective, Tasks: 3}, 0); err == nil {
+		t.Error("empty model should fail")
+	}
+	if _, err := s.Place(ringReq(1, dl.AlexNet, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(ringReq(1, dl.AlexNet, 3), 0); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if _, err := New(Config{Hosts: 0}); err == nil {
+		t.Error("New with 0 hosts should fail")
+	}
+	if _, err := New(Config{Hosts: 12, Policy: "bogus"}); err == nil {
+		t.Error("New with bogus policy should fail")
+	}
+	r, err := New(Config{Hosts: 12, Topo: testTopo(), Policy: PolicyRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Place(ringReq(1, dl.AlexNet, 3), 0); err == nil {
+		t.Error("random without RNG should fail")
+	}
+}

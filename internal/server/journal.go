@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	tensorlights "repro"
@@ -74,21 +75,21 @@ type Journal struct {
 	path string
 }
 
-// OpenJournal replays the journal at path (creating it if absent) and
-// opens it for appending. It returns the replayed records in append
-// order. An unterminated or unparseable final line — the signature of
-// a crash mid-append — is truncated away rather than failing recovery:
-// Append only acknowledges a record after writing record + newline and
-// fsyncing, so a torn tail was by construction never acknowledged.
-// Corruption anywhere earlier is an error, because silently skipping
-// acknowledged records would lose jobs.
-func OpenJournal(path string) (*Journal, []Record, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("server: read journal: %w", err)
-	}
-	var recs []Record
-	good := 0 // bytes of valid newline-terminated prefix
+// compactSuffix names the temporary file CompactJournal writes before
+// atomically renaming it over the journal. A stale one on disk means a
+// crash hit mid-compaction before the rename, so the original journal
+// is still authoritative and the temp is garbage.
+const compactSuffix = ".compact"
+
+// parseJournal decodes a journal byte image. It returns the records in
+// append order and the length of the valid newline-terminated prefix.
+// An unterminated or unparseable final line — the signature of a crash
+// mid-append — is dropped rather than failing recovery: Append only
+// acknowledges a record after writing record + newline and fsyncing,
+// so a torn tail was by construction never acknowledged. Corruption
+// anywhere earlier is an error, because silently skipping acknowledged
+// records would lose jobs.
+func parseJournal(path string, data []byte) (recs []Record, good int, err error) {
 	for off := 0; off < len(data); {
 		nl := bytes.IndexByte(data[off:], '\n')
 		if nl < 0 {
@@ -101,7 +102,7 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 			var r Record
 			if err := json.Unmarshal(line, &r); err != nil {
 				if len(bytes.TrimSpace(data[off+nl+1:])) > 0 {
-					return nil, nil, fmt.Errorf("server: journal %s corrupt mid-file at byte %d: %v", path, off, err)
+					return nil, 0, fmt.Errorf("server: journal %s corrupt mid-file at byte %d: %v", path, off, err)
 				}
 				break // corrupt final line: same torn-append case
 			}
@@ -109,6 +110,25 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 		}
 		off += nl + 1
 		good = off
+	}
+	return recs, good, nil
+}
+
+// OpenJournal replays the journal at path (creating it if absent) and
+// opens it for appending. It returns the replayed records in append
+// order, truncating a torn final line (see parseJournal) and removing
+// any compaction temp left by a crash mid-rotation.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	// A leftover temp means the compaction rename never happened; the
+	// original journal is complete and the temp is dead weight.
+	_ = os.Remove(path + compactSuffix)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("server: read journal: %w", err)
+	}
+	recs, good, err := parseJournal(path, data)
+	if err != nil {
+		return nil, nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -171,4 +191,112 @@ func (j *Journal) Close() error {
 	}
 	j.f = nil
 	return err
+}
+
+// CompactJournal rewrites the journal at path, dropping every record
+// that replay makes redundant. For a job with a terminal record only
+// the submitted record, the last running record (so attempt counts
+// survive) and the final terminal record are kept; for a job still in
+// flight only the submitted record is kept, because recovery resets
+// interrupted jobs to queued with a fresh attempt budget anyway. The
+// compacted log is therefore proportional to the job count, not the
+// attempt count.
+//
+// The rewrite is crash-safe at any byte: the new log is written to
+// path+".compact", fsynced, and renamed over the original in one
+// atomic step (with the directory synced after). A kill before the
+// rename leaves the untouched original plus a temp that OpenJournal
+// discards; a kill after leaves the complete compacted log. When
+// nothing would be dropped the journal is left alone.
+func CompactJournal(path string) (kept, dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("server: compact journal: %w", err)
+	}
+	recs, good, err := parseJournal(path, data)
+	if err != nil {
+		return 0, 0, err
+	}
+	type jobRecs struct {
+		submitted   *Record
+		lastRunning *Record
+		terminal    *Record
+	}
+	byID := map[string]*jobRecs{}
+	var order []string
+	for i := range recs {
+		r := &recs[i]
+		jr := byID[r.ID]
+		if jr == nil {
+			jr = &jobRecs{}
+			byID[r.ID] = jr
+			order = append(order, r.ID)
+		}
+		switch r.T {
+		case recSubmitted:
+			if jr.submitted == nil {
+				jr.submitted = r
+			}
+		case recRunning:
+			jr.lastRunning = r
+		case recDone, recFailed, recCancelled:
+			jr.terminal = r
+		}
+	}
+	var out []*Record
+	for _, id := range order {
+		jr := byID[id]
+		if jr.submitted == nil {
+			continue // orphan records for a job never submitted: drop
+		}
+		out = append(out, jr.submitted)
+		if jr.terminal != nil {
+			if jr.lastRunning != nil {
+				out = append(out, jr.lastRunning)
+			}
+			out = append(out, jr.terminal)
+		}
+	}
+	kept = len(out)
+	dropped = len(recs) - kept
+	if dropped == 0 && good == len(data) {
+		return kept, 0, nil
+	}
+
+	tmp := path + compactSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, 0, fmt.Errorf("server: compact journal: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for _, r := range out {
+		if err := enc.Encode(r); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return 0, 0, fmt.Errorf("server: compact journal: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("server: compact journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("server: compact journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("server: compact journal: %w", err)
+	}
+	// Sync the directory so the rename itself survives a power cut;
+	// best-effort, as some filesystems refuse directory fsync.
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return kept, dropped, nil
 }

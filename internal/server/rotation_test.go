@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	tensorlights "repro"
+)
+
+func journalLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Count(data, []byte("\n"))
+}
+
+// TestCompactJournalDropsRedundantRecords exercises CompactJournal
+// directly on a hand-built log: a done job keeps submitted + last
+// running + done, an in-flight job keeps only submitted, and a second
+// pass is a no-op.
+func TestCompactJournalDropsRedundantRecords(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := expCfg(9)
+	must := func(r Record) {
+		t.Helper()
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Record{T: recSubmitted, ID: "j000000", Hash: "aaa", Config: &cfg})
+	must(Record{T: recRunning, ID: "j000000", Attempt: 1})
+	must(Record{T: recRunning, ID: "j000000", Attempt: 2})
+	must(Record{T: recDone, ID: "j000000", Result: &tensorlights.Result{AvgJCT: 7}})
+	must(Record{T: recSubmitted, ID: "j000001", Hash: "bbb", Config: &cfg})
+	must(Record{T: recRunning, ID: "j000001", Attempt: 1})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kept, dropped, err := CompactJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 4 || dropped != 2 {
+		t.Fatalf("kept %d dropped %d, want 4/2", kept, dropped)
+	}
+	_, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for _, r := range recs {
+		types = append(types, r.T+":"+r.ID)
+	}
+	want := []string{
+		"submitted:j000000", "running:j000000", "done:j000000",
+		"submitted:j000001",
+	}
+	if len(types) != len(want) {
+		t.Fatalf("compacted journal holds %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("compacted journal holds %v, want %v", types, want)
+		}
+	}
+	if recs[1].Attempt != 2 {
+		t.Fatalf("last running record should survive (attempt 2), got %+v", recs[1])
+	}
+	if recs[2].Result == nil || recs[2].Result.AvgJCT != 7 {
+		t.Fatalf("done record lost its result: %+v", recs[2])
+	}
+
+	// Idempotent: a second pass finds nothing to drop and rewrites
+	// nothing.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dropped, err := CompactJournal(path); err != nil || dropped != 0 {
+		t.Fatalf("second compaction: dropped %d, err %v", dropped, err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("no-op compaction rewrote the journal")
+	}
+}
+
+// TestCompactionOnStartupPreservesState runs real jobs through the
+// daemon (including a retried failure), restarts it, and checks that
+// the startup compaction shrinks the journal without changing any
+// replayed state: terminal outcomes, attempt counts, and the dedup
+// cache all survive.
+func TestCompactionOnStartupPreservesState(t *testing.T) {
+	cfg := testConfig(t)
+	boom := errors.New("boom")
+	cfg.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		if c.Seed == 99 {
+			return nil, boom
+		}
+		return &tensorlights.Result{AvgJCT: float64(c.Seed)}, nil
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ok1, err := s.Submit(expCfg(1), 0, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Submit(expCfg(99), 0, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, ok1.ID); st.State != JobDone {
+		t.Fatalf("job 1 settled as %+v", st)
+	}
+	failed := waitTerminal(t, s, bad.ID)
+	if failed.State != JobFailed || failed.Attempts != 3 {
+		t.Fatalf("failing job settled as %+v", failed)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	before := journalLines(t, cfg.JournalPath)
+	s2, err := New(cfg) // compacts on startup
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Kill()
+	after := journalLines(t, cfg.JournalPath)
+	// 2 submitted + 1+3 running + 2 terminal = 8 before; the failed
+	// job's first two attempts are redundant, so 6 after.
+	if after >= before {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d lines", before, after)
+	}
+	st1, err := s2.Status(ok1.ID)
+	if err != nil || st1.State != JobDone || st1.Result == nil || st1.Result.AvgJCT != 1 {
+		t.Fatalf("done job lost state across compaction: %+v (%v)", st1, err)
+	}
+	st99, err := s2.Status(bad.ID)
+	if err != nil || st99.State != JobFailed || st99.Attempts != 3 || st99.Error == "" {
+		t.Fatalf("failed job lost state across compaction: %+v (%v)", st99, err)
+	}
+	// The dedup cache was rebuilt from the compacted log.
+	dup, err := s2.Submit(expCfg(1), 0, "c")
+	if err != nil || !dup.Deduped || dup.Result == nil || dup.Result.AvgJCT != 1 {
+		t.Fatalf("resubmission not served from cache: %+v (%v)", dup, err)
+	}
+}
+
+// TestCompactionCrashMidRotateRecovers simulates a kill in the middle
+// of a rotation: a partial compaction temp is on disk, the rename
+// never happened. The next startup must treat the original journal as
+// authoritative, discard the temp, and re-run the interrupted job.
+func TestCompactionCrashMidRotateRecovers(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := expCfg(5)
+	for _, r := range []Record{
+		{T: recSubmitted, ID: "j000000", Hash: "aaa", Config: &cfg},
+		{T: recRunning, ID: "j000000", Attempt: 1},
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash left a torn, half-written temp behind.
+	if err := os.WriteFile(path+compactSuffix, []byte(`{"t":"submi`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := testConfig(t)
+	sc.JournalPath = path
+	ran := make(chan int64, 1)
+	sc.Runner = func(ctx context.Context, c tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
+		ran <- c.Seed
+		return &tensorlights.Result{AvgJCT: float64(c.Seed)}, nil
+	}
+	s, err := New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+	if _, err := os.Stat(path + compactSuffix); !os.IsNotExist(err) {
+		t.Fatalf("stale compaction temp not cleaned up: %v", err)
+	}
+	s.Start()
+	if st := waitTerminal(t, s, "j000000"); st.State != JobDone || st.Result.AvgJCT != 5 {
+		t.Fatalf("interrupted job not recovered: %+v", st)
+	}
+	if seed := <-ran; seed != 5 {
+		t.Fatalf("recovered job ran with seed %d, want 5", seed)
+	}
+}

@@ -47,6 +47,12 @@ type Config struct {
 	// Parallelism is the sweep-engine parallelism handed to each job's
 	// experiment (0 = GOMAXPROCS). Jobs themselves run Workers-wide.
 	Parallelism int
+	// QueuePolicy orders the admission queue: QueueFIFO (default) runs
+	// jobs in submission order; QueueSRSF runs the job with the
+	// smallest expected remaining work first (estimated from the
+	// submitted config: steps x jobs x model update bytes), which
+	// keeps short experiments from stalling behind long ones.
+	QueuePolicy string
 	// Runner executes one experiment; tests substitute fakes. Defaults
 	// to tensorlights.RunExperimentContext.
 	Runner func(ctx context.Context, cfg tensorlights.ExperimentConfig) (*tensorlights.Result, error)
@@ -77,6 +83,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 15 * time.Minute
+	}
+	if c.QueuePolicy == "" {
+		c.QueuePolicy = QueueFIFO
 	}
 	if c.Runner == nil {
 		c.Runner = func(ctx context.Context, cfg tensorlights.ExperimentConfig) (*tensorlights.Result, error) {
@@ -114,6 +123,7 @@ type job struct {
 	hash       string
 	cfg        tensorlights.ExperimentConfig
 	timeoutSec float64
+	work       float64 // expected work estimate, the SRSF ranking key
 
 	// Guarded by Server.mu.
 	state     JobState
@@ -178,12 +188,15 @@ type Server struct {
 	order    []string          // submission order, for listing and recovery
 	byHash   map[string]string // config hash → most recent job id
 	cache    map[string]*tensorlights.Result
-	queued   int // jobs admitted but not yet picked up by a worker
+	pending  []*job // admitted, not yet picked; ordered per QueuePolicy by dequeue
+	queued   int    // jobs admitted but not yet picked up by a worker
 	nextID   int
 	draining bool
 	closed   bool // queue channel closed
 
-	queue   chan *job
+	// queue carries one wake token per pending job; the job itself
+	// lives in s.pending so dequeue can reorder it per QueuePolicy.
+	queue   chan struct{}
 	workers sync.WaitGroup
 
 	startOnce  sync.Once
@@ -217,6 +230,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.JournalPath == "" {
 		return nil, errors.New("server: Config.JournalPath is required")
 	}
+	if cfg.QueuePolicy != QueueFIFO && cfg.QueuePolicy != QueueSRSF {
+		return nil, fmt.Errorf("server: unknown queue policy %q (want %s or %s)",
+			cfg.QueuePolicy, QueueFIFO, QueueSRSF)
+	}
+	// Rotate the journal before replaying it: records that a terminal
+	// state makes redundant are dropped, so the log stays proportional
+	// to the job count rather than the attempt count. Crash-safe — see
+	// CompactJournal.
+	if kept, dropped, err := CompactJournal(cfg.JournalPath); err != nil {
+		return nil, err
+	} else if dropped > 0 {
+		cfg.Logf("tlsimd: compacted journal %s: kept %d record(s), dropped %d", cfg.JournalPath, kept, dropped)
+	}
 	journal, recs, err := OpenJournal(cfg.JournalPath)
 	if err != nil {
 		return nil, err
@@ -243,6 +269,7 @@ func New(cfg Config) (*Server, error) {
 			}
 			j := &job{
 				id: r.ID, hash: r.Hash, cfg: *r.Config, timeoutSec: r.TimeoutSec,
+				work:  expectedWorkBytes(*r.Config),
 				state: JobQueued, done: make(chan struct{}),
 			}
 			s.jobs[r.ID] = j
@@ -299,9 +326,10 @@ func New(cfg Config) (*Server, error) {
 	if len(interrupted) > depth {
 		depth = len(interrupted)
 	}
-	s.queue = make(chan *job, depth)
+	s.queue = make(chan struct{}, depth)
 	for _, j := range interrupted {
-		s.queue <- j
+		s.pending = append(s.pending, j)
+		s.queue <- struct{}{}
 		s.queued++
 		s.met.recovered.Inc()
 	}
@@ -350,7 +378,11 @@ func (s *Server) Start() {
 			s.workers.Add(1)
 			go func() {
 				defer s.workers.Done()
-				for j := range s.queue {
+				for range s.queue {
+					j := s.dequeue()
+					if j == nil {
+						continue
+					}
 					if s.baseCtx.Err() != nil {
 						// Killed: leave the job queued in the journal;
 						// the next start re-runs it.
@@ -429,6 +461,7 @@ func (s *Server) Submit(cfg tensorlights.ExperimentConfig, timeoutSec float64, c
 		hash:       hash,
 		cfg:        cfg,
 		timeoutSec: timeoutSec,
+		work:       expectedWorkBytes(cfg),
 		state:      JobQueued,
 		done:       make(chan struct{}),
 	}
@@ -443,9 +476,10 @@ func (s *Server) Submit(cfg tensorlights.ExperimentConfig, timeoutSec float64, c
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.byHash[hash] = j.id
+	s.pending = append(s.pending, j)
 	s.queued++
 	s.met.submitted.Inc()
-	s.queue <- j // never blocks: queued < QueueDepth <= cap(queue)
+	s.queue <- struct{}{} // never blocks: queued < QueueDepth <= cap(queue)
 	return s.statusLocked(j, false), nil
 }
 

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BenchRun is one dated benchmark snapshot in the BENCH_sweep.json
+// history. GitSHA and Date identify when the snapshot was taken; both
+// are best-effort (empty for runs migrated from the legacy
+// single-report format or taken outside a git checkout).
+type BenchRun struct {
+	GitSHA string       `json:"git_sha,omitempty"`
+	Date   string       `json:"date,omitempty"` // YYYY-MM-DD, UTC
+	Report *BenchReport `json:"report"`
+}
+
+// BenchHistory is the append-only run log persisted to
+// BENCH_sweep.json, newest run last. Keeping every run in one file
+// gives performance work a trajectory: each bench invocation appends
+// and diffs itself against the previous entry.
+type BenchHistory struct {
+	Runs []BenchRun `json:"runs"`
+}
+
+// LoadBenchHistory parses a BENCH_sweep.json payload. Both layouts are
+// accepted: the current {"runs": [...]} history, and the legacy file
+// that held a single bare BenchReport object, which is migrated to a
+// one-entry history with no sha/date. Empty input yields an empty
+// history.
+func LoadBenchHistory(r io.Reader) (*BenchHistory, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: bench history: %w", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return &BenchHistory{}, nil
+	}
+	var h BenchHistory
+	if err := json.Unmarshal(data, &h); err == nil && h.Runs != nil {
+		return &h, nil
+	}
+	var legacy BenchReport
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return nil, fmt.Errorf("sweep: bench history: unrecognized JSON: %w", err)
+	}
+	if legacy.Trials == 0 && legacy.Events == 0 {
+		// An object that is neither a history nor a plausible report
+		// (e.g. {}): start fresh rather than carry a zero entry.
+		return &BenchHistory{}, nil
+	}
+	return &BenchHistory{Runs: []BenchRun{{Report: &legacy}}}, nil
+}
+
+// Append adds a run to the end of the history.
+func (h *BenchHistory) Append(run BenchRun) {
+	h.Runs = append(h.Runs, run)
+}
+
+// Last returns the newest run, or nil for an empty history.
+func (h *BenchHistory) Last() *BenchRun {
+	if len(h.Runs) == 0 {
+		return nil
+	}
+	return &h.Runs[len(h.Runs)-1]
+}
+
+// Regressions compares the newest run against the one before it and
+// reports every metric that moved the wrong way by more than tol (a
+// fraction: 0.25 flags a >25% move). Throughput regresses by falling;
+// per-event and per-chunk costs regress by rising. When the two runs
+// used different sizing (steps/trials/parallelism), wall-clock
+// throughput is not comparable and only the per-unit kernel and fabric
+// costs are checked.
+func (h *BenchHistory) Regressions(tol float64) []string {
+	if len(h.Runs) < 2 {
+		return nil
+	}
+	was, now := h.Runs[len(h.Runs)-2].Report, h.Runs[len(h.Runs)-1].Report
+	if was == nil || now == nil {
+		return nil
+	}
+	var out []string
+	costRose := func(name string, old, cur float64) {
+		if old > 0 && cur > old*(1+tol) {
+			out = append(out, fmt.Sprintf("%s rose %.0f%% (%.2f -> %.2f)",
+				name, 100*(cur/old-1), old, cur))
+		}
+	}
+	rateFell := func(name string, old, cur float64) {
+		if old > 0 && cur < old*(1-tol) {
+			out = append(out, fmt.Sprintf("%s fell %.0f%% (%.2f -> %.2f)",
+				name, 100*(1-cur/old), old, cur))
+		}
+	}
+	sameShape := was.Steps == now.Steps && was.Trials == now.Trials &&
+		was.Parallelism == now.Parallelism
+	if sameShape {
+		rateFell("trials/sec (sequential)", was.TrialsPerSecSequential, now.TrialsPerSecSequential)
+		rateFell("trials/sec (parallel)", was.TrialsPerSecParallel, now.TrialsPerSecParallel)
+	}
+	costRose("ns/event", was.NsPerEvent, now.NsPerEvent)
+	costRose("allocs/event", was.AllocsPerEvent, now.AllocsPerEvent)
+	costRose("fabric ns/chunk", was.FabricNsPerChunk, now.FabricNsPerChunk)
+	return out
+}
+
+// WriteJSON writes the history as indented JSON.
+func (h *BenchHistory) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func benchReport(nsPerEvent float64) *BenchReport {
+	return &BenchReport{
+		GOMAXPROCS: 8, Parallelism: 4, Trials: 8, Steps: 600, Seed: 1,
+		SequentialSec: 4, ParallelSec: 1.2,
+		TrialsPerSecSequential: 2, TrialsPerSecParallel: 6.7, Speedup: 3.3,
+		Events: 1e6, NsPerEvent: nsPerEvent, AllocsPerEvent: 0.01,
+		FabricChunks: 8192, FabricNsPerChunk: 400,
+	}
+}
+
+func TestBenchHistoryRoundTrip(t *testing.T) {
+	h := &BenchHistory{}
+	h.Append(BenchRun{GitSHA: "abc1234", Date: "2026-08-01", Report: benchReport(250)})
+	h.Append(BenchRun{GitSHA: "def5678", Date: "2026-08-08", Report: benchReport(260)})
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 2 {
+		t.Fatalf("want 2 runs after round trip, got %d", len(got.Runs))
+	}
+	if got.Last().GitSHA != "def5678" || got.Last().Report.NsPerEvent != 260 {
+		t.Fatalf("last run corrupted: %+v", got.Last())
+	}
+}
+
+func TestBenchHistoryMigratesLegacyReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := benchReport(250).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadBenchHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Runs) != 1 {
+		t.Fatalf("legacy report should migrate to 1 run, got %d", len(h.Runs))
+	}
+	if h.Runs[0].GitSHA != "" || h.Runs[0].Date != "" {
+		t.Fatalf("migrated run should have no sha/date: %+v", h.Runs[0])
+	}
+	if h.Runs[0].Report == nil || h.Runs[0].Report.Trials != 8 {
+		t.Fatalf("migrated report lost fields: %+v", h.Runs[0].Report)
+	}
+}
+
+func TestBenchHistoryEmptyAndGarbageInput(t *testing.T) {
+	h, err := LoadBenchHistory(strings.NewReader(""))
+	if err != nil || len(h.Runs) != 0 {
+		t.Fatalf("empty input: got %v, %d runs", err, len(h.Runs))
+	}
+	h, err = LoadBenchHistory(strings.NewReader("{}"))
+	if err != nil || len(h.Runs) != 0 {
+		t.Fatalf("empty object: got %v, %d runs", err, len(h.Runs))
+	}
+	if _, err := LoadBenchHistory(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input should fail to load")
+	}
+}
+
+func TestBenchHistoryRegressions(t *testing.T) {
+	h := &BenchHistory{}
+	h.Append(BenchRun{Report: benchReport(250)})
+	if regs := h.Regressions(0.25); regs != nil {
+		t.Fatalf("single run cannot regress: %v", regs)
+	}
+
+	// Within tolerance: no flags.
+	h.Append(BenchRun{Report: benchReport(280)})
+	if regs := h.Regressions(0.25); len(regs) != 0 {
+		t.Fatalf("12%% ns/event rise should pass at 25%% tolerance: %v", regs)
+	}
+
+	// Kernel cost doubles and parallel throughput halves: both flagged.
+	bad := benchReport(500)
+	bad.TrialsPerSecParallel = 3
+	h.Append(BenchRun{Report: bad})
+	regs := h.Regressions(0.25)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	if !strings.Contains(joined, "ns/event") || !strings.Contains(joined, "trials/sec (parallel)") {
+		t.Fatalf("unexpected regression set: %v", regs)
+	}
+
+	// Different sizing: throughput is incomparable, only per-unit costs count.
+	resized := benchReport(500)
+	resized.Steps = 1200
+	resized.TrialsPerSecParallel = 1
+	h.Append(BenchRun{Report: resized})
+	if regs := h.Regressions(0.25); len(regs) != 0 {
+		t.Fatalf("resized run should not flag throughput: %v", regs)
+	}
+}

@@ -47,6 +47,7 @@ func TestSweepsDeterministicSequentialVsParallel(t *testing.T) {
 		{"collective", func(o Options) (csvResult, error) { return Collective(o) }},
 		{"policy", func(o Options) (csvResult, error) { return PolicySweep(o) }},
 		{"topology", func(o Options) (csvResult, error) { return TopologySweep(o) }},
+		{"scheduler", func(o Options) (csvResult, error) { return SchedulerSweep(o) }},
 	}
 	for _, s := range sweeps {
 		s := s

@@ -184,6 +184,19 @@ func (r *TopologyResult) WriteCSV(w io.Writer) error {
 	return c.err
 }
 
+// WriteCSV exports the scheduler sweep's grid rows.
+func (r *SchedulerResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("oversub", "placement", "policy", "avg_jct_s", "p95_jct_s",
+		"cross_rack_ratio", "max_link_util", "shifted_jobs", "total_shift_s", "reconfigs")
+	for _, row := range r.Rows {
+		c.row(row.Oversub, row.Placement, row.Policy, row.AvgJCT, row.P95JCT,
+			row.CrossRackRatio, row.MaxLinkUtil, row.ShiftedJobs,
+			row.TotalShiftSec, row.Reconfigs)
+	}
+	return c.err
+}
+
 // WriteCSV exports Table II's normalized utilization rows.
 func (r *TableIIResult) WriteCSV(w io.Writer) error {
 	c := &csvWriter{w: w}

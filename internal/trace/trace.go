@@ -62,6 +62,15 @@ const (
 	// Value = busy fraction since the previous sample, Detail = link
 	// name), emitted when a UtilizationSampler has a Tracer attached.
 	KindLinkUtil Kind = "link_util"
+
+	// Cluster-scheduler kinds (see internal/scheduler). sched_place
+	// records one placement decision (Job = job id, Host = first placed
+	// host, Value = the decision's expected-contention score, Detail =
+	// policy and host list); sched_shift records one phase-interleaving
+	// time shift (Value = the shift in seconds, Detail = the period and
+	// burst the shift was derived from).
+	KindSchedPlace Kind = "sched_place"
+	KindSchedShift Kind = "sched_shift"
 )
 
 // allKinds is the registry of every event kind the simulation layers
@@ -79,6 +88,7 @@ var allKinds = []Kind{
 	KindRingStep, KindBucketDone, KindRingStall,
 	KindPolicyRank, KindFeedbackSample,
 	KindLinkUtil,
+	KindSchedPlace, KindSchedShift,
 }
 
 // Kinds returns every registered event kind, in registration order.

@@ -35,6 +35,7 @@ import (
 	"repro/internal/dl"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/scheduler"
 	"repro/internal/simnet"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -174,6 +175,30 @@ type ExperimentConfig struct {
 	// NumJobs > 0 the PS and collective workloads share hosts and
 	// TensorLights schedules both uniformly.
 	Collective *CollectiveConfig
+	// Scheduler, when non-nil, replaces the static grid workload with
+	// the online cluster-scheduler experiment: Poisson arrivals of
+	// mixed PS + all-reduce jobs on an oversubscribed leaf-spine
+	// fabric, placed per arrival by the cluster-scheduler tier
+	// (internal/scheduler) under the configured end-host Policy. The
+	// placement-related fields above (PlacementIndex, Placement,
+	// Topology, Racks, PlacementStrategy, Collective) are ignored —
+	// the scheduler tier owns placement.
+	Scheduler *SchedulerConfig
+}
+
+// SchedulerConfig describes the online cluster-scheduler experiment.
+type SchedulerConfig struct {
+	// Placement names the cluster-scheduler placement policy: random,
+	// pack, spread, network-aware, contention-aware or phase-aware
+	// (default contention-aware).
+	Placement string
+	// Oversubscription is the leaf-spine core oversubscription ratio
+	// (default 2).
+	Oversubscription float64
+	// Jobs is the number of arrivals (default 9).
+	Jobs int
+	// ArrivalRatePerSec is the Poisson arrival rate (default 1/s).
+	ArrivalRatePerSec float64
 }
 
 // CollectiveJobIDBase is the ID of the first collective job: ring i is
@@ -332,6 +357,9 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 // written, preceded by a "# partial trace" comment line so a truncated
 // dump can never be mistaken for a complete run.
 func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*Result, error) {
+	if cfg.Scheduler != nil {
+		return runSchedulerExperiment(ctx, cfg)
+	}
 	rc, err := toRunConfig(cfg)
 	if err != nil {
 		return nil, err
@@ -382,6 +410,52 @@ func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*Result, e
 		})
 	}
 	return out, nil
+}
+
+// runSchedulerExperiment maps an ExperimentConfig with Scheduler set
+// onto one online cluster-scheduler trial.
+func runSchedulerExperiment(ctx context.Context, cfg ExperimentConfig) (*Result, error) {
+	place, err := scheduler.ParsePolicy(cfg.Scheduler.Placement)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scheduler.Placement == "" {
+		place = scheduler.PolicyContentionAware
+	}
+	tc := sweep.SchedulerTrialConfig{
+		Steps:             cfg.Steps,
+		Seed:              cfg.Seed,
+		Oversub:           cfg.Scheduler.Oversubscription,
+		Placement:         place,
+		PolicyName:        cfg.Policy.String(),
+		Jobs:              cfg.Scheduler.Jobs,
+		ArrivalRatePerSec: cfg.Scheduler.ArrivalRatePerSec,
+	}
+	var buf *trace.Buffer
+	if cfg.TraceCSV != nil {
+		buf = &trace.Buffer{}
+		tc.Tracer = buf
+	}
+	res, err := sweep.SchedulerTrial(ctx, tc)
+	if err != nil {
+		if buf != nil && ctx.Err() != nil {
+			fmt.Fprintf(cfg.TraceCSV, "# partial trace: experiment cancelled before completion (%v)\n", ctx.Err())
+			_ = buf.WriteCSV(cfg.TraceCSV)
+		}
+		return nil, err
+	}
+	if buf != nil {
+		if err := buf.WriteCSV(cfg.TraceCSV); err != nil {
+			return nil, fmt.Errorf("tensorlights: trace dump: %w", err)
+		}
+	}
+	return &Result{
+		JCTs:               res.JCTs,
+		AvgJCT:             res.AvgJCT,
+		SimulatedSeconds:   res.MakespanSec,
+		Events:             res.Events,
+		TcReconfigurations: res.Reconfigs,
+	}, nil
 }
 
 func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
@@ -656,6 +730,22 @@ func ReproducePolicyComparison(o ReproOptions) (string, error) {
 // single-switch testbed cannot explore.
 func ReproduceTopology(o ReproOptions) (string, error) {
 	r, err := sweep.TopologySweep(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceScheduler runs the cluster-scheduler experiment: an online
+// stream of mixed PS + all-reduce arrivals on an oversubscribed
+// leaf-spine fabric, swept across cluster-scheduler placement policies
+// (random, pack, spread, network-aware, contention-aware, phase-aware)
+// crossed with end-host TensorLights policies, reporting per-cell
+// avg/p95 JCT, cross-rack traffic, phase shifts and the headline
+// spread-vs-smart placement gaps — how much of the contention fight a
+// smarter cluster tier wins before the end-host bands see a packet.
+func ReproduceScheduler(o ReproOptions) (string, error) {
+	r, err := sweep.SchedulerSweep(o.sweep())
 	if err != nil {
 		return "", err
 	}

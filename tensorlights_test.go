@@ -452,3 +452,58 @@ func TestReproduceCollectiveSmall(t *testing.T) {
 		}
 	}
 }
+
+func TestRunExperimentScheduler(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Policy: TLsRR,
+		Steps:  300,
+		Seed:   42,
+		Scheduler: &SchedulerConfig{
+			Placement:        "phase-aware",
+			Oversubscription: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JCTs) != 9 || res.AvgJCT <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Events == 0 || res.SimulatedSeconds <= 0 {
+		t.Fatal("bookkeeping")
+	}
+	// Trace export includes the scheduler's placement decisions.
+	var buf strings.Builder
+	_, err = RunExperiment(ExperimentConfig{
+		Policy: FIFO, Steps: 300, Seed: 42,
+		Scheduler: &SchedulerConfig{Placement: "contention-aware"},
+		TraceCSV:  &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sched_place") {
+		t.Fatal("trace CSV missing sched_place events")
+	}
+	// Unknown placement policy fails early.
+	if _, err := RunExperiment(ExperimentConfig{
+		Steps: 300, Scheduler: &SchedulerConfig{Placement: "bogus"},
+	}); err == nil {
+		t.Fatal("bogus placement should fail")
+	}
+}
+
+func TestReproduceSchedulerSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 36-trial scheduler grid")
+	}
+	out, err := ReproduceScheduler(ReproOptions{Steps: 300, Seed: 42, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"contention-aware", "phase-aware", "spread", "naive spread avg JCT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ReproduceScheduler output missing %q:\n%s", want, out)
+		}
+	}
+}
