@@ -21,8 +21,10 @@ staticcheck:
 	fi
 
 # Race-detect the whole module: psrpc runs real goroutines and sockets,
-# and sweep's parallel Engine drives concurrent simulations (now
-# including the collective workload), so nothing is exempt.
+# sweep's parallel Engine drives concurrent simulations (now including
+# the collective workload), and the sharded engine runs one simulation's
+# shards on parallel goroutines (sim.ShardedKernel, sweep.RunSharded and
+# their stress tests), so nothing is exempt.
 race:
 	$(GO) test -race ./...
 

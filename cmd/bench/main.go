@@ -109,6 +109,10 @@ func main() {
 		rep.Events, rep.NsPerEvent, rep.AllocsPerEvent)
 	fmt.Printf("  fabric: %d chunks through a contended leaf-spine core link, %.0f ns/chunk\n",
 		rep.FabricChunks, rep.FabricNsPerChunk)
+	for _, p := range rep.ShardScale {
+		fmt.Printf("  sharded engine: %d shards @ GOMAXPROCS=%d: %.2fs (%.2fx vs 1 shard)\n",
+			p.Shards, p.Procs, p.WallSec, p.Speedup)
+	}
 	fmt.Printf("run %d appended to %s\n", len(hist.Runs), *out)
 	if len(hist.Runs) > 1 {
 		prev := hist.Runs[len(hist.Runs)-2]

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/dl"
+	"repro/internal/simnet"
+)
+
+// ShardStableSpecs builds a grid-search-style workload whose jobs are
+// each confined to one shard of the given plan: job j runs entirely —
+// PS and workers — on the hosts of shard j mod NumShards, with the PS
+// rotating over the shard's hosts as jobs stack up. Under such a
+// placement every byte of cluster traffic stays inside one shard, so a
+// sharded engine can simulate each shard's jobs on its own kernel and
+// merge results without any cross-shard traffic (the fabric-level
+// cross-shard handoff is still exercised by simnet's own tests).
+//
+// The spec list is identical for every shard count that yields the
+// same plan host blocks — callers comparing shardings must derive the
+// specs from one canonical plan (see sweep.RunSharded).
+func ShardStableSpecs(cfg Config, plan *simnet.ShardPlan, m dl.Model, numJobs, localBatch, targetSteps int) ([]dl.JobSpec, error) {
+	cfg.fillDefaults()
+	n := plan.NumShards()
+	shardHosts := make([][]int, n)
+	for h := 0; h < cfg.Hosts; h++ {
+		s := plan.HostShard(h)
+		shardHosts[s] = append(shardHosts[s], h)
+	}
+	for s, hosts := range shardHosts {
+		if len(hosts) < 2 {
+			return nil, fmt.Errorf("cluster: shard %d has %d hosts; need >= 2 (PS + worker)", s, len(hosts))
+		}
+	}
+	specs := make([]dl.JobSpec, numJobs)
+	for id := 0; id < numJobs; id++ {
+		hosts := shardHosts[id%n]
+		ps := hosts[(id/n)%len(hosts)]
+		var workers []int
+		for _, h := range hosts {
+			if h != ps {
+				workers = append(workers, h)
+			}
+		}
+		specs[id] = dl.JobSpec{
+			ID:                id,
+			Name:              fmt.Sprintf("grid-%02d", id),
+			Model:             m,
+			NumWorkers:        len(workers),
+			LocalBatch:        localBatch,
+			TargetGlobalSteps: targetSteps,
+			PSHost:            ps,
+			PSPort:            5000 + id,
+			WorkerHosts:       workers,
+		}
+	}
+	return specs, nil
+}
+
+// SpecShard returns the shard a spec's hosts live on under the plan, or
+// an error if the spec straddles shards (not shard-stable).
+func SpecShard(spec dl.JobSpec, plan *simnet.ShardPlan) (int, error) {
+	s := plan.HostShard(spec.PSHost)
+	for _, h := range spec.WorkerHosts {
+		if plan.HostShard(h) != s {
+			return 0, fmt.Errorf("cluster: job %d straddles shards %d and %d (host %d)",
+				spec.ID, s, plan.HostShard(h), h)
+		}
+	}
+	return s, nil
+}
+
+// CollectiveShard returns the shard a collective ring lives on, or an
+// error if its hosts straddle shards.
+func CollectiveShard(id int, hosts []int, plan *simnet.ShardPlan) (int, error) {
+	if len(hosts) == 0 {
+		return 0, fmt.Errorf("cluster: collective job %d has no hosts", id)
+	}
+	s := plan.HostShard(hosts[0])
+	for _, h := range hosts[1:] {
+		if plan.HostShard(h) != s {
+			return 0, fmt.Errorf("cluster: collective job %d straddles shards %d and %d (host %d)",
+				id, s, plan.HostShard(h), h)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ShardedKernel runs one simulation partitioned across several event
+// kernels ("shards") under conservative synchronization. All shards
+// advance in lockstep windows [t0, t0+L) where t0 is the global minimum
+// next-event time and L is the lookahead — the minimum latency any
+// cross-shard interaction can have. Within a window every shard may
+// execute independently (in parallel or sequentially, identically):
+// an event at time t < t0+L can only produce cross-shard effects at
+// t+L >= t0+L, i.e. in a later window. Cross-shard messages are
+// buffered per source shard during the window and delivered at the
+// window barrier in a deterministic global order, so the engine's
+// results are byte-identical whatever the shard goroutine interleaving.
+//
+// The determinism contract is conditional on the model: shards must
+// share no mutable state and no RNG stream, and every cross-shard
+// interaction must go through Send with a delay of at least the
+// lookahead. Under those conditions an N-shard run executes exactly
+// the events a 1-shard run of the same per-shard model would, in an
+// order that preserves each shard's internal (time, priority, seq)
+// sequence.
+type ShardedKernel struct {
+	shards    []*Kernel
+	lookahead Time
+	parallel  bool
+
+	// outbox[src] buffers cross-shard messages sent while shard src
+	// executes a window. Only shard src's goroutine appends to
+	// outbox[src], so the slices need no locking; the barrier drains
+	// them single-threaded.
+	outbox [][]xmsg
+
+	// windowEnd is the end of the window currently executing; it is
+	// written only between windows, so in-window readers (Send's
+	// conservative assertion) race with nothing.
+	windowEnd Time
+	windows   uint64
+
+	// MaxEvents caps the total events fired across all shards in one
+	// Run (0 = no cap), mirroring Kernel.MaxEvents for the whole
+	// partitioned simulation.
+	MaxEvents uint64
+
+	// WindowHook, when non-nil, is called at the start of every window
+	// with its bounds — single-threaded, between windows. Tests use it
+	// to observe window advancement.
+	WindowHook func(start, end Time)
+}
+
+// xmsg is one buffered cross-shard message.
+type xmsg struct {
+	src  int
+	dst  int
+	at   Time
+	prio int
+	seq  int // append order within the source shard's window outbox
+	fn   func()
+}
+
+// NewShardedKernel creates n fresh kernels coupled by the given
+// lookahead (seconds; must be positive — a zero lookahead admits no
+// conservative window). parallel selects goroutine-per-shard window
+// execution; false runs shards sequentially, with identical results.
+func NewShardedKernel(n int, lookahead Time, parallel bool) *ShardedKernel {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: sharded kernel needs >= 1 shard, got %d", n))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: sharded kernel lookahead %g must be positive", lookahead))
+	}
+	sk := &ShardedKernel{
+		shards:    make([]*Kernel, n),
+		lookahead: lookahead,
+		parallel:  parallel,
+		outbox:    make([][]xmsg, n),
+	}
+	for i := range sk.shards {
+		sk.shards[i] = NewKernel()
+	}
+	return sk
+}
+
+// NumShards returns the shard count.
+func (sk *ShardedKernel) NumShards() int { return len(sk.shards) }
+
+// Shard returns shard i's kernel. All model state owned by shard i must
+// schedule exclusively on this kernel.
+func (sk *ShardedKernel) Shard(i int) *Kernel { return sk.shards[i] }
+
+// Lookahead returns the conservative window length in seconds.
+func (sk *ShardedKernel) Lookahead() Time { return sk.lookahead }
+
+// Windows returns how many synchronization windows have executed.
+func (sk *ShardedKernel) Windows() uint64 { return sk.windows }
+
+// Fired returns the total events fired across all shards.
+func (sk *ShardedKernel) Fired() uint64 {
+	var n uint64
+	for _, k := range sk.shards {
+		n += k.Fired()
+	}
+	return n
+}
+
+// EventAllocs returns the total kernel Event allocations across shards.
+func (sk *ShardedKernel) EventAllocs() uint64 {
+	var n uint64
+	for _, k := range sk.shards {
+		n += k.EventAllocs()
+	}
+	return n
+}
+
+// Now returns the global simulation time: the maximum shard clock. The
+// set of executed events is shard-count invariant, so this matches the
+// final clock of an equivalent single-shard run.
+func (sk *ShardedKernel) Now() Time {
+	var t Time
+	for _, k := range sk.shards {
+		if n := k.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Send schedules fn on shard dst at absolute time at, from shard src.
+// Calls during a window must come from shard src's own goroutine (that
+// is the no-lock contract on the outbox) and must respect the
+// conservative rule: at >= src's current time + lookahead. Delivery
+// happens at the next window barrier, in deterministic
+// (at, priority, source shard, send order) order, so the destination
+// kernel assigns sequence numbers identically on every run.
+// Same-shard sends schedule directly.
+func (sk *ShardedKernel) Send(src, dst int, at Time, prio int, fn func()) {
+	if dst < 0 || dst >= len(sk.shards) {
+		panic(fmt.Sprintf("sim: Send to shard %d of %d", dst, len(sk.shards)))
+	}
+	if src == dst {
+		sk.shards[src].SchedulePrio(at, prio, fn)
+		return
+	}
+	if min := sk.shards[src].Now() + sk.lookahead; at < min {
+		panic(fmt.Sprintf("sim: cross-shard send at %.9f violates lookahead (now %.9f + %g)",
+			at, sk.shards[src].Now(), sk.lookahead))
+	}
+	sk.outbox[src] = append(sk.outbox[src], xmsg{
+		src: src, dst: dst, at: at, prio: prio, seq: len(sk.outbox[src]), fn: fn,
+	})
+}
+
+// flush delivers all buffered cross-shard messages in deterministic
+// global order. Sorting by (at, priority, source shard, send order)
+// fixes the destination kernels' sequence assignment independent of
+// shard scheduling.
+func (sk *ShardedKernel) flush() {
+	var all []xmsg
+	for src := range sk.outbox {
+		all = append(all, sk.outbox[src]...)
+		sk.outbox[src] = sk.outbox[src][:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, m := range all {
+		sk.shards[m.dst].SchedulePrio(m.at, m.prio, m.fn)
+	}
+}
+
+// Run advances windows until every shard's queue drains or stop returns
+// true. stop is evaluated only at window boundaries — between windows
+// the simulation state is globally consistent, mid-window it is not.
+// It returns the total events fired.
+func (sk *ShardedKernel) Run(stop func() bool) uint64 {
+	start := sk.Fired()
+	for {
+		if stop != nil && stop() {
+			break
+		}
+		if sk.MaxEvents > 0 && sk.Fired()-start >= sk.MaxEvents {
+			panic(fmt.Sprintf("sim: sharded run exceeded MaxEvents=%d (runaway simulation?)", sk.MaxEvents))
+		}
+		t0 := Forever
+		for _, k := range sk.shards {
+			if at, ok := k.NextAt(); ok && at < t0 {
+				t0 = at
+			}
+		}
+		if t0 == Forever {
+			break
+		}
+		end := t0 + sk.lookahead
+		if sk.WindowHook != nil {
+			sk.WindowHook(t0, end)
+		}
+		sk.windowEnd = end
+		sk.windows++
+		sk.runWindow(end)
+		sk.flush()
+	}
+	return sk.Fired() - start
+}
+
+// runWindow executes one window on every shard: concurrently when the
+// engine is parallel, in shard order otherwise. The two modes execute
+// the exact same per-shard event sequences — shards share nothing
+// within a window — so results are identical.
+func (sk *ShardedKernel) runWindow(end Time) {
+	if !sk.parallel || len(sk.shards) == 1 {
+		for _, k := range sk.shards {
+			k.RunBefore(end)
+		}
+		return
+	}
+	panics := make([]any, len(sk.shards))
+	var wg sync.WaitGroup
+	for i := range sk.shards {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			sk.shards[i].RunBefore(end)
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

@@ -211,7 +211,7 @@ func (p *Port) serveNext() {
 func (p *Port) finishChunk(c *qdisc.Chunk) {
 	switch p.dir {
 	case "egress":
-		if pr := p.host.dropProb; pr > 0 && p.fabric.dropRNG.Float64() < pr {
+		if pr := p.host.dropProb; pr > 0 && p.fabric.dropStream(p.host.ID).Float64() < pr {
 			p.fabric.chunkLost(p, c)
 			return
 		}

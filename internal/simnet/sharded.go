@@ -1,0 +1,262 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+)
+
+// This file shards one fabric simulation across the kernels of a
+// sim.ShardedKernel. The partition is route-aware: on the flat topology
+// hosts split into contiguous blocks and every cross-block flow crosses
+// shards at its single propagation hop; on leaf-spine, racks are the
+// atomic unit — a rack's hosts, its leaf uplinks and the spine
+// downlinks into it all belong to the rack's shard, so a cross-shard
+// flow runs its egress NIC and uplink on the source shard and is handed
+// off exactly once, at the uplink->downlink segment inside the core.
+// Both handoffs take one fixed propagation delay (PropDelaySec / the
+// topology's HopDelaySec), which is therefore the conservative
+// lookahead: no shard can affect another sooner.
+//
+// Determinism across shard counts additionally requires
+// Config.PerHostRNG: with per-host random streams and flow-ID spaces, a
+// replica that simulates only its own hosts' sends draws exactly what
+// the single-kernel run draws. NewSharded enforces it.
+
+// ShardPlan is a route-aware assignment of a fabric's hosts (and, on
+// leaf-spine, racks and core links) to shards, plus the conservative
+// lookahead the partition supports.
+type ShardPlan struct {
+	numShards int
+	lookahead float64
+	hostShard []int
+	rackShard []int
+}
+
+// PlanShards partitions a numHosts-host fabric under cfg into shards.
+// Leaf-spine fabrics split on rack boundaries (shards must not exceed
+// racks); flat fabrics split hosts into contiguous blocks. The returned
+// plan's Lookahead is the minimum cross-shard latency: the per-hop core
+// delay on leaf-spine, the propagation delay on flat.
+func PlanShards(cfg Config, numHosts, shards int) (*ShardPlan, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("simnet: shard plan needs >= 1 shard, got %d", shards)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	p := &ShardPlan{numShards: shards, hostShard: make([]int, numHosts)}
+	if cfg.Topology.Kind == TopologyLeafSpine {
+		if err := cfg.Topology.ValidateFor(numHosts); err != nil {
+			return nil, err
+		}
+		racks := cfg.Topology.Racks
+		if shards > racks {
+			return nil, fmt.Errorf("simnet: %d shards exceed %d racks (racks are the atomic shard unit)",
+				shards, racks)
+		}
+		p.lookahead = cfg.Topology.HopDelaySec
+		p.rackShard = splitContiguous(racks, shards)
+		for h := 0; h < numHosts; h++ {
+			p.hostShard[h] = p.rackShard[cfg.Topology.RackOfHost(h, numHosts)]
+		}
+		return p, nil
+	}
+	if shards > numHosts {
+		return nil, fmt.Errorf("simnet: %d shards exceed %d hosts", shards, numHosts)
+	}
+	p.lookahead = cfg.PropDelaySec
+	p.hostShard = splitContiguous(numHosts, shards)
+	p.rackShard = []int{0}
+	return p, nil
+}
+
+// splitContiguous assigns n units to shards in contiguous, balanced
+// blocks (the first n%shards blocks get one extra unit).
+func splitContiguous(n, shards int) []int {
+	out := make([]int, n)
+	q, r := n/shards, n%shards
+	u := 0
+	for s := 0; s < shards; s++ {
+		size := q
+		if s < r {
+			size++
+		}
+		for i := 0; i < size; i++ {
+			out[u] = s
+			u++
+		}
+	}
+	return out
+}
+
+// NumShards returns the shard count.
+func (p *ShardPlan) NumShards() int { return p.numShards }
+
+// Lookahead returns the minimum cross-shard latency in seconds.
+func (p *ShardPlan) Lookahead() float64 { return p.lookahead }
+
+// HostShard returns the shard owning host h.
+func (p *ShardPlan) HostShard(h int) int { return p.hostShard[h] }
+
+// RackShard returns the shard owning rack r (always 0 on flat).
+func (p *ShardPlan) RackShard(r int) int { return p.rackShard[r] }
+
+// LinkShard returns the shard owning a core link: its rack's shard.
+func (p *ShardPlan) LinkShard(l *Link) int { return p.rackShard[l.rack] }
+
+// shardBinding attaches a replica fabric to its shard.
+type shardBinding struct {
+	id   int
+	plan *ShardPlan
+	sf   *ShardedFabric
+}
+
+// handoffToHost ships a chunk to the destination host's shard, arriving
+// at its ingress NIC after delay (>= the plan lookahead by
+// construction: both handoff segments are exactly one propagation hop).
+func (s *shardBinding) handoffToHost(dst int, c *qdisc.Chunk, delay float64) {
+	sf := s.sf
+	owner := s.plan.HostShard(dst)
+	at := sf.reps[s.id].k.Now() + delay
+	sf.sk.Send(s.id, owner, at, 0, func() {
+		sf.reps[owner].Host(dst).Ingress.Inject(c)
+	})
+}
+
+// handoffToLink ships a chunk to the shard owning core link linkID
+// (identical IDs on every replica — topologies are built identically).
+func (s *shardBinding) handoffToLink(owner, linkID int, c *qdisc.Chunk, delay float64) {
+	sf := s.sf
+	at := sf.reps[s.id].k.Now() + delay
+	sf.sk.Send(s.id, owner, at, 0, func() {
+		sf.reps[owner].CoreLink(linkID).port.Inject(c)
+	})
+}
+
+// retireFlow tells the source shard to drop a completed cross-shard
+// flow from its registry. The deletion is pure bookkeeping, so its
+// (lookahead-delayed) timing is unobservable to the simulation.
+func (s *shardBinding) retireFlow(srcShard int, flowID uint64) {
+	sf := s.sf
+	at := sf.reps[s.id].k.Now() + sf.sk.Lookahead()
+	sf.sk.Send(s.id, srcShard, at, 0, func() {
+		delete(sf.reps[srcShard].flows, flowID)
+	})
+}
+
+// ShardedFabric runs one network simulation partitioned across the
+// shards of a sim.ShardedKernel. Every shard holds a full replica of
+// the fabric (all hosts, same topology, same per-host seeds), but only
+// the resources a shard owns under the plan ever carry traffic on it;
+// chunks crossing the partition are exchanged through the kernel's
+// conservative windows. With Config.PerHostRNG set (required), results
+// are independent of the shard count: the same flows see the same
+// windows, drops and completion times as on a single kernel.
+type ShardedFabric struct {
+	sk   *sim.ShardedKernel
+	plan *ShardPlan
+	reps []*Fabric
+}
+
+// NewSharded builds a sharded fabric of numHosts hosts over sk. Each
+// replica derives its streams from the same seed, so per-host draws
+// match across shard counts. cfg.PerHostRNG must be set; sk's shard
+// count must match the plan's, and sk's lookahead must not exceed the
+// plan's (cross-shard chunks travel exactly plan.Lookahead()).
+func NewSharded(sk *sim.ShardedKernel, seed int64, cfg Config, numHosts int, plan *ShardPlan) *ShardedFabric {
+	if !cfg.PerHostRNG {
+		panic("simnet: sharded fabrics require Config.PerHostRNG (per-host streams are what make shard counts interchangeable)")
+	}
+	if sk.NumShards() != plan.NumShards() {
+		panic(fmt.Sprintf("simnet: kernel has %d shards, plan %d", sk.NumShards(), plan.NumShards()))
+	}
+	if sk.Lookahead() > plan.lookahead {
+		panic(fmt.Sprintf("simnet: kernel lookahead %g exceeds plan lookahead %g",
+			sk.Lookahead(), plan.lookahead))
+	}
+	sf := &ShardedFabric{sk: sk, plan: plan, reps: make([]*Fabric, sk.NumShards())}
+	for s := range sf.reps {
+		f := New(sk.Shard(s), sim.NewRNG(seed), cfg)
+		for h := 0; h < numHosts; h++ {
+			f.AddHost(fmt.Sprintf("host%d", h))
+		}
+		f.Topology()
+		f.shard = &shardBinding{id: s, plan: plan, sf: sf}
+		sf.reps[s] = f
+	}
+	return sf
+}
+
+// Plan returns the shard plan.
+func (sf *ShardedFabric) Plan() *ShardPlan { return sf.plan }
+
+// Kernel returns the sharded kernel the fabric runs on.
+func (sf *ShardedFabric) Kernel() *sim.ShardedKernel { return sf.sk }
+
+// Fabric returns shard s's replica. Mutations (qdiscs, drop
+// probabilities, sends) must target the replica that owns the host
+// under the plan.
+func (sf *ShardedFabric) Fabric(s int) *Fabric { return sf.reps[s] }
+
+// FabricFor returns the replica owning host h.
+func (sf *ShardedFabric) FabricFor(h int) *Fabric { return sf.reps[sf.plan.HostShard(h)] }
+
+// Send starts a flow on the replica owning its source host. Call it
+// during setup or from events running on that host's shard.
+func (sf *ShardedFabric) Send(spec FlowSpec) *Flow {
+	return sf.FabricFor(spec.Src).Send(spec)
+}
+
+// Run advances the simulation until all shards drain or stop returns
+// true (evaluated at window boundaries). It returns events fired.
+func (sf *ShardedFabric) Run(stop func() bool) uint64 { return sf.sk.Run(stop) }
+
+// CompletedFlows sums completed flows across shards (each flow counts
+// once, on its destination's shard).
+func (sf *ShardedFabric) CompletedFlows() uint64 {
+	var n uint64
+	for _, f := range sf.reps {
+		n += f.completed
+	}
+	return n
+}
+
+// ActiveFlows sums in-flight flows across shards. A completed
+// cross-shard flow leaves its source-side registry one lookahead after
+// delivery, so the sum is exact whenever the fabric is idle.
+func (sf *ShardedFabric) ActiveFlows() int {
+	n := 0
+	for _, f := range sf.reps {
+		n += len(f.flows)
+	}
+	return n
+}
+
+// DroppedChunks sums injected chunk losses across shards (drops happen
+// on the source shard only).
+func (sf *ShardedFabric) DroppedChunks() uint64 {
+	var n uint64
+	for _, f := range sf.reps {
+		n += f.droppedChunks
+	}
+	return n
+}
+
+// LinkStats returns per-core-link cumulative (bytes, busy seconds),
+// summed across replicas. Exactly one replica serves traffic on any
+// link, so the sums equal the single-kernel fabric's counters.
+func (sf *ShardedFabric) LinkStats() (bytes []int64, busy []float64) {
+	nLinks := len(sf.reps[0].CoreLinks())
+	bytes = make([]int64, nLinks)
+	busy = make([]float64, nLinks)
+	for _, f := range sf.reps {
+		for i, l := range f.CoreLinks() {
+			bytes[i] += l.port.txBytes
+			busy[i] += l.port.busyTime
+		}
+	}
+	return bytes, busy
+}

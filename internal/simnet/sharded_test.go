@@ -1,0 +1,189 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPlanShardsFlat(t *testing.T) {
+	cfg := Config{}
+	p, err := PlanShards(cfg, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookahead() != 20e-6 {
+		t.Fatalf("lookahead = %g, want default prop delay 20e-6", p.Lookahead())
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 3, 3}
+	for h, s := range want {
+		if got := p.HostShard(h); got != s {
+			t.Fatalf("host %d on shard %d, want %d", h, got, s)
+		}
+	}
+	if _, err := PlanShards(cfg, 3, 4); err == nil {
+		t.Fatal("expected error for more shards than hosts")
+	}
+	if _, err := PlanShards(cfg, 3, 0); err == nil {
+		t.Fatal("expected error for zero shards")
+	}
+}
+
+func TestPlanShardsLeafSpine(t *testing.T) {
+	cfg := Config{Topology: TopologyConfig{Kind: TopologyLeafSpine, Racks: 4, HopDelaySec: 5e-6}}
+	p, err := PlanShards(cfg, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookahead() != 5e-6 {
+		t.Fatalf("lookahead = %g, want hop delay 5e-6", p.Lookahead())
+	}
+	// Racks are atomic: hosts 0-7 (racks 0,1) on shard 0, 8-15 on shard 1.
+	for h := 0; h < 16; h++ {
+		want := 0
+		if h >= 8 {
+			want = 1
+		}
+		if got := p.HostShard(h); got != want {
+			t.Fatalf("host %d on shard %d, want %d", h, got, want)
+		}
+	}
+	if _, err := PlanShards(cfg, 16, 8); err == nil {
+		t.Fatal("expected error for more shards than racks")
+	}
+}
+
+// flowRecord captures everything observable about one completed flow.
+type flowRecord struct {
+	src, dst  int
+	bytes     int64
+	started   float64
+	firstByte float64
+	finished  float64
+}
+
+// shardedScenario runs a fixed mixed workload (cross-shard and
+// intra-shard flows, injection jitter, chunk drops on two hosts) on a
+// sharded fabric and returns every observable outcome.
+func shardedScenario(t *testing.T, cfg Config, numHosts, shards int, parallel bool) (map[uint64]flowRecord, uint64, uint64, []int64, []float64) {
+	t.Helper()
+	plan, err := PlanShards(cfg, numHosts, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := sim.NewShardedKernel(shards, plan.Lookahead(), parallel)
+	sf := NewSharded(sk, 42, cfg, numHosts, plan)
+
+	var mu sync.Mutex
+	records := make(map[uint64]flowRecord)
+	done := func(fl *Flow) {
+		mu.Lock()
+		defer mu.Unlock()
+		records[fl.ID] = flowRecord{
+			src: fl.Spec.Src, dst: fl.Spec.Dst, bytes: fl.Spec.Bytes,
+			started: fl.Started, firstByte: fl.FirstByte, finished: fl.Finished,
+		}
+	}
+
+	sf.FabricFor(3).Host(3).SetChunkDropProb(0.05)
+	sf.FabricFor(numHosts - 1).Host(numHosts - 1).SetChunkDropProb(0.05)
+
+	for h := 0; h < numHosts; h++ {
+		h := h
+		f := sf.FabricFor(h)
+		specs := []FlowSpec{
+			{Src: h, Dst: (h + 5) % numHosts, SrcPort: 9000 + h, DstPort: 80,
+				JobID: h, Bytes: int64(1<<20 + h*64<<10), OnComplete: done},
+			{Src: h, Dst: (h + numHosts/2 + 1) % numHosts, SrcPort: 9100 + h, DstPort: 81,
+				JobID: h, Bytes: int64(512<<10 + h*32<<10), OnComplete: done},
+		}
+		f.Kernel().Schedule(1e-4*float64(h), func() {
+			f.SendBurst(h, specs)
+		})
+	}
+	sf.Run(nil)
+
+	if n := sf.ActiveFlows(); n != 0 {
+		t.Fatalf("%d flows still active after drain", n)
+	}
+	bytes, busy := sf.LinkStats()
+	return records, sf.CompletedFlows(), sf.DroppedChunks(), bytes, busy
+}
+
+func checkShardedEquivalence(t *testing.T, cfg Config, numHosts int) {
+	t.Helper()
+	base, baseDone, baseDrops, baseBytes, baseBusy := shardedScenario(t, cfg, numHosts, 1, false)
+	if baseDone != uint64(2*numHosts) {
+		t.Fatalf("baseline completed %d flows, want %d", baseDone, 2*numHosts)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		for _, parallel := range []bool{false, true} {
+			recs, done, drops, bytes, busy := shardedScenario(t, cfg, numHosts, shards, parallel)
+			if done != baseDone {
+				t.Fatalf("shards=%d parallel=%v: completed %d, want %d", shards, parallel, done, baseDone)
+			}
+			if drops != baseDrops {
+				t.Fatalf("shards=%d parallel=%v: drops %d, want %d", shards, parallel, drops, baseDrops)
+			}
+			if len(recs) != len(base) {
+				t.Fatalf("shards=%d parallel=%v: %d records, want %d", shards, parallel, len(recs), len(base))
+			}
+			for id, want := range base {
+				got, ok := recs[id]
+				if !ok {
+					t.Fatalf("shards=%d parallel=%v: flow %d missing", shards, parallel, id)
+				}
+				if got != want {
+					t.Fatalf("shards=%d parallel=%v: flow %d = %+v, want %+v",
+						shards, parallel, id, got, want)
+				}
+			}
+			for i := range baseBytes {
+				if bytes[i] != baseBytes[i] || busy[i] != baseBusy[i] {
+					t.Fatalf("shards=%d parallel=%v: link %d stats (%d, %g), want (%d, %g)",
+						shards, parallel, i, bytes[i], busy[i], baseBytes[i], baseBusy[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFabricEquivalenceFlat proves byte-identical outcomes for
+// 1/2/3/4-shard (sequential and parallel) runs on the flat topology:
+// every cross-shard flow is handed off at its propagation hop.
+func TestShardedFabricEquivalenceFlat(t *testing.T) {
+	cfg := Config{InjectJitter: 1, PerHostRNG: true}
+	checkShardedEquivalence(t, cfg, 12)
+}
+
+// TestShardedFabricEquivalenceLeafSpine proves the same on a 4-rack
+// oversubscribed leaf-spine fabric, where cross-shard flows are handed
+// off on the uplink->downlink core segment.
+func TestShardedFabricEquivalenceLeafSpine(t *testing.T) {
+	cfg := Config{
+		InjectJitter: 1,
+		PerHostRNG:   true,
+		Topology: TopologyConfig{
+			Kind: TopologyLeafSpine, Racks: 4, UplinksPerLeaf: 2, Oversubscription: 2,
+		},
+	}
+	checkShardedEquivalence(t, cfg, 16)
+}
+
+// TestPerHostRNGPreservesSharedDefault guards the compatibility
+// contract: with PerHostRNG unset, the fabric draws from the shared
+// streams and flow IDs stay globally sequential, so existing seeded
+// goldens are untouched.
+func TestPerHostRNGPreservesSharedDefault(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, sim.NewRNG(7), Config{})
+	for i := 0; i < 2; i++ {
+		f.AddHost("h")
+	}
+	fl1 := f.Send(FlowSpec{Src: 0, Dst: 1, Bytes: 1024})
+	fl2 := f.Send(FlowSpec{Src: 1, Dst: 0, Bytes: 1024})
+	if fl1.ID != 1 || fl2.ID != 2 {
+		t.Fatalf("flow IDs = %d, %d; want sequential 1, 2", fl1.ID, fl2.ID)
+	}
+}

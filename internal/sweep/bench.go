@@ -62,6 +62,23 @@ type BenchReport struct {
 	// measureFabricBench) and the wall-clock cost per chunk.
 	FabricChunks     uint64  `json:"fabric_chunks"`
 	FabricNsPerChunk float64 `json:"fabric_ns_per_chunk"`
+
+	// ShardScale is the sharded-engine scaling curve: one fixed
+	// leaf-spine workload run under RunSharded at 1, 2 and 4 shards with
+	// GOMAXPROCS pinned to the shard count. On a single-core machine the
+	// curve is flat (windows serialize); it is recorded anyway so the
+	// history shows when parallel hardware first pays off.
+	ShardScale []ShardScalePoint `json:"shard_scale,omitempty"`
+}
+
+// ShardScalePoint is one sharded-engine measurement.
+type ShardScalePoint struct {
+	Shards  int     `json:"shards"`
+	Procs   int     `json:"procs"` // GOMAXPROCS during the run
+	WallSec float64 `json:"wall_sec"`
+	Events  uint64  `json:"events"`
+	// Speedup is the 1-shard wall clock divided by this point's.
+	Speedup float64 `json:"speedup"`
 }
 
 // benchRunConfigs builds the replicate-shaped trial grid.
@@ -165,7 +182,65 @@ func MeasureSweepBench(cfg BenchConfig) (*BenchReport, error) {
 		rep.AllocsPerEvent = float64(eventAllocs) / float64(events)
 	}
 	rep.FabricChunks, rep.FabricNsPerChunk = measureFabricBench(cfg.Seed)
+	if rep.ShardScale, err = measureShardScale(cfg.Seed, cfg.Steps); err != nil {
+		return nil, fmt.Errorf("sweep: bench shard-scale leg: %w", err)
+	}
 	return rep, nil
+}
+
+// shardScaleRun is the fixed workload the scaling curve measures: a
+// 16-rack, 64-host leaf-spine cluster with one PS job per rack cell, so
+// it partitions cleanly into 1, 2 and 4 shards.
+func shardScaleRun(seed int64, steps int) RunConfig {
+	return RunConfig{
+		Label: "bench-shard-scale",
+		Cluster: cluster.Config{
+			Hosts: 64,
+			Seed:  seed,
+			Net: simnet.Config{
+				Topology: simnet.TopologyConfig{
+					Kind:           simnet.TopologyLeafSpine,
+					Racks:          16,
+					UplinksPerLeaf: 2,
+				},
+			},
+		},
+		NumJobs:     16,
+		LocalBatch:  4,
+		TargetSteps: steps,
+		TLs:         core.Config{Policy: core.PolicyOne},
+		StaggerSec:  0.05,
+	}
+}
+
+// measureShardScale times shardScaleRun under the sharded engine at 1,
+// 2 and 4 shards, pinning GOMAXPROCS to the shard count for the run so
+// the curve reflects what the partitioning buys at matching core
+// counts. The workload (and so every point's result) is byte-identical
+// across the shard counts; only the wall clock may differ.
+func measureShardScale(seed int64, steps int) ([]ShardScalePoint, error) {
+	rc := shardScaleRun(seed, steps)
+	var points []ShardScalePoint
+	var base float64
+	for _, n := range []int{1, 2, 4} {
+		old := runtime.GOMAXPROCS(n)
+		start := time.Now()
+		res, err := RunSharded(rc, ShardOptions{Shards: n, PlacementShards: 16, Parallel: n > 1})
+		wall := time.Since(start).Seconds()
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			return nil, err
+		}
+		p := ShardScalePoint{Shards: n, Procs: n, WallSec: wall, Events: res.Events}
+		if n == 1 {
+			base = wall
+		}
+		if wall > 0 && base > 0 {
+			p.Speedup = base / wall
+		}
+		points = append(points, p)
+	}
+	return points, nil
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -77,3 +77,21 @@ func BenchmarkSweepParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedTrial measures one sharded-engine trial (the
+// shard-scale workload at 4 parallel shards) and reports kernel
+// events/sec across all shards — the microbench counterpart of the
+// shard_scale entries in BENCH_sweep.json.
+func BenchmarkShardedTrial(b *testing.B) {
+	rc := shardScaleRun(1, 100)
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunSharded(rc, ShardOptions{Shards: 4, PlacementShards: 16, Parallel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}

@@ -56,10 +56,16 @@ type RunConfig struct {
 	// and registers them with TensorLights by their collective port. With
 	// NumJobs == 0 the run is all-reduce-only.
 	CollectiveSpecs []collective.JobSpec
+	// PSSpecs, when non-empty, replaces the generated grid-search
+	// workload with these exact PS job specs; NumJobs and Placement are
+	// then ignored. RunSharded uses it to pin a shard-stable workload,
+	// and callers can replay that exact workload on the single-kernel
+	// path for cross-checking.
+	PSSpecs []dl.JobSpec
 }
 
 func (rc *RunConfig) fillDefaults() {
-	if rc.NumJobs <= 0 && len(rc.CollectiveSpecs) == 0 {
+	if rc.NumJobs <= 0 && len(rc.CollectiveSpecs) == 0 && len(rc.PSSpecs) == 0 {
 		rc.NumJobs = 21
 	}
 	if rc.NumJobs < 0 {
@@ -155,7 +161,9 @@ func RunContext(ctx context.Context, rc RunConfig) (*RunResult, error) {
 	tb := cluster.NewTestbed(rc.Cluster)
 	var specs []dl.JobSpec
 	var err error
-	if rc.NumJobs > 0 {
+	if len(rc.PSSpecs) > 0 {
+		specs = append([]dl.JobSpec(nil), rc.PSSpecs...)
+	} else if rc.NumJobs > 0 {
 		specs, err = cluster.GridSearchSpecs(rc.Cluster, rc.Model, rc.NumJobs,
 			rc.LocalBatch, rc.TargetSteps, rc.Placement)
 		if err != nil {

@@ -1,0 +1,390 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// ShardOptions selects how RunSharded partitions one simulation.
+type ShardOptions struct {
+	// Shards is the number of event kernels the run is partitioned
+	// across (>= 1). On leaf-spine topologies it must not exceed the
+	// rack count; on flat, the host count.
+	Shards int
+	// PlacementShards is the number of placement cells jobs are confined
+	// to; 0 means Shards. The generated workload depends only on this
+	// value, so fixing it while varying Shards runs the *identical*
+	// workload under different partitionings — the basis of the
+	// equivalence tests. Every cell must lie inside one shard (cells
+	// and shards are both contiguous splits, so any PlacementShards
+	// whose cells nest in the shard blocks works; RunSharded rejects a
+	// straddling combination).
+	PlacementShards int
+	// Parallel executes each conservative window with one goroutine per
+	// shard; false runs shards sequentially with identical results.
+	Parallel bool
+}
+
+// RunSharded executes one simulation partitioned across opt.Shards
+// event kernels under conservative synchronization, returning the same
+// RunResult shape as Run. Every shard holds a full testbed replica
+// (same seed, same topology) but launches only the jobs whose hosts it
+// owns; with per-host RNG streams, grid-aligned controller timers and a
+// shard-stable workload, the result is byte-identical across shard
+// counts and across sequential/parallel window execution — only the
+// Wall, Events and EventAllocs fields depend on the partitioning.
+//
+// Restrictions versus Run: the workload must be shard-stable (every
+// job's hosts inside one shard — RunSharded generates one with
+// cluster.ShardStableSpecs unless rc.PSSpecs pins it), utilization
+// sampling is unsupported, and policies that draw from a shared RNG or
+// need a feedback collector (OrderRandom, TLs-LAS and friends) are
+// rejected: their draws would depend on the partitioning.
+func RunSharded(rc RunConfig, opt ShardOptions) (*RunResult, error) {
+	rc.fillDefaults()
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("sweep: sharded run needs >= 1 shard, got %d", opt.Shards)
+	}
+	if opt.PlacementShards == 0 {
+		opt.PlacementShards = opt.Shards
+	}
+	if rc.SampleUtilEvery > 0 {
+		return nil, fmt.Errorf("sweep: sharded runs do not support utilization sampling (the sampler is a global observer)")
+	}
+	if rc.TLs.Order == core.OrderRandom {
+		return nil, fmt.Errorf("sweep: sharded runs do not support OrderRandom (per-shard controllers would draw different shuffles)")
+	}
+	if err := rc.TLs.Validate(); err != nil {
+		return nil, err
+	}
+	// Determinism across shard counts requires per-host RNG streams and
+	// grid-aligned controller timers on every shard count, including 1.
+	rc.Cluster.Net.PerHostRNG = true
+	rc.TLs.GridTimers = true
+
+	ccfg := rc.Cluster.Normalized()
+	planExec, err := simnet.PlanShards(ccfg.Net, ccfg.Hosts, opt.Shards)
+	if err != nil {
+		return nil, err
+	}
+	planPlace, err := simnet.PlanShards(ccfg.Net, ccfg.Hosts, opt.PlacementShards)
+	if err != nil {
+		return nil, err
+	}
+
+	var specs []dl.JobSpec
+	if len(rc.PSSpecs) > 0 {
+		specs = append([]dl.JobSpec(nil), rc.PSSpecs...)
+	} else if rc.NumJobs > 0 {
+		specs, err = cluster.ShardStableSpecs(ccfg, planPlace, rc.Model, rc.NumJobs,
+			rc.LocalBatch, rc.TargetSteps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range specs {
+		specs[i].Async = rc.Async
+		specs[i].ProgressEvery = rc.ProgressEvery
+		specs[i].ComputeJitterSigma = rc.ComputeJitterSigma
+		specs[i].GradCompression = rc.GradCompression
+		specs[i].Recovery = rc.Recovery
+	}
+	specShard := make([]int, len(specs))
+	for i, sp := range specs {
+		if specShard[i], err = cluster.SpecShard(sp, planExec); err != nil {
+			return nil, err
+		}
+	}
+	cspecs := make([]collective.JobSpec, len(rc.CollectiveSpecs))
+	copy(cspecs, rc.CollectiveSpecs)
+	for i := range cspecs {
+		if cspecs[i].ComputeJitterSigma == 0 {
+			cspecs[i].ComputeJitterSigma = rc.ComputeJitterSigma
+		}
+		if cspecs[i].Recovery == (dl.RecoveryConfig{}) {
+			cspecs[i].Recovery = rc.Recovery
+		}
+	}
+	cspecShard := make([]int, len(cspecs))
+	for i, sp := range cspecs {
+		if cspecShard[i], err = cluster.CollectiveShard(sp.ID, sp.Hosts, planExec); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	sk := sim.NewShardedKernel(opt.Shards, planExec.Lookahead(), opt.Parallel)
+	tbs := make([]*cluster.Testbed, opt.Shards)
+	ctls := make([]*core.Controller, opt.Shards)
+	bufs := make([]*trace.Buffer, opt.Shards)
+	for s := range tbs {
+		tbs[s] = cluster.NewTestbedOn(sk.Shard(s), ccfg)
+		bufs[s] = &trace.Buffer{}
+		ctls[s] = core.New(tbs[s].K, tbs[s].TC, tbs[s].RNG, rc.TLs)
+		if ctls[s].NeedsFeedback() {
+			return nil, fmt.Errorf("sweep: sharded runs do not support feedback-driven policies (%q)", rc.TLs.PolicyName)
+		}
+		if rc.Tracer != nil {
+			tbs[s].Env.Tracer = bufs[s]
+			tbs[s].Fabric.Tracer = bufs[s]
+			ctls[s].Tracer = bufs[s]
+		}
+	}
+
+	// Launch each shard's subset with the offsets the jobs hold in the
+	// global launch order, so arrival times don't depend on sharding.
+	allJobs := make([]*dl.Job, len(specs))
+	allCJobs := make([]*collective.Job, len(cspecs))
+	for s := 0; s < opt.Shards; s++ {
+		ctl := ctls[s]
+		var sSpecs []dl.JobSpec
+		var sOff []float64
+		var sIdx []int
+		for i, sp := range specs {
+			if specShard[i] == s {
+				sSpecs = append(sSpecs, sp)
+				sOff = append(sOff, float64(i)*rc.StaggerSec)
+				sIdx = append(sIdx, i)
+			}
+		}
+		jobs, err := tbs[s].LaunchAt(sSpecs, sOff, func(j *dl.Job) {
+			ctl.JobArrived(core.JobInfo{
+				ID:          j.Spec.ID,
+				PSHost:      j.Spec.PSHost,
+				PSPort:      j.Spec.PSPort,
+				UpdateBytes: j.Spec.Model.UpdateBytes(),
+				TargetSteps: (j.Spec.TargetGlobalSteps + j.Spec.NumWorkers - 1) / j.Spec.NumWorkers,
+			})
+			j.OnFinish = func(j *dl.Job) { ctl.JobDeparted(j.Spec.ID) }
+			j.OnFail = func(j *dl.Job) { ctl.JobDeparted(j.Spec.ID) }
+			j.OnBarrier = func(j *dl.Job, iter int) { ctl.JobProgress(j.Spec.ID, iter) }
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k, j := range jobs {
+			allJobs[sIdx[k]] = j
+		}
+		var sCSpecs []collective.JobSpec
+		var sCOff []float64
+		var sCIdx []int
+		for i, sp := range cspecs {
+			if cspecShard[i] == s {
+				sCSpecs = append(sCSpecs, sp)
+				sCOff = append(sCOff, float64(i)*rc.StaggerSec)
+				sCIdx = append(sCIdx, i)
+			}
+		}
+		cjobs, err := tbs[s].LaunchCollectiveAt(sCSpecs, sCOff, func(j *collective.Job) {
+			ctl.JobArrived(core.JobInfo{
+				ID:          j.Spec.ID,
+				PSHost:      j.Spec.Hosts[0],
+				PSPort:      j.Spec.Port,
+				UpdateBytes: j.Spec.Model.UpdateBytes(),
+				SenderHosts: j.Spec.Hosts,
+				Ports:       []int{j.Spec.Port},
+				TargetSteps: j.Spec.TargetIterations,
+			})
+			j.OnFinish = func(j *collective.Job) { ctl.JobDeparted(j.Spec.ID) }
+			j.OnFail = func(j *collective.Job) { ctl.JobDeparted(j.Spec.ID) }
+			j.OnIteration = func(j *collective.Job, iter int) { ctl.JobProgress(j.Spec.ID, iter) }
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k, j := range cjobs {
+			allCJobs[sCIdx[k]] = j
+		}
+	}
+
+	var injs []*faults.Injector
+	if rc.Faults.Active() {
+		var psHosts []int
+		seen := map[int]bool{}
+		for _, sp := range specs {
+			if !seen[sp.PSHost] {
+				seen[sp.PSHost] = true
+				psHosts = append(psHosts, sp.PSHost)
+			}
+		}
+		// Validate crash targets globally: per-shard injectors skip
+		// foreign job IDs, so a genuinely unknown ID must be caught here.
+		jobIDs := map[int]bool{}
+		for _, j := range allJobs {
+			jobIDs[j.Spec.ID] = true
+		}
+		for i, c := range rc.Faults.Crashes {
+			if !jobIDs[c.Job] {
+				return nil, fmt.Errorf("sweep: Faults.Crashes[%d] names unknown job %d", i, c.Job)
+			}
+		}
+		cjobIDs := map[int]bool{}
+		for _, j := range allCJobs {
+			cjobIDs[j.Spec.ID] = true
+		}
+		for i, c := range rc.Faults.PeerCrashes {
+			if !cjobIDs[c.Job] {
+				return nil, fmt.Errorf("sweep: Faults.PeerCrashes[%d] names unknown collective job %d", i, c.Job)
+			}
+		}
+		for s := 0; s < opt.Shards; s++ {
+			s := s
+			tcc := tbs[s].TC
+			if !rc.Faults.TCOutage && len(rc.Faults.TCOutages) == 0 {
+				tcc = nil
+			}
+			inj := faults.New(tbs[s].K, tbs[s].RNG, tbs[s].Fabric, tcc)
+			if rc.Tracer != nil {
+				inj.Tracer = bufs[s]
+			}
+			inj.OwnHost = func(h int) bool { return planExec.HostShard(h) == s }
+			links := tbs[s].Fabric.CoreLinks()
+			inj.OwnLink = func(id int) bool { return planExec.LinkShard(links[id]) == s }
+			jobByID := map[int]*dl.Job{}
+			for i, j := range allJobs {
+				if specShard[i] == s {
+					jobByID[j.Spec.ID] = j
+				}
+			}
+			cjobByID := map[int]*collective.Job{}
+			for i, j := range allCJobs {
+				if cspecShard[i] == s {
+					cjobByID[j.Spec.ID] = j
+				}
+			}
+			if err := inj.Apply(rc.Faults, psHosts, jobByID, cjobByID); err != nil {
+				return nil, err
+			}
+			injs = append(injs, inj)
+		}
+	}
+
+	sk.MaxEvents = 500_000_000
+	sk.Run(func() bool {
+		for _, j := range allJobs {
+			if !j.Done() && !j.Failed() {
+				return false
+			}
+		}
+		for _, j := range allCJobs {
+			if !j.Done() && !j.Failed() {
+				return false
+			}
+		}
+		return true
+	})
+
+	res := &RunResult{
+		Config:      rc,
+		SimTime:     sk.Now(),
+		Events:      sk.Fired(),
+		EventAllocs: sk.EventAllocs(),
+		Wall:        time.Since(start),
+		Progress:    map[int][]dl.ProgressPoint{},
+	}
+	for _, ctl := range ctls {
+		res.Reconfigs += ctl.Reconfigs()
+		st := ctl.Stats()
+		res.TcRecovery.Retries += st.Retries
+		res.TcRecovery.Fallbacks += st.Fallbacks
+		res.TcRecovery.Repairs += st.Repairs
+	}
+	psSet := map[int]bool{}
+	for _, j := range allJobs {
+		if j.Failed() {
+			res.FailedJobs = append(res.FailedJobs, j.Spec.ID)
+			res.Restarts += j.Restarts()
+			res.DegradedWorkers += j.DegradedWorkers()
+			continue
+		}
+		if !j.Done() {
+			return nil, fmt.Errorf("sweep: job %d did not finish (step %d/%d)",
+				j.Spec.ID, j.GlobalStep(), j.Spec.TargetGlobalSteps)
+		}
+		res.JCTs = append(res.JCTs, j.JCT())
+		res.Restarts += j.Restarts()
+		res.DegradedWorkers += j.DegradedWorkers()
+		for _, bs := range j.BarrierStats() {
+			res.BarrierMeans = append(res.BarrierMeans, bs.Mean)
+			res.BarrierVars = append(res.BarrierVars, bs.Variance)
+		}
+		if rc.ProgressEvery > 0 {
+			res.Progress[j.Spec.ID] = j.Progress()
+		}
+		psSet[j.Spec.PSHost] = true
+	}
+	for _, j := range allCJobs {
+		res.Restarts += j.Restarts()
+		res.CollectiveStalls += j.Stalls()
+		if j.Failed() {
+			res.FailedJobs = append(res.FailedJobs, j.Spec.ID)
+			continue
+		}
+		if !j.Done() {
+			return nil, fmt.Errorf("sweep: collective job %d did not finish (iteration %d/%d)",
+				j.Spec.ID, j.Iterations(), j.Spec.TargetIterations)
+		}
+		res.CollectiveJCTs = append(res.CollectiveJCTs, j.JCT())
+	}
+	for _, inj := range injs {
+		c := inj.Counts()
+		res.FaultCounts.LinkFlaps += c.LinkFlaps
+		res.FaultCounts.RateDegrades += c.RateDegrades
+		res.FaultCounts.DropWindows += c.DropWindows
+		res.FaultCounts.TCOutages += c.TCOutages
+		res.FaultCounts.Crashes += c.Crashes
+		res.FaultCounts.CoreLinkFaults += c.CoreLinkFaults
+		res.FaultCounts.PeerCrashes += c.PeerCrashes
+	}
+	for _, tb := range tbs {
+		res.DroppedChunks += tb.Fabric.DroppedChunks()
+		for _, h := range tb.Fabric.Hosts() {
+			res.EgressBytes += h.Egress.Bytes()
+		}
+	}
+	// Exactly one replica carries traffic on any core link (links are
+	// rack-owned), so per-link sums across replicas equal the
+	// single-kernel counters.
+	for i, l := range tbs[0].Fabric.CoreLinks() {
+		var bytes int64
+		var busy float64
+		for _, tb := range tbs {
+			cl := tb.Fabric.CoreLinks()[i]
+			bytes += cl.Port().Bytes()
+			busy += cl.Port().BusyTime()
+		}
+		util := 0.0
+		if res.SimTime > 0 {
+			util = busy / res.SimTime
+		}
+		res.LinkStats = append(res.LinkStats, LinkStat{
+			Link: l.ID, Name: l.Name, Bytes: bytes, Util: util,
+		})
+	}
+	for h := 0; h < ccfg.Hosts; h++ {
+		if psSet[h] {
+			res.PSHosts = append(res.PSHosts, h)
+		}
+	}
+	// Merge per-shard trace streams into one canonical order — the same
+	// transform at every shard count, so traces compare byte-for-byte.
+	if rc.Tracer != nil {
+		streams := make([][]trace.Event, len(bufs))
+		for i, b := range bufs {
+			streams[i] = b.Events()
+		}
+		for _, e := range trace.MergeCanonical(streams...) {
+			rc.Tracer.Emit(e)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,333 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// shardedRun executes one sharded run and returns its result (with the
+// partitioning-dependent fields zeroed) plus the canonical trace CSV.
+func shardedRun(t *testing.T, rc RunConfig, opt ShardOptions) (*RunResult, []byte) {
+	t.Helper()
+	buf := &trace.Buffer{}
+	rc.Tracer = buf
+	res, err := RunSharded(rc, opt)
+	if err != nil {
+		t.Fatalf("RunSharded(shards=%d, parallel=%v): %v", opt.Shards, opt.Parallel, err)
+	}
+	var csv bytes.Buffer
+	if err := buf.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	// Wall clock, event totals and the config echo legitimately depend
+	// on the partitioning; everything else must not.
+	res.Config = RunConfig{}
+	res.Wall = 0
+	res.Events = 0
+	res.EventAllocs = 0
+	return res, csv.Bytes()
+}
+
+// checkShardedRunEquivalence runs rc unsharded (1 shard, sequential)
+// and under every listed shard count in both sequential and parallel
+// window execution, asserting byte-identical results and trace CSVs.
+func checkShardedRunEquivalence(t *testing.T, rc RunConfig, placementShards int, shardCounts []int) *RunResult {
+	t.Helper()
+	base, baseCSV := shardedRun(t, rc, ShardOptions{Shards: 1, PlacementShards: placementShards})
+	if len(base.JCTs)+len(base.CollectiveJCTs) == 0 {
+		t.Fatal("baseline run finished no jobs; equivalence would be vacuous")
+	}
+	if len(baseCSV) < 100 {
+		t.Fatalf("baseline trace CSV suspiciously small (%d bytes)", len(baseCSV))
+	}
+	for _, n := range shardCounts {
+		for _, par := range []bool{false, true} {
+			res, csv := shardedRun(t, rc, ShardOptions{
+				Shards: n, PlacementShards: placementShards, Parallel: par,
+			})
+			if !reflect.DeepEqual(res, base) {
+				t.Errorf("shards=%d parallel=%v: RunResult differs from 1-shard baseline\n got %+v\nwant %+v",
+					n, par, res, base)
+			}
+			if !bytes.Equal(csv, baseCSV) {
+				t.Errorf("shards=%d parallel=%v: trace CSV differs from 1-shard baseline (%d vs %d bytes)",
+					n, par, len(csv), len(baseCSV))
+				reportFirstCSVDiff(t, csv, baseCSV)
+			}
+		}
+	}
+	return base
+}
+
+func reportFirstCSVDiff(t *testing.T, got, want []byte) {
+	t.Helper()
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			t.Errorf("first CSV difference at line %d:\n got %s\nwant %s", i+1, g[i], w[i])
+			return
+		}
+	}
+	t.Errorf("CSVs diverge in length: %d vs %d lines", len(g), len(w))
+}
+
+// TestRunShardedEquivalenceFlatPS: the paper's PS workload on the flat
+// topology, two jobs contending per placement cell under TLs-RR, run
+// at 1, 2 and 4 shards.
+func TestRunShardedEquivalenceFlatPS(t *testing.T) {
+	rc := RunConfig{
+		Label:       "sharded-flat-ps",
+		Cluster:     cluster.Config{Hosts: 12, Seed: 42},
+		Model:       dl.ResNet32,
+		NumJobs:     8,
+		LocalBatch:  4,
+		TargetSteps: 120,
+		TLs: core.Config{
+			Policy:      core.PolicyRR,
+			IntervalSec: 0.5,
+		},
+		StaggerSec:         0.05,
+		ComputeJitterSigma: 0.1,
+	}
+	checkShardedRunEquivalence(t, rc, 4, []int{2, 4})
+}
+
+// TestRunShardedEquivalenceFlatThreeShards covers an odd shard count on
+// flat (cells of 4 hosts nest in 1 and 3 contiguous blocks of 12).
+func TestRunShardedEquivalenceFlatThreeShards(t *testing.T) {
+	rc := RunConfig{
+		Label:       "sharded-flat-3",
+		Cluster:     cluster.Config{Hosts: 12, Seed: 7},
+		Model:       dl.ResNet32,
+		NumJobs:     6,
+		LocalBatch:  4,
+		TargetSteps: 100,
+		TLs:         core.Config{Policy: core.PolicyOne},
+		StaggerSec:  0.05,
+	}
+	checkShardedRunEquivalence(t, rc, 3, []int{3})
+}
+
+// leafSpineCluster builds a routed 12-rack, 24-host cluster config.
+func leafSpineCluster(seed int64) cluster.Config {
+	return cluster.Config{
+		Hosts: 24,
+		Seed:  seed,
+		Net: simnet.Config{
+			Topology: simnet.TopologyConfig{
+				Kind:          simnet.TopologyLeafSpine,
+				Racks:         12,
+				UplinksPerLeaf: 2,
+			},
+		},
+	}
+}
+
+// TestRunShardedEquivalenceLeafSpineFaults: a routed topology where
+// each placement cell spans two racks (so cross-rack traffic exercises
+// the core links), with NIC flap/drop windows, a worker crash, tc
+// outages and a core-link degrade, run at 1, 2 and 3 shards.
+func TestRunShardedEquivalenceLeafSpineFaults(t *testing.T) {
+	rc := RunConfig{
+		Label:       "sharded-ls-faults",
+		Cluster:     leafSpineCluster(11),
+		Model:       dl.ResNet32,
+		NumJobs:     12,
+		LocalBatch:  4,
+		TargetSteps: 60,
+		TLs: core.Config{
+			Policy:      core.PolicyRR,
+			IntervalSec: 0.5,
+		},
+		StaggerSec: 0.05,
+		Recovery: dl.RecoveryConfig{
+			DetectTimeoutSec:  0.2,
+			RestartBackoffSec: 0.05,
+			MaxRestarts:       3,
+		},
+		Faults: faults.Plan{
+			FlapHosts:       []int{0, 5, 13, 20},
+			FlapFirstAtSec:  0.4,
+			FlapEverySec:    1.5,
+			FlapDurationSec: 0.2,
+			FlapJitterSec:   0.3,
+			DropProb:        0.03,
+			HorizonSec:      4,
+			Crashes:         []faults.CrashPlan{{Job: 1, Worker: 0, AtSec: 0.8}},
+			TCOutages:       []faults.OutagePlan{{Host: -1, AtSec: 0.6, DurSec: 0.4}},
+			CoreLinks:       []faults.CoreLinkPlan{{Link: 0, AtSec: 0.5, DurSec: 0.5, Factor: 0.4}},
+		},
+	}
+	res := checkShardedRunEquivalence(t, rc, 6, []int{2, 3})
+	// The equivalence must not be vacuous: every fault class in the plan
+	// has to have fired.
+	fc := res.FaultCounts
+	if fc.LinkFlaps == 0 || fc.DropWindows == 0 || fc.Crashes != 1 ||
+		fc.TCOutages == 0 || fc.CoreLinkFaults != 1 {
+		t.Fatalf("fault classes missing from the run: %+v", fc)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("crashed worker was never restarted")
+	}
+}
+
+// TestRunShardedEquivalenceCollective: mixed PS + ring all-reduce jobs
+// sharing hosts on a leaf-spine fabric, run at 1, 2 and 4 shards.
+func TestRunShardedEquivalenceCollective(t *testing.T) {
+	rings := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	rc := RunConfig{
+		Label:      "sharded-collective",
+		Cluster: cluster.Config{
+			Hosts: 8,
+			Seed:  3,
+			Net: simnet.Config{
+				Topology: simnet.TopologyConfig{
+					Kind:          simnet.TopologyLeafSpine,
+					Racks:         4,
+					UplinksPerLeaf: 1,
+				},
+			},
+		},
+		Model:       dl.ResNet32,
+		NumJobs:     4,
+		LocalBatch:  4,
+		TargetSteps: 60,
+		TLs: core.Config{
+			Policy:      core.PolicyRR,
+			IntervalSec: 0.5,
+		},
+		StaggerSec:      0.05,
+		CollectiveSpecs: cluster.CollectiveSpecs(dl.ResNet32, rings, collective.Ring, 4, 15),
+	}
+	res := checkShardedRunEquivalence(t, rc, 4, []int{2, 4})
+	if len(res.JCTs) != 4 || len(res.CollectiveJCTs) != 4 {
+		t.Fatalf("finished %d PS + %d collective jobs, want 4 + 4",
+			len(res.JCTs), len(res.CollectiveJCTs))
+	}
+}
+
+// TestRunShardedEquivalenceColocatedPS pins two PS jobs per cell onto a
+// shared PS host via PSSpecs, so the TensorLights tc path (band
+// install, RR rotation under grid timers) actually reconfigures hosts.
+// The spread-out ShardStableSpecs workload never colocates PSes, which
+// would leave that machinery untested across shard counts.
+func TestRunShardedEquivalenceColocatedPS(t *testing.T) {
+	var specs []dl.JobSpec
+	for cell := 0; cell < 4; cell++ {
+		base := 3 * cell
+		for j := 0; j < 2; j++ {
+			id := 2*cell + j
+			specs = append(specs, dl.JobSpec{
+				ID: id, Name: fmt.Sprintf("coloc-%02d", id), Model: dl.ResNet32,
+				NumWorkers: 2, LocalBatch: 4, TargetGlobalSteps: 100,
+				PSHost: base, PSPort: 5000 + id,
+				WorkerHosts: []int{base + 1, base + 2},
+			})
+		}
+	}
+	rc := RunConfig{
+		Label:      "sharded-coloc",
+		Cluster:    cluster.Config{Hosts: 12, Seed: 21},
+		TLs:        core.Config{Policy: core.PolicyRR, IntervalSec: 0.5},
+		StaggerSec: 0.05,
+		PSSpecs:    specs,
+	}
+	res := checkShardedRunEquivalence(t, rc, 4, []int{2, 4})
+	if res.Reconfigs == 0 {
+		t.Fatal("colocated PSes never triggered a tc reconfiguration")
+	}
+}
+
+// TestRunShardedRejectsUnshardable: global observers and shared-RNG
+// policies cannot be partitioned and must be refused, as must
+// workloads whose jobs straddle shards.
+func TestRunShardedRejectsUnshardable(t *testing.T) {
+	base := RunConfig{
+		Cluster:     cluster.Config{Hosts: 8, Seed: 1},
+		NumJobs:     2,
+		TargetSteps: 10,
+	}
+	util := base
+	util.SampleUtilEvery = 0.5
+	if _, err := RunSharded(util, ShardOptions{Shards: 2}); err == nil {
+		t.Error("SampleUtilEvery accepted by sharded run")
+	}
+	random := base
+	random.TLs = core.Config{Policy: core.PolicyOne, Order: core.OrderRandom}
+	if _, err := RunSharded(random, ShardOptions{Shards: 2}); err == nil {
+		t.Error("OrderRandom accepted by sharded run")
+	}
+	straddle := base
+	straddle.PSSpecs = []dl.JobSpec{{
+		ID: 0, Name: "straddle", Model: dl.ResNet32, NumWorkers: 1,
+		LocalBatch: 4, TargetGlobalSteps: 10,
+		PSHost: 0, PSPort: 5000, WorkerHosts: []int{7},
+	}}
+	if _, err := RunSharded(straddle, ShardOptions{Shards: 2}); err == nil {
+		t.Error("shard-straddling job accepted")
+	}
+	if _, err := RunSharded(base, ShardOptions{Shards: 0}); err == nil {
+		t.Error("0 shards accepted")
+	}
+	crash := base
+	crash.Faults = faults.Plan{Crashes: []faults.CrashPlan{{Job: 99, Worker: 0, AtSec: 1}}}
+	crash.Recovery = dl.RecoveryConfig{DetectTimeoutSec: 0.2, RestartBackoffSec: 0.05, MaxRestarts: 1}
+	if _, err := RunSharded(crash, ShardOptions{Shards: 2}); err == nil {
+		t.Error("crash plan naming an unknown job accepted")
+	}
+}
+
+// TestRunShardedLargeTopology stands up a >=10k-host leaf-spine fabric
+// (256 racks x 40 hosts) and completes a small workload across 4
+// parallel shards — the scale target the sharded engine exists for.
+func TestRunShardedLargeTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-host topology")
+	}
+	rc := RunConfig{
+		Label: "sharded-10k",
+		Cluster: cluster.Config{
+			Hosts: 10_240,
+			Seed:  5,
+			Net: simnet.Config{
+				Topology: simnet.TopologyConfig{
+					Kind:          simnet.TopologyLeafSpine,
+					Racks:         256,
+					UplinksPerLeaf: 4,
+				},
+			},
+		},
+		Model:       dl.ResNet32,
+		NumJobs:     16,
+		LocalBatch:  4,
+		TargetSteps: 40,
+		TLs:         core.Config{Policy: core.PolicyOne},
+		StaggerSec:  0.02,
+	}
+	start := time.Now()
+	res, err := RunSharded(rc, ShardOptions{Shards: 4, PlacementShards: 16, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JCTs) != 16 {
+		t.Fatalf("finished %d/16 jobs", len(res.JCTs))
+	}
+	t.Logf("10240 hosts, 16 jobs, %d events in %v (sim time %.2f s)",
+		res.Events, time.Since(start), res.SimTime)
+}

@@ -1,0 +1,54 @@
+package trace
+
+import "sort"
+
+// Canonical event ordering. A sharded run records each shard's events in
+// its own Buffer; concatenating those buffers yields the same multiset
+// of events as a one-shard run but in a different emission order. The
+// canonical order below is a total order on the full event tuple, so
+// sorting any per-shard partition of a stream reproduces one byte-stable
+// sequence — the basis of the sharded-vs-sequential equivalence tests.
+
+// LessCanonical reports whether a orders before b under the canonical
+// (At, Kind, Job, Host, Worker, Value, Detail) lexicographic order.
+func LessCanonical(a, b Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Job != b.Job {
+		return a.Job < b.Job
+	}
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	if a.Worker != b.Worker {
+		return a.Worker < b.Worker
+	}
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	return a.Detail < b.Detail
+}
+
+// SortCanonical sorts events in place into the canonical order.
+func SortCanonical(events []Event) {
+	sort.Slice(events, func(i, k int) bool { return LessCanonical(events[i], events[k]) })
+}
+
+// MergeCanonical concatenates the streams and returns them as one new
+// slice in canonical order. Inputs are not modified.
+func MergeCanonical(streams ...[]Event) []Event {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	out := make([]Event, 0, n)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	SortCanonical(out)
+	return out
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeCanonicalEqualsSortedConcat(t *testing.T) {
+	a := []Event{
+		{At: 0.2, Kind: KindLinkUp, Host: 1},
+		{At: 0.1, Kind: KindLinkDown, Host: 1, Value: 0.05},
+	}
+	b := []Event{
+		{At: 0.1, Kind: KindLinkDown, Host: 0, Value: 0.05},
+		{At: 0.1, Kind: KindJobStart, Job: 2},
+	}
+	got := MergeCanonical(a, b)
+	want := []Event{
+		{At: 0.1, Kind: KindJobStart, Job: 2},
+		{At: 0.1, Kind: KindLinkDown, Host: 0, Value: 0.05},
+		{At: 0.1, Kind: KindLinkDown, Host: 1, Value: 0.05},
+		{At: 0.2, Kind: KindLinkUp, Host: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeCanonical = %+v, want %+v", got, want)
+	}
+	// Inputs untouched.
+	if a[0].At != 0.2 || b[0].Host != 0 {
+		t.Fatal("MergeCanonical modified an input stream")
+	}
+}
+
+// TestMergeCanonicalPartitionInvariance is the property the sharded
+// engine relies on: however a stream is partitioned across shards,
+// merging the parts canonically yields one identical sequence.
+func TestMergeCanonicalPartitionInvariance(t *testing.T) {
+	all := []Event{
+		{At: 0.3, Kind: KindTcConfig, Job: 1, Host: 2, Detail: "b"},
+		{At: 0.1, Kind: KindJobStart, Job: 0, Host: 0},
+		{At: 0.3, Kind: KindTcConfig, Job: 1, Host: 2, Detail: "a"},
+		{At: 0.2, Kind: KindFlowDone, Job: 0, Host: 1, Value: 7},
+		{At: 0.3, Kind: KindTcConfig, Job: 0, Host: 2},
+		{At: 0.1, Kind: KindJobStart, Job: 1, Host: 3},
+	}
+	whole := MergeCanonical(all)
+	for split := 0; split <= len(all); split++ {
+		got := MergeCanonical(all[:split], all[split:])
+		if !reflect.DeepEqual(got, whole) {
+			t.Fatalf("split %d: merged partition differs from whole", split)
+		}
+	}
+}
+
+func TestLessCanonicalIsStrictOrder(t *testing.T) {
+	e := Event{At: 1, Kind: KindCustom, Job: 1, Host: 1, Worker: 1, Value: 1, Detail: "x"}
+	if LessCanonical(e, e) {
+		t.Fatal("LessCanonical(e, e) = true; must be irreflexive")
+	}
+	lo := Event{At: 1, Kind: KindCustom, Job: 1, Host: 1, Worker: 1, Value: 1, Detail: "w"}
+	if !LessCanonical(lo, e) || LessCanonical(e, lo) {
+		t.Fatal("LessCanonical not antisymmetric on Detail tie-break")
+	}
+}

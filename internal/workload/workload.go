@@ -8,6 +8,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/dl"
@@ -44,7 +45,9 @@ func (c *ChurnConfig) fillDefaults() {
 	if c.NumJobs <= 0 {
 		c.NumJobs = 21
 	}
-	if c.ArrivalRatePerSec <= 0 {
+	// Only an unset (zero) rate gets the default; a negative rate is a
+	// configuration error that Validate rejects rather than masks.
+	if c.ArrivalRatePerSec == 0 {
 		c.ArrivalRatePerSec = 0.1
 	}
 	if c.Hosts <= 0 {
@@ -60,6 +63,21 @@ func (c *ChurnConfig) fillDefaults() {
 	}
 }
 
+// Validate reports configuration errors. The arrival rate must be a
+// positive, finite number of jobs per second — a zero or negative rate
+// would make the Poisson inter-arrival draw meaningless. Generate fills
+// defaults first (so an unset rate becomes 0.1/s) and then validates,
+// so an explicitly negative rate always errors.
+func (c ChurnConfig) Validate() error {
+	if !(c.ArrivalRatePerSec > 0) { // also catches NaN
+		return fmt.Errorf("workload: ArrivalRatePerSec %g must be positive", c.ArrivalRatePerSec)
+	}
+	if math.IsInf(c.ArrivalRatePerSec, 1) {
+		return fmt.Errorf("workload: ArrivalRatePerSec must be finite")
+	}
+	return nil
+}
+
 // Arrival is one job arrival event.
 type Arrival struct {
 	At   float64
@@ -70,6 +88,9 @@ type Arrival struct {
 // given rng stream.
 func Generate(cfg ChurnConfig, rng *sim.RNG) ([]Arrival, error) {
 	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	stream := rng.Stream("workload")
 	sched := cluster.NewScheduler(cfg.SchedPolicy, cfg.Hosts, 12, stream)
 	totalWeight := 0.0

@@ -128,6 +128,78 @@ func TestGenerateErrors(t *testing.T) {
 	}
 }
 
+// TestTemplateWeightChiSquare is a seeded goodness-of-fit check on the
+// weighted template sampler: 2000 draws through Generate against the
+// HeterogeneousMix weights 0.5/0.3/0.2. The chi-square statistic over
+// the three model counts must stay below the df=2, p=0.001 critical
+// value (13.82) — generous enough to never flake on a fixed seed, tight
+// enough to catch a broken walk in pickTemplate (e.g. comparing against
+// unnormalized weights or skipping the last template).
+func TestTemplateWeightChiSquare(t *testing.T) {
+	const draws = 2000
+	templates := HeterogeneousMix(4000)
+	cfg := ChurnConfig{
+		NumJobs:           draws,
+		ArrivalRatePerSec: 5,
+		Templates:         templates,
+	}
+	arrivals, err := Generate(cfg, sim.NewRNG(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != draws {
+		t.Fatalf("generated %d arrivals, want %d", len(arrivals), draws)
+	}
+	counts := map[string]int{}
+	for _, a := range arrivals {
+		counts[a.Spec.Model.Name]++
+	}
+	total := 0.0
+	for _, tpl := range templates {
+		total += tpl.Weight
+	}
+	chi2 := 0.0
+	for _, tpl := range templates {
+		expected := float64(draws) * tpl.Weight / total
+		diff := float64(counts[tpl.Model.Name]) - expected
+		chi2 += diff * diff / expected
+		t.Logf("%-12s observed %4d expected %6.1f", tpl.Model.Name, counts[tpl.Model.Name], expected)
+	}
+	// Critical value for df = len(templates)-1 = 2 at p = 0.001.
+	const critical = 13.82
+	if chi2 > critical {
+		t.Fatalf("chi-square %.2f exceeds %.2f: sampler does not follow template weights (counts %v)",
+			chi2, critical, counts)
+	}
+}
+
+// TestChurnConfigValidateRejectsBadRates: zero and negative arrival
+// rates must be rejected by Validate, and a negative rate must fail
+// Generate outright instead of being silently coerced to the default
+// (the pre-Validate behavior). An unset (zero) rate through Generate
+// still picks up the 0.1/s default.
+func TestChurnConfigValidateRejectsBadRates(t *testing.T) {
+	for _, rate := range []float64{0, -1, -0.001} {
+		cfg := ChurnConfig{NumJobs: 3, ArrivalRatePerSec: rate}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted ArrivalRatePerSec %g", rate)
+		}
+	}
+	if err := (ChurnConfig{ArrivalRatePerSec: 2}).Validate(); err != nil {
+		t.Errorf("Validate rejected a positive rate: %v", err)
+	}
+	if _, err := Generate(ChurnConfig{NumJobs: 3, ArrivalRatePerSec: -1}, sim.NewRNG(1)); err == nil {
+		t.Error("Generate accepted a negative arrival rate")
+	}
+	arrivals, err := Generate(ChurnConfig{NumJobs: 3}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Generate with unset rate must use the default: %v", err)
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("got %d arrivals, want 3", len(arrivals))
+	}
+}
+
 // Property: every generated spec is valid and every job's workers avoid
 // its PS host, for any job count and rate.
 func TestGenerateProperty(t *testing.T) {

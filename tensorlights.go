@@ -184,6 +184,41 @@ type ExperimentConfig struct {
 	// Topology, Racks, PlacementStrategy, Collective) are ignored —
 	// the scheduler tier owns placement.
 	Scheduler *SchedulerConfig
+	// Sharded, when non-nil, executes the run on the sharded engine:
+	// the hosts are partitioned into Shards event kernels advancing in
+	// conservative lockstep windows (see DESIGN.md §12), and the
+	// workload is the shard-stable cell-confined grid (each job's PS
+	// and workers live inside one placement cell) instead of the
+	// Table I placement — PlacementIndex/Placement are ignored. The
+	// results are byte-identical at every shard count; only wall clock
+	// differs. Incompatible with Scheduler, MeasureUtilization and the
+	// feedback-driven adaptive policies.
+	Sharded *ShardedConfig
+}
+
+// ShardedConfig selects the sharded engine for an experiment.
+type ShardedConfig struct {
+	// Shards is the number of event-kernel partitions (default 2).
+	Shards int
+	// Cells is the number of placement cells jobs are confined to
+	// (default Shards). Cells must split into whole shards, so a fixed
+	// Cells lets the same workload run under several shard counts.
+	Cells int
+	// Sequential forces shard windows onto one goroutine (for
+	// debugging); by default windows execute in parallel.
+	Sequential bool
+}
+
+func (s *ShardedConfig) options() sweep.ShardOptions {
+	opt := sweep.ShardOptions{
+		Shards:          s.Shards,
+		PlacementShards: s.Cells,
+		Parallel:        !s.Sequential,
+	}
+	if opt.Shards == 0 {
+		opt.Shards = 2
+	}
+	return opt
 }
 
 // SchedulerConfig describes the online cluster-scheduler experiment.
@@ -358,6 +393,9 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 // dump can never be mistaken for a complete run.
 func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*Result, error) {
 	if cfg.Scheduler != nil {
+		if cfg.Sharded != nil {
+			return nil, fmt.Errorf("tensorlights: Sharded is incompatible with Scheduler (the scheduler trial owns its own kernel)")
+		}
 		return runSchedulerExperiment(ctx, cfg)
 	}
 	rc, err := toRunConfig(cfg)
@@ -369,7 +407,16 @@ func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*Result, e
 		buf = &trace.Buffer{}
 		rc.Tracer = buf
 	}
-	res, err := sweep.RunContext(ctx, rc)
+	var res *sweep.RunResult
+	if cfg.Sharded != nil {
+		// The sharded engine runs bounded windows to completion; it has
+		// no between-event cancellation hook, so ctx only gates entry.
+		if err = ctx.Err(); err == nil {
+			res, err = sweep.RunSharded(rc, cfg.Sharded.options())
+		}
+	} else {
+		res, err = sweep.RunContext(ctx, rc)
+	}
 	if err != nil {
 		if buf != nil && ctx.Err() != nil {
 			// Best effort: the run was cancelled, not broken — dump what
