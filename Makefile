@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race check bench fuzz examples serve-smoke scheduler-smoke
+.PHONY: build test vet staticcheck race check bench fuzz examples serve-smoke scheduler-smoke flow-equiv
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,13 @@ serve-smoke:
 scheduler-smoke:
 	$(GO) run ./cmd/experiments -steps 300 -only scheduler -parallel 4
 
-check: build vet staticcheck test race examples serve-smoke scheduler-smoke
+# flow-equiv runs the golden equivalence harness: every golden config is
+# simulated on both the chunk fabric and the analytic flow fabric and the
+# per-job JCTs must agree within the documented tolerance (DESIGN.md §13).
+flow-equiv:
+	$(GO) test ./internal/sweep -run '^TestFlowEquiv' -count=1 -v
+
+check: build vet staticcheck test race examples serve-smoke scheduler-smoke flow-equiv
 
 # bench writes BENCH_sweep.json: trials/sec through the sequential and
 # parallel Engine paths, plus ns/event and allocs/event in the kernel.
@@ -60,3 +66,4 @@ fuzz:
 	$(GO) test ./internal/qdisc -run '^$$' -fuzz '^FuzzClassifier$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/qdisc -run '^$$' -fuzz '^FuzzHTBDequeue$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/policy -run '^$$' -fuzz '^FuzzPolicyRank$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/flownet -run '^$$' -fuzz '^FuzzSolve$$' -fuzztime $(FUZZTIME)

@@ -2,8 +2,10 @@
 // appends the snapshot to the run history in BENCH_sweep.json, giving
 // performance work a trajectory to move: trials/sec through the
 // sequential and parallel Engine paths, ns/event and allocs/event in
-// the kernel, and ns/chunk through a contended leaf-spine core link
-// (the simnet hot path). Each run is keyed by git SHA and date and
+// the kernel, ns/chunk through a contended leaf-spine core link (the
+// simnet hot path), and the analytic flow fabric's wall-clock speedup
+// over the chunk fabric on fixed scenarios. Each run is keyed by git
+// SHA and date and
 // diffed against the previous entry; metrics that moved the wrong way
 // by more than 25% are flagged as regressions.
 //
@@ -112,6 +114,10 @@ func main() {
 	for _, p := range rep.ShardScale {
 		fmt.Printf("  sharded engine: %d shards @ GOMAXPROCS=%d: %.2fs (%.2fx vs 1 shard)\n",
 			p.Shards, p.Procs, p.WallSec, p.Speedup)
+	}
+	for _, p := range rep.FlowVsChunk {
+		fmt.Printf("  flow fabric %s: chunk %.2fs (%d events) vs flow %.2fs (%d events), %.1fx faster\n",
+			p.Scenario, p.ChunkSec, p.ChunkEvents, p.FlowSec, p.FlowEvents, p.Speedup)
 	}
 	fmt.Printf("run %d appended to %s\n", len(hist.Runs), *out)
 	if len(hist.Runs) > 1 {

@@ -72,6 +72,7 @@ func main() {
 		util       = flag.Bool("util", false, "measure CPU/NIC utilization")
 		workload   = flag.String("workload", "ps", "workload mix: ps | collective | mixed")
 		topology   = flag.String("topology", "flat", "fabric topology: flat (the paper's single switch) | leafspine")
+		fabric     = flag.String("fabric", "chunk", "fabric engine: chunk (per-chunk discrete events) | flow (analytic flow-level model, typically 10-100x faster)")
 		racks      = flag.Int("racks", 3, "leafspine: number of racks (21 hosts must divide evenly)")
 		uplinks    = flag.Int("uplinks", 2, "leafspine: spine uplinks per rack (ECMP fan-out)")
 		oversub    = flag.Float64("oversub", 1, "leafspine: core oversubscription ratio (1 = non-blocking)")
@@ -160,6 +161,9 @@ func main() {
 		Async:              *async,
 		Seed:               *seed,
 		MeasureUtilization: *util,
+	}
+	if *fabric != "chunk" {
+		cfg.FabricMode = *fabric
 	}
 	if *topology != "flat" {
 		cfg.Topology = *topology

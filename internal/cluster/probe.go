@@ -25,6 +25,11 @@ func (p QdiscProbe) BandDequeuedBytes(host int) map[int]uint64 {
 	if host < 0 || host >= p.Fabric.NumHosts() {
 		return nil
 	}
+	// The analytic flow fabric moves no chunks through the qdisc, so its
+	// band counters stay zero; the fabric keeps the per-band totals.
+	if m := p.Fabric.FlowBandBytes(host); m != nil {
+		return m
+	}
 	if bc, ok := p.Fabric.Host(host).Egress.Qdisc().(qdisc.BandCounter); ok {
 		return bc.BandDequeuedBytes()
 	}

@@ -147,6 +147,20 @@ type bucketState struct {
 	complete bool
 }
 
+// reset clears the state for a new iteration, keeping the allocations.
+func (st *bucketState) reset() {
+	clear(st.ready)
+	clear(st.sent)
+	for _, r := range st.recvd {
+		clear(r)
+	}
+	clear(st.stepRecv)
+	clear(st.reduceRecv)
+	clear(st.reduceSent)
+	st.done = 0
+	st.complete = false
+}
+
 // Job is the runtime state of one all-reduce training job.
 type Job struct {
 	Spec JobSpec
@@ -296,20 +310,30 @@ func (j *Job) segBytes(b int) int64 {
 // backprop as Buckets sequential compute chunks on its host CPU.
 func (j *Job) startIteration() {
 	n := j.N()
-	j.buckets = j.buckets[:0]
-	for b := 0; b < j.Spec.Buckets; b++ {
-		st := &bucketState{
-			ready:      make([]bool, n),
-			sent:       make([]int, n),
-			recvd:      make([][]bool, n),
-			stepRecv:   make([]int, 2*n-2),
-			reduceRecv: make([]int, n),
-			reduceSent: make([]bool, n),
+	// Reuse last iteration's bucket state when the shape is unchanged
+	// (the common case — it only shifts when a rank dies); iterations
+	// are frequent enough that reallocating every slice each time shows
+	// up in the trial profile.
+	if len(j.buckets) == j.Spec.Buckets && len(j.buckets) > 0 && len(j.buckets[0].ready) == n {
+		for _, st := range j.buckets {
+			st.reset()
 		}
-		for i := range st.recvd {
-			st.recvd[i] = make([]bool, 2*n-2)
+	} else {
+		j.buckets = j.buckets[:0]
+		for b := 0; b < j.Spec.Buckets; b++ {
+			st := &bucketState{
+				ready:      make([]bool, n),
+				sent:       make([]int, n),
+				recvd:      make([][]bool, n),
+				stepRecv:   make([]int, 2*n-2),
+				reduceRecv: make([]int, n),
+				reduceSent: make([]bool, n),
+			}
+			for i := range st.recvd {
+				st.recvd[i] = make([]bool, 2*n-2)
+			}
+			j.buckets = append(j.buckets, st)
 		}
-		j.buckets = append(j.buckets, st)
 	}
 	gen := j.gen
 	for _, r := range j.ranks {
@@ -349,8 +373,10 @@ func (j *Job) advance(b, i, gen int) {
 
 // send puts one collective message on the wire. Every message is sent
 // from the job's Port — the classification key — to the destination
-// rank's receive port.
-func (j *Job) send(src, dst *rank, bytes int64, onArrive func()) {
+// rank's receive port. onArrive is installed as the flow's OnComplete
+// directly (one closure per message, not a wrapper pair); the delivered
+// *Flow is ignored by every caller.
+func (j *Job) send(src, dst *rank, bytes int64, onArrive func(*simnet.Flow)) {
 	j.env.Fabric.Send(simnet.FlowSpec{
 		Src:        src.host,
 		Dst:        dst.host,
@@ -358,7 +384,8 @@ func (j *Job) send(src, dst *rank, bytes int64, onArrive func()) {
 		DstPort:    dst.port,
 		JobID:      j.Spec.ID,
 		Bytes:      bytes,
-		OnComplete: func(*simnet.Flow) { onArrive() },
+		OnComplete: onArrive,
+		Transient:  true, // nothing retains the flow past OnComplete
 	})
 }
 
@@ -373,7 +400,7 @@ func (j *Job) ringAdvance(b, i, gen int) {
 		s := st.sent[i]
 		st.sent[i]++
 		succ := j.ranks[(i+1)%j.N()]
-		j.send(r, succ, j.segBytes(b), func() {
+		j.send(r, succ, j.segBytes(b), func(*simnet.Flow) {
 			if j.halted() || gen != j.gen || succ.dead {
 				return
 			}
@@ -390,7 +417,10 @@ func (j *Job) ringRecv(b, i, s, gen int) {
 	}
 	st.recvd[i][s] = true
 	st.stepRecv[s]++
-	if st.stepRecv[s] == j.N() {
+	// Guard on the tracer before building the event: this fires once per
+	// completed ring step, and the Sprintf would otherwise allocate even
+	// on untraced runs.
+	if st.stepRecv[s] == j.N() && j.env.Tracer != nil {
 		j.emit(trace.Event{
 			At: j.env.K.Now(), Kind: trace.KindRingStep,
 			Job: j.Spec.ID, Host: -1, Worker: -1,
@@ -441,7 +471,7 @@ func (j *Job) treeAdvance(b, i, gen int) {
 		return
 	}
 	p := j.ranks[parent(i)]
-	j.send(r, p, j.bktBytes[b], func() {
+	j.send(r, p, j.bktBytes[b], func(*simnet.Flow) {
 		if j.halted() || gen != j.gen || p.dead {
 			return
 		}
@@ -460,7 +490,7 @@ func (j *Job) treeDeliver(b, i, gen int) {
 	j.bucketDoneAt(b, gen)
 	for _, ci := range j.children(i) {
 		c := j.ranks[ci]
-		j.send(r, c, j.bktBytes[b], func() {
+		j.send(r, c, j.bktBytes[b], func(*simnet.Flow) {
 			if j.halted() || gen != j.gen || c.dead {
 				return
 			}

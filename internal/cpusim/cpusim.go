@@ -25,8 +25,15 @@ type CPU struct {
 	sumDemand      float64
 	lastUpdate     float64
 	busyTime       float64 // cumulative thread-seconds of work done
-	done           *sim.Event
+	done           sim.Ticket // armed completion event (zero when none)
 	completedTasks uint64
+
+	// onCompletionFn is bound once so rescheduling the (pooled)
+	// completion event never allocates a closure; finishedBuf and
+	// taskArena keep the submit/retire hot path off the allocator.
+	onCompletionFn func()
+	finishedBuf    []*Task
+	taskArena      []Task
 }
 
 // Task is one unit of compute work in progress.
@@ -47,7 +54,9 @@ func NewCPU(k *sim.Kernel, threads float64) *CPU {
 	if threads <= 0 {
 		panic(fmt.Sprintf("cpusim: threads must be positive, got %g", threads))
 	}
-	return &CPU{k: k, threads: threads, speed: 1, tasks: make(map[*Task]struct{})}
+	c := &CPU{k: k, threads: threads, speed: 1, tasks: make(map[*Task]struct{})}
+	c.onCompletionFn = c.onCompletion
+	return c
 }
 
 // SetSpeed scales the host's per-thread speed (1 = the reference host
@@ -113,8 +122,8 @@ func (c *CPU) advance() {
 
 // reschedule points the completion event at the earliest finishing task.
 func (c *CPU) reschedule() {
-	c.k.Cancel(c.done)
-	c.done = nil
+	c.k.CancelTicket(c.done)
+	c.done = sim.Ticket{}
 	if len(c.tasks) == 0 {
 		return
 	}
@@ -126,15 +135,15 @@ func (c *CPU) reschedule() {
 			earliest = eta
 		}
 	}
-	c.done = c.k.ScheduleAfter(earliest, c.onCompletion)
+	c.done = c.k.PostTicket(c.k.Now()+earliest, c.onCompletionFn)
 }
 
 // onCompletion retires every task that has reached zero work.
 func (c *CPU) onCompletion() {
-	c.done = nil
+	c.done = sim.Ticket{}
 	c.advance()
 	const eps = 1e-12
-	var finished []*Task
+	finished := c.finishedBuf[:0]
 	for t := range c.tasks {
 		if t.remaining <= eps {
 			finished = append(finished, t)
@@ -154,6 +163,16 @@ func (c *CPU) onCompletion() {
 			t.onDone()
 		}
 	}
+	// Callbacks only Submit/Cancel (they cannot re-enter onCompletion
+	// synchronously), so the scratch buffer is ours for the whole pass.
+	// Drop the callback and task references before parking it: retired
+	// tasks live on in their arena block, and a retained onDone would
+	// pin everything the closure captured.
+	for i, t := range finished {
+		t.onDone = nil
+		finished[i] = nil
+	}
+	c.finishedBuf = finished[:0]
 }
 
 // Submit adds a task needing `work` single-thread seconds with the given
@@ -170,7 +189,15 @@ func (c *CPU) Submit(work, demand float64, onDone func()) *Task {
 		demand = 1
 	}
 	c.advance()
-	t := &Task{cpu: c, remaining: work, demand: demand, onDone: onDone}
+	// Tasks come from an arena (never reused — Submit hands the pointer
+	// back and callers may hold it past completion), so the per-task
+	// allocator cost amortizes across a block.
+	if len(c.taskArena) == 0 {
+		c.taskArena = make([]Task, 128)
+	}
+	t := &c.taskArena[0]
+	c.taskArena = c.taskArena[1:]
+	t.cpu, t.remaining, t.demand, t.onDone = c, work, demand, onDone
 	c.tasks[t] = struct{}{}
 	c.sumDemand += demand
 	c.reschedule()
@@ -183,6 +210,7 @@ func (c *CPU) Cancel(t *Task) {
 		return
 	}
 	t.canceled = true
+	t.onDone = nil
 	if _, ok := c.tasks[t]; !ok {
 		return
 	}

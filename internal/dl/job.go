@@ -338,6 +338,7 @@ func (j *Job) broadcastModel() {
 			OnComplete: func(*simnet.Flow) {
 				j.workerGotModel(w)
 			},
+			Transient: true, // nothing retains the flow past OnComplete
 		})
 	}
 	if len(specs) == 0 {
@@ -358,6 +359,7 @@ func (j *Job) sendModelTo(w *worker) {
 		OnComplete: func(*simnet.Flow) {
 			j.workerGotModel(w)
 		},
+		Transient: true, // nothing retains the flow past OnComplete
 	})
 }
 
@@ -405,6 +407,7 @@ func (j *Job) computeDone(w *worker) {
 		OnComplete: func(*simnet.Flow) {
 			j.psGotGradient(w)
 		},
+		Transient: true, // nothing retains the flow past OnComplete
 	})
 }
 

@@ -1,0 +1,276 @@
+// Package flownet is an analytic flow-level network model: active
+// transfers are fluid flows with a byte demand, and link bandwidth is
+// shared by weighted progressive-filling max-min fairness with strict
+// priority bands at each flow's source egress — the same allocation the
+// chunk fabric's HTB/prio qdiscs converge to under sustained load, but
+// computed in closed form. Rates change only on flow arrival, departure,
+// priority change or link fault, so a simulation kernel can jump
+// straight to the next flow completion instead of pumping per-chunk
+// events. CASSINI (arXiv 2308.00852) and Wang et al. (arXiv 2002.10105)
+// evaluate placement and interleaving decisions on exactly this kind of
+// fluid bandwidth-sharing model.
+package flownet
+
+import "math"
+
+// Flow is one transfer demand presented to the solver.
+type Flow struct {
+	// Links are the IDs of the capacity-constrained links the flow
+	// crosses, in path order. A flow with no links is degenerate and is
+	// allocated zero rate.
+	Links []int
+	// Weight scales the flow's fair share on every link it crosses.
+	// The fabric maps the per-flow socket window here: under backlogged
+	// FIFO service a flow's throughput is proportional to its window,
+	// which is the chunk fabric's source of persistent TCP unfairness.
+	// Non-positive weights are treated as 1.
+	Weight float64
+	// Band is the flow's strict-priority band at BandLink; lower values
+	// are served first (TensorLights green = 0, yellow = 1, ...).
+	Band int
+	// BandLink is the link at which Band competes — the source egress
+	// in the fabric mapping, where tc installs the qdisc. Every flow
+	// crossing an egress originates at that host, so priority applies
+	// exactly where HTB enforces it; core and ingress links are
+	// single-band FIFO in the chunk fabric and stay band-free here.
+	// BandLink < 0 disables priority gating for the flow.
+	BandLink int
+}
+
+// satEps is the absolute saturation slack in bytes/sec: residual
+// capacities at or below cap*1e-9 + satEps count as saturated, which
+// absorbs the floating-point residue of the filling arithmetic.
+const satEps = 1e-6
+
+// Solver computes max-min fair rates. The zero value is ready to use;
+// reusing one Solver across calls reuses its scratch arrays, so
+// steady-state solves allocate nothing.
+type Solver struct {
+	capRem  []float64
+	wsum    []float64
+	minBand []int64
+	stamp   []uint64
+	epoch   uint64
+	touched []int
+	frozen  []bool
+	elig    []bool
+
+	// Rounds counts progressive-filling iterations across all Solve
+	// calls (each round freezes at least one flow), for diagnostics.
+	Rounds uint64
+}
+
+// grow sizes the per-link scratch to cover link IDs [0, n).
+func (s *Solver) grow(n int) {
+	if len(s.capRem) >= n {
+		return
+	}
+	s.capRem = append(s.capRem, make([]float64, n-len(s.capRem))...)
+	s.wsum = append(s.wsum, make([]float64, n-len(s.wsum))...)
+	s.minBand = append(s.minBand, make([]int64, n-len(s.minBand))...)
+	s.stamp = append(s.stamp, make([]uint64, n-len(s.stamp))...)
+}
+
+// touch initializes link l's residual capacity once per solve.
+func (s *Solver) touch(l int, caps []float64) {
+	if s.stamp[l] == s.epoch {
+		return
+	}
+	s.stamp[l] = s.epoch
+	c := caps[l]
+	if c < 0 {
+		c = 0
+	}
+	s.capRem[l] = c
+	s.touched = append(s.touched, l)
+}
+
+// saturated reports whether link l has no meaningful residual capacity.
+func (s *Solver) saturated(l int, caps []float64) bool {
+	return s.capRem[l] <= caps[l]*1e-9+satEps
+}
+
+// Solve computes the weighted priority max-min allocation. caps[l] is
+// link l's capacity (bytes/sec; <= 0 means down). Flows reference links
+// by index into caps. The result is written into rates (grown as
+// needed) and returned; rates[i] is flow i's allocation.
+//
+// Progressive filling with strict priority: a flow is eligible when no
+// unfrozen flow with a lower band shares its BandLink. All eligible
+// flows grow together, each at ds*Weight, until some link saturates;
+// flows crossing a saturated link freeze at their current rate. When
+// every flow gated behind a band has frozen, the next band becomes
+// eligible and fills the residual capacity — matching HTB's
+// work-conserving borrowing: green saturates first, yellow gets what is
+// left. Each round freezes at least one flow, so the loop runs at most
+// len(flows) rounds. The solution touches only links some flow crosses,
+// so cost is independent of the total link count.
+//
+// Guarantees (the property-test contract):
+//   - per link, the sum of allocated rates never exceeds its capacity;
+//   - every flow with at least one link ends frozen against a saturated
+//     link (its bottleneck) — no flow could be sped up without reducing
+//     a flow of equal or lower band;
+//   - the allocation is deterministic in the input order.
+func (s *Solver) Solve(caps []float64, flows []Flow, rates []float64) []float64 {
+	n := len(flows)
+	if cap(rates) < n {
+		rates = make([]float64, n)
+	}
+	rates = rates[:n]
+	s.grow(len(caps))
+	s.epoch++
+	s.touched = s.touched[:0]
+	if cap(s.frozen) < n {
+		s.frozen = make([]bool, n)
+		s.elig = make([]bool, n)
+	}
+	s.frozen = s.frozen[:n]
+	s.elig = s.elig[:n]
+
+	active := 0
+	for i := range flows {
+		rates[i] = 0
+		fl := &flows[i]
+		if len(fl.Links) == 0 {
+			s.frozen[i] = true
+			continue
+		}
+		s.frozen[i] = false
+		active++
+		for _, l := range fl.Links {
+			s.touch(l, caps)
+		}
+		if fl.BandLink >= 0 {
+			s.touch(fl.BandLink, caps)
+		}
+	}
+
+	for active > 0 {
+		s.Rounds++
+		// Lowest unfrozen band per band link gates eligibility.
+		for _, l := range s.touched {
+			s.minBand[l] = math.MaxInt64
+		}
+		for i := range flows {
+			if s.frozen[i] {
+				continue
+			}
+			fl := &flows[i]
+			if fl.BandLink >= 0 && int64(fl.Band) < s.minBand[fl.BandLink] {
+				s.minBand[fl.BandLink] = int64(fl.Band)
+			}
+		}
+		// Weight pressure per link from the eligible set.
+		for _, l := range s.touched {
+			s.wsum[l] = 0
+		}
+		for i := range flows {
+			fl := &flows[i]
+			el := !s.frozen[i] &&
+				(fl.BandLink < 0 || int64(fl.Band) == s.minBand[fl.BandLink])
+			s.elig[i] = el
+			if !el {
+				continue
+			}
+			w := fl.Weight
+			if w <= 0 {
+				w = 1
+			}
+			for _, l := range fl.Links {
+				s.wsum[l] += w
+			}
+		}
+		// The common fill increment is limited by the tightest link.
+		ds := math.MaxFloat64
+		bottleneck := -1
+		for _, l := range s.touched {
+			if s.wsum[l] <= 0 {
+				continue
+			}
+			if d := s.capRem[l] / s.wsum[l]; d < ds {
+				ds = d
+				bottleneck = l
+			}
+		}
+		if bottleneck < 0 {
+			// No eligible flow crosses any link. Unreachable when the
+			// eligible set is nonempty (every active flow has links);
+			// freeze the remainder defensively rather than spin.
+			for i := range flows {
+				if !s.frozen[i] {
+					s.frozen[i] = true
+					active--
+				}
+			}
+			break
+		}
+		if ds < 0 {
+			ds = 0
+		}
+		for i := range flows {
+			if !s.elig[i] {
+				continue
+			}
+			w := flows[i].Weight
+			if w <= 0 {
+				w = 1
+			}
+			rates[i] += w * ds
+		}
+		for _, l := range s.touched {
+			if s.wsum[l] > 0 {
+				s.capRem[l] -= s.wsum[l] * ds
+			}
+		}
+		// Freeze the eligible flows that hit a saturated link.
+		froze := 0
+		for i := range flows {
+			if !s.elig[i] {
+				continue
+			}
+			for _, l := range flows[i].Links {
+				if s.saturated(l, caps) {
+					s.frozen[i] = true
+					active--
+					froze++
+					break
+				}
+			}
+		}
+		if froze == 0 {
+			// Floating-point slack left the bottleneck marginally above
+			// the saturation threshold; freeze its flows directly so
+			// every round retires at least one.
+			for i := range flows {
+				if !s.elig[i] {
+					continue
+				}
+				for _, l := range flows[i].Links {
+					if l == bottleneck {
+						s.frozen[i] = true
+						active--
+						froze++
+						break
+					}
+				}
+			}
+		}
+		if froze == 0 {
+			for i := range flows {
+				if s.elig[i] {
+					s.frozen[i] = true
+					active--
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// Solve is the convenience entry point for one-shot solves (tests,
+// tools); hot paths should hold a Solver to reuse its scratch.
+func Solve(caps []float64, flows []Flow) []float64 {
+	var s Solver
+	return s.Solve(caps, flows, nil)
+}

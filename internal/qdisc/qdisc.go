@@ -40,6 +40,11 @@ type Chunk struct {
 // EnqueuedAt returns the time the chunk entered its current qdisc.
 func (c *Chunk) EnqueuedAt() float64 { return c.enqueuedAt }
 
+// Reset zeroes the chunk for reuse through a free list. The fabric
+// recycles chunk structs once delivered; qdiscs never retain a chunk
+// after Dequeue, so a delivered chunk has no aliases.
+func (c *Chunk) Reset() { *c = Chunk{} }
+
 // Stats counts qdisc activity, mirroring `tc -s qdisc show`.
 type Stats struct {
 	EnqueuedPackets uint64

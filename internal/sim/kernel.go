@@ -23,6 +23,12 @@ const Forever Time = math.MaxFloat64
 type Event struct {
 	at       Time
 	fn       func()
+	// fnA/arg is the allocation-free alternative to closing over a single
+	// pointer: PostArg events carry the argument in the event struct, so
+	// hot paths that would otherwise build a one-word closure per event
+	// (chunk service completion, flow injection) allocate nothing.
+	fnA      func(any)
+	arg      any
 	seq      uint64
 	priority int32
 	index    int32 // heap index; -1 when not queued
@@ -67,6 +73,8 @@ type Kernel struct {
 	free []*Event
 	// allocs counts Event structs allocated (not served from the pool).
 	allocs uint64
+	// batch is Run's scratch for draining same-(at, priority) event runs.
+	batch []*Event
 	// Hard safety cap on events fired in one Run; prevents runaway
 	// simulations from spinning forever. Zero means no cap.
 	MaxEvents uint64
@@ -76,6 +84,10 @@ type Kernel struct {
 func NewKernel() *Kernel {
 	return &Kernel{}
 }
+
+// nilFunc stands in for fn while newEvent validates a PostArg event;
+// the caller replaces it with the fnA/arg pair.
+func nilFunc() {}
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
@@ -127,6 +139,25 @@ func (k *Kernel) PostPrio(at Time, priority int, fn func()) {
 	k.newEvent(at, priority, fn, true)
 }
 
+// PostArg queues fn(arg) at absolute time at, without a handle. The
+// argument rides in the pooled event struct, so callers that would
+// otherwise close over one pointer per event (the per-chunk hot paths)
+// schedule with zero allocations by reusing a long-lived fn.
+func (k *Kernel) PostArg(at Time, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: schedule nil func")
+	}
+	e := k.newEvent(at, 0, nilFunc, true)
+	e.fn = nil
+	e.fnA = fn
+	e.arg = arg
+}
+
+// PostArgAfter queues fn(arg) delay seconds from now, without a handle.
+func (k *Kernel) PostArgAfter(delay Time, fn func(any), arg any) {
+	k.PostArg(k.now+delay, fn, arg)
+}
+
 func (k *Kernel) newEvent(at Time, priority int, fn func(), pooled bool) *Event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %.9f before now %.9f", at, k.now))
@@ -164,6 +195,11 @@ func (k *Kernel) recycle(e *Event) {
 		return
 	}
 	e.fn = nil
+	e.fnA = nil
+	e.arg = nil
+	// Invalidate outstanding Tickets: seq 0 is never issued, so stale
+	// tickets stop matching the moment the struct returns to the pool.
+	e.seq = 0
 	k.free = append(k.free, e)
 }
 
@@ -175,6 +211,43 @@ func (k *Kernel) Cancel(e *Event) {
 		return
 	}
 	e.canceled = true
+}
+
+// A Ticket names one incarnation of a pooled event for best-effort
+// cancellation. Pooled event structs are recycled the moment they fire,
+// so a bare *Event pointer would be unsafe to hold: cancelling it later
+// could cancel whatever unrelated event reused the struct. The ticket
+// pairs the pointer with the event's unique sequence stamp; once the
+// struct is reused the stamps disagree and the ticket degrades to a
+// no-op. The zero Ticket is valid and cancels nothing.
+type Ticket struct {
+	ev  *Event
+	seq uint64
+}
+
+// Active reports whether the ticket still names a live (queued,
+// uncancelled) incarnation of its event.
+func (t Ticket) Active() bool {
+	return t.ev != nil && t.ev.seq == t.seq && !t.ev.canceled
+}
+
+// PostTicket queues fn at absolute time at as a pooled event — the
+// allocation-free path of Post — and returns a Ticket for it. Use this
+// over Schedule when a hot path needs to re-arm a single logical timer:
+// the event struct recycles through the pool, and the stale ticket left
+// behind after it fires is harmless.
+func (k *Kernel) PostTicket(at Time, fn func()) Ticket {
+	e := k.newEvent(at, 0, fn, true)
+	return Ticket{ev: e, seq: e.seq}
+}
+
+// CancelTicket cancels the ticketed event if that incarnation is still
+// queued; stale tickets (the event fired, and its struct may since have
+// been reused) and the zero Ticket are no-ops.
+func (k *Kernel) CancelTicket(t Ticket) {
+	if t.ev != nil && t.ev.seq == t.seq {
+		t.ev.canceled = true
+	}
 }
 
 // Step fires the next pending event. It returns false when the queue is
@@ -191,32 +264,97 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = e.at
 		k.nFired++
-		fn := e.fn
-		// Recycle before calling: fn may schedule new events, which can
-		// then reuse this struct — safe, as no handle to it exists.
+		fn, fnA, arg := e.fn, e.fnA, e.arg
+		// Recycle before calling: the callback may schedule new events,
+		// which can then reuse this struct — safe, as no handle exists.
 		k.recycle(e)
-		fn()
+		if fnA != nil {
+			fnA(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
 }
 
-// Run fires events until the queue drains or until stops returns true
+// Run fires events until the queue drains or until stop returns true
 // (checked before each event). It returns the number of events fired.
+//
+// Run batch-drains the heap: all head events sharing the same
+// (time, priority) are popped in one pass and dispatched without
+// re-entering the heap per event, which skips one sift-down per
+// simultaneous event — the common case in barrier-heavy workloads
+// (window kicks, collective steps). Firing order is identical to the
+// one-Step-at-a-time loop: batch members fire in seq order, and if a
+// callback schedules an event that sorts before the rest of the batch,
+// the tail is pushed back so the new event takes its proper turn.
 func (k *Kernel) Run(stop func() bool) uint64 {
 	start := k.nFired
+	batch := k.batch[:0]
+	defer func() {
+		for i := range batch[:cap(batch)] {
+			batch[:cap(batch)][i] = nil
+		}
+		k.batch = batch[:0]
+	}()
 	for {
-		if stop != nil && stop() {
-			break
+		// Collect the run of head events sharing (at, priority).
+		batch = batch[:0]
+		for len(k.queue) > 0 {
+			e := k.queue[0]
+			if e.canceled {
+				k.recycle(k.queue.pop())
+				continue
+			}
+			if len(batch) > 0 && (e.at != batch[0].at || e.priority != batch[0].priority) {
+				break
+			}
+			batch = append(batch, k.queue.pop())
 		}
-		if k.MaxEvents > 0 && k.nFired-start >= k.MaxEvents {
-			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (runaway simulation?)", k.MaxEvents))
+		if len(batch) == 0 {
+			return k.nFired - start
 		}
-		if !k.Step() {
-			break
+		if batch[0].at < k.now {
+			panic("sim: event queue time went backwards")
+		}
+		k.now = batch[0].at
+		for i := 0; i < len(batch); i++ {
+			e := batch[i]
+			if e.canceled { // canceled by an earlier batch member
+				k.recycle(e)
+				continue
+			}
+			if stop != nil && stop() {
+				// Re-queue the unfired tail (including e) so the caller
+				// can resume; push preserves seq, so order is unchanged.
+				for _, r := range batch[i:] {
+					k.queue.push(r)
+				}
+				return k.nFired - start
+			}
+			if k.MaxEvents > 0 && k.nFired-start >= k.MaxEvents {
+				panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (runaway simulation?)", k.MaxEvents))
+			}
+			k.nFired++
+			fn, fnA, arg := e.fn, e.fnA, e.arg
+			k.recycle(e)
+			if fnA != nil {
+				fnA(arg)
+			} else {
+				fn()
+			}
+			// The callback may have scheduled an event that sorts before
+			// the rest of the batch; re-queue the tail so it fires in its
+			// proper place.
+			if i+1 < len(batch) && len(k.queue) > 0 && k.queue[0].before(batch[i+1]) {
+				for _, r := range batch[i+1:] {
+					k.queue.push(r)
+				}
+				break
+			}
 		}
 	}
-	return k.nFired - start
 }
 
 // NextAt returns the timestamp of the earliest pending event, discarding

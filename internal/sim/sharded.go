@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -218,6 +219,28 @@ func (sk *ShardedKernel) Run(stop func() bool) uint64 {
 		sk.flush()
 	}
 	return sk.Fired() - start
+}
+
+// RunContext is Run with context cancellation threaded through the
+// window boundaries: the context is polled alongside stop before each
+// window, so a daemon job deadline interrupts a sharded run at the next
+// globally-consistent point — without stop-function plumbing at every
+// call site. An already-expired context fires no events at all. Returns
+// the events fired and ctx.Err() if cancellation (not drain or stop)
+// ended the run.
+func (sk *ShardedKernel) RunContext(ctx context.Context, stop func() bool) (uint64, error) {
+	if ctx == nil {
+		return sk.Run(stop), nil
+	}
+	n := sk.Run(func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+		}
+		return stop != nil && stop()
+	})
+	return n, ctx.Err()
 }
 
 // runWindow executes one window on every shard: concurrently when the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -262,4 +263,67 @@ func BenchmarkShardedWindows(b *testing.B) {
 		windows += sk.Windows()
 	}
 	b.ReportMetric(float64(windows)/b.Elapsed().Seconds(), "windows/sec")
+}
+
+// TestShardedRunContextExpired: an already-expired context must stop a
+// sharded run before any window executes — zero events fired, queues
+// intact — so daemon job deadlines take effect promptly.
+func TestShardedRunContextExpired(t *testing.T) {
+	sk := NewShardedKernel(2, 1e-3, false)
+	var fired int
+	sk.Shard(0).Schedule(0, func() { fired++ })
+	sk.Shard(1).Schedule(0.5, func() { fired++ })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := sk.RunContext(ctx, nil)
+	if n != 0 || fired != 0 {
+		t.Fatalf("expired context still fired %d events (returned %d)", fired, n)
+	}
+	if err == nil {
+		t.Fatal("RunContext did not report the context error")
+	}
+	if sk.Shard(0).Pending() != 1 || sk.Shard(1).Pending() != 1 {
+		t.Fatalf("queues disturbed: %d, %d pending", sk.Shard(0).Pending(), sk.Shard(1).Pending())
+	}
+	// The same run resumes cleanly once cancellation is lifted.
+	n, err = sk.RunContext(context.Background(), nil)
+	if err != nil || n != 2 || fired != 2 {
+		t.Fatalf("resume: n=%d fired=%d err=%v", n, fired, err)
+	}
+}
+
+// TestShardedRunContextMidRun cancels during the run via a WindowHook
+// and checks the run halts at a window boundary with events left.
+func TestShardedRunContextMidRun(t *testing.T) {
+	sk := NewShardedKernel(2, 1e-3, false)
+	for s := 0; s < 2; s++ {
+		k := sk.Shard(s)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 100 {
+				k.ScheduleAfter(1e-3, tick)
+			}
+		}
+		k.Schedule(0, tick)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	windows := 0
+	sk.WindowHook = func(start, end Time) {
+		windows++
+		if windows == 5 {
+			cancel()
+		}
+	}
+	_, err := sk.RunContext(ctx, nil)
+	if err == nil {
+		t.Fatal("cancellation not reported")
+	}
+	if windows > 6 {
+		t.Fatalf("ran %d windows after cancellation at window 5", windows)
+	}
+	if sk.Shard(0).Pending() == 0 && sk.Shard(1).Pending() == 0 {
+		t.Fatal("run completed despite cancellation")
+	}
 }

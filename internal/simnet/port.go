@@ -30,6 +30,12 @@ type Port struct {
 
 	busy bool
 	wake *sim.Event
+	// serveDone is the long-lived transmission-complete callback; built
+	// once per port so serving a chunk allocates no closure.
+	serveDone func(any)
+	// flowLink is this port's link ID in the analytic flow engine; -1
+	// until flow mode builds its link map (always -1 in chunk mode).
+	flowLink int
 	// Accounting for utilization measurements.
 	txBytes  int64
 	txChunks int64
@@ -37,11 +43,15 @@ type Port struct {
 }
 
 func newPort(f *Fabric, h *Host, dir string, rateBytes float64, q qdisc.Qdisc) *Port {
-	return &Port{fabric: f, host: h, dir: dir, rateBytes: rateBytes, rateFactor: 1, q: q}
+	p := &Port{fabric: f, host: h, dir: dir, rateBytes: rateBytes, rateFactor: 1, q: q, flowLink: -1}
+	p.serveDone = p.finishService
+	return p
 }
 
 func newLinkPort(f *Fabric, l *Link, rateBytes float64, q qdisc.Qdisc) *Port {
-	return &Port{fabric: f, link: l, dir: "link", rateBytes: rateBytes, rateFactor: 1, q: q}
+	p := &Port{fabric: f, link: l, dir: "link", rateBytes: rateBytes, rateFactor: 1, q: q, flowLink: -1}
+	p.serveDone = p.finishService
+	return p
 }
 
 // Link returns the core link this port serves, or nil for a NIC port.
@@ -60,6 +70,7 @@ func (p *Port) SetDown(down bool) {
 		return
 	}
 	p.down = down
+	p.notifyFlow()
 	if !down {
 		p.kick()
 	}
@@ -76,6 +87,7 @@ func (p *Port) SetRateFactor(f float64) {
 		panic(fmt.Sprintf("simnet: rate factor must be positive, got %g", f))
 	}
 	p.rateFactor = f
+	p.notifyFlow()
 }
 
 // Qdisc returns the port's queueing discipline.
@@ -84,17 +96,56 @@ func (p *Port) Qdisc() qdisc.Qdisc { return p.q }
 // RateBytes returns the service rate in bytes/sec.
 func (p *Port) RateBytes() float64 { return p.rateBytes }
 
-// Bytes returns cumulative bytes transmitted through the port.
-func (p *Port) Bytes() int64 { return p.txBytes }
+// flowStats returns the analytic engine and this port's link when flow
+// mode is active for the port, syncing the fluid state to now so the
+// counters read current.
+func (p *Port) flowStats() (*flowMode, int, bool) {
+	fm := p.fabric.flow
+	if fm == nil || p.flowLink < 0 {
+		return nil, 0, false
+	}
+	fm.eng.Sync()
+	return fm, p.flowLink, true
+}
 
-// Chunks returns cumulative chunks transmitted through the port.
-func (p *Port) Chunks() int64 { return p.txChunks }
+// Bytes returns cumulative bytes transmitted through the port.
+func (p *Port) Bytes() int64 {
+	if fm, l, ok := p.flowStats(); ok {
+		return int64(fm.eng.LinkServedBytes(l) + 0.5)
+	}
+	return p.txBytes
+}
+
+// Chunks returns cumulative chunks transmitted through the port. In
+// flow mode no chunks exist; the count is the served bytes divided by
+// the chunk size, so chunk-rate metrics stay comparable across modes.
+func (p *Port) Chunks() int64 {
+	if fm, l, ok := p.flowStats(); ok {
+		return int64(fm.eng.LinkServedBytes(l) / float64(p.fabric.cfg.ChunkBytes))
+	}
+	return p.txChunks
+}
 
 // BusyTime returns cumulative seconds the port spent serving chunks.
-func (p *Port) BusyTime() float64 { return p.busyTime }
+// In flow mode this is the integral of the link's utilization — the
+// analytic analogue used by the same metrics.
+func (p *Port) BusyTime() float64 {
+	if fm, l, ok := p.flowStats(); ok {
+		return fm.eng.LinkBusySeconds(l)
+	}
+	return p.busyTime
+}
 
-// QueuedBytes returns the current qdisc backlog in bytes.
-func (p *Port) QueuedBytes() int64 { return p.q.BacklogBytes() }
+// QueuedBytes returns the current qdisc backlog in bytes. In flow mode
+// it is the bytes still to be served across the port's link — note this
+// counts whole remaining transfers, where the chunk fabric counts only
+// window-admitted chunks.
+func (p *Port) QueuedBytes() int64 {
+	if fm, l, ok := p.flowStats(); ok {
+		return int64(fm.eng.LinkBacklogBytes(l))
+	}
+	return p.q.BacklogBytes()
+}
 
 // replaceQdisc swaps disciplines, draining queued chunks into the new
 // one in the old discipline's dequeue order. Losing a queued chunk here
@@ -194,11 +245,14 @@ func (p *Port) serveNext() {
 	p.busyTime += service
 	p.txBytes += c.Bytes
 	p.txChunks++
-	p.fabric.k.PostAfter(service, func() {
-		p.busy = false
-		p.finishChunk(c)
-		p.kick()
-	})
+	p.fabric.k.PostArgAfter(service, p.serveDone, c)
+}
+
+// finishService is the transmission-complete event (serveDone).
+func (p *Port) finishService(a any) {
+	p.busy = false
+	p.finishChunk(a.(*qdisc.Chunk))
+	p.kick()
 }
 
 // finishChunk routes a served chunk onward: egress hands to the fabric

@@ -46,6 +46,9 @@ func PlanShards(cfg Config, numHosts, shards int) (*ShardPlan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Mode == ModeFlow && shards > 1 {
+		return nil, fmt.Errorf("simnet: flow mode runs on a single kernel (the analytic engine recomputes global rates); use shards=1 or Mode=chunk")
+	}
 	cfg.fillDefaults()
 	p := &ShardPlan{numShards: shards, hostShard: make([]int, numHosts)}
 	if cfg.Topology.Kind == TopologyLeafSpine {
@@ -169,6 +172,9 @@ type ShardedFabric struct {
 func NewSharded(sk *sim.ShardedKernel, seed int64, cfg Config, numHosts int, plan *ShardPlan) *ShardedFabric {
 	if !cfg.PerHostRNG {
 		panic("simnet: sharded fabrics require Config.PerHostRNG (per-host streams are what make shard counts interchangeable)")
+	}
+	if cfg.Mode == ModeFlow && sk.NumShards() > 1 {
+		panic("simnet: flow mode cannot be sharded; the analytic engine needs a single kernel")
 	}
 	if sk.NumShards() != plan.NumShards() {
 		panic(fmt.Sprintf("simnet: kernel has %d shards, plan %d", sk.NumShards(), plan.NumShards()))

@@ -72,6 +72,13 @@ type Config struct {
 	// TopologyConfig). The zero value is the flat ideal switch the paper
 	// assumes, which behaves exactly as the pre-topology fabric did.
 	Topology TopologyConfig
+	// Mode selects the fabric engine: ModeChunk (default) simulates
+	// every chunk through every hop as discrete events; ModeFlow models
+	// transfers as fluid flows on the analytic max-min network of
+	// internal/flownet and jumps straight to completion times —
+	// typically 10–100× fewer events per trial. See DESIGN.md §13 for
+	// equivalence bounds and divergences.
+	Mode string
 }
 
 // Validate reports configuration errors. New panics on an invalid
@@ -94,6 +101,12 @@ func (c Config) Validate() error {
 	}
 	if c.RetransmitTimeoutSec < 0 {
 		return fmt.Errorf("simnet: RetransmitTimeoutSec %g is negative", c.RetransmitTimeoutSec)
+	}
+	switch c.Mode {
+	case "", ModeChunk, ModeFlow:
+	default:
+		return fmt.Errorf("simnet: unknown fabric mode %q (want %q or %q)",
+			c.Mode, ModeChunk, ModeFlow)
 	}
 	return c.Topology.Validate()
 }
@@ -131,6 +144,9 @@ func (c *Config) fillDefaults() {
 	if c.RetransmitTimeoutSec <= 0 {
 		c.RetransmitTimeoutSec = 5e-3
 	}
+	if c.Mode == "" {
+		c.Mode = ModeChunk
+	}
 	c.Topology.fillDefaults(c.PropDelaySec)
 }
 
@@ -159,6 +175,28 @@ type Fabric struct {
 	// shard binds this fabric to one shard of a ShardedFabric; nil for
 	// an ordinary single-kernel fabric.
 	shard *shardBinding
+	// chunkFree recycles chunk structs: a delivered chunk has no aliases
+	// (qdiscs never retain chunks past Dequeue), so steady-state chunk
+	// traffic allocates nothing. Each fabric recycles into its own pool —
+	// under sharding a chunk may be freed on the destination's shard.
+	chunkFree []*qdisc.Chunk
+	// flowArena hands out Flow structs from block allocations; flowFree
+	// recycles the ones whose spec was marked Transient (the caller
+	// promised not to retain them past completion). Non-transient flows
+	// are never reused — Send returns them and callers may read
+	// Finished/Delivered long after completion — so for those the arena
+	// only amortizes the allocator.
+	flowArena []Flow
+	flowFree  []*Flow
+	// Long-lived PostArg callbacks for the per-chunk hot paths; built in
+	// New so scheduling a hop/delivery/retransmit allocates no closure.
+	deliverIngressFn func(any)
+	injectRouteFn    func(any)
+	chunkDeliveredFn func(any)
+	retransmitFn     func(any)
+	// flow is the analytic engine behind ModeFlow, built lazily with
+	// the topology; nil in chunk mode.
+	flow *flowMode
 	// Tracer, when non-nil, receives a flow_done event per completed
 	// transfer (value = transfer seconds).
 	Tracer trace.Tracer
@@ -172,13 +210,70 @@ func New(k *sim.Kernel, rng *sim.RNG, cfg Config) *Fabric {
 		panic(err)
 	}
 	cfg.fillDefaults()
-	return &Fabric{
+	f := &Fabric{
 		k:       k,
 		rng:     rng.Stream("simnet"),
 		dropRNG: rng.Stream("simnet-drop"),
 		cfg:     cfg,
 		flows:   make(map[uint64]*Flow),
 	}
+	f.deliverIngressFn = func(a any) {
+		c := a.(*qdisc.Chunk)
+		f.Host(c.Payload.(*Flow).Spec.Dst).Ingress.Inject(c)
+	}
+	f.injectRouteFn = func(a any) {
+		c := a.(*qdisc.Chunk)
+		c.Payload.(*Flow).route[c.Hop].port.Inject(c)
+	}
+	f.chunkDeliveredFn = func(a any) { f.chunkDelivered(a.(*qdisc.Chunk)) }
+	f.retransmitFn = func(a any) {
+		c := a.(*qdisc.Chunk)
+		f.Host(c.Payload.(*Flow).Spec.Src).Egress.Inject(c)
+	}
+	return f
+}
+
+// getChunk returns a zeroed chunk from the free list, or a fresh one.
+func (f *Fabric) getChunk() *qdisc.Chunk {
+	if n := len(f.chunkFree); n > 0 {
+		c := f.chunkFree[n-1]
+		f.chunkFree[n-1] = nil
+		f.chunkFree = f.chunkFree[:n-1]
+		return c
+	}
+	return &qdisc.Chunk{}
+}
+
+// putChunk recycles a delivered chunk.
+func (f *Fabric) putChunk(c *qdisc.Chunk) {
+	c.Reset()
+	f.chunkFree = append(f.chunkFree, c)
+}
+
+// newFlow returns a zeroed Flow from the free list or the arena.
+// Callers set every non-zero field themselves (ID, Spec, Started,
+// FirstByte, Finished).
+func (f *Fabric) newFlow() *Flow {
+	if n := len(f.flowFree); n > 0 {
+		fl := f.flowFree[n-1]
+		f.flowFree[n-1] = nil
+		f.flowFree = f.flowFree[:n-1]
+		return fl
+	}
+	if len(f.flowArena) == 0 {
+		f.flowArena = make([]Flow, 256)
+	}
+	fl := &f.flowArena[0]
+	f.flowArena = f.flowArena[1:]
+	return fl
+}
+
+// releaseFlow recycles a completed Transient flow: cleared back to the
+// zero state newFlow promises, so pooled and arena flows are
+// indistinguishable to the send paths.
+func (f *Fabric) releaseFlow(fl *Flow) {
+	*fl = Flow{}
+	f.flowFree = append(f.flowFree, fl)
 }
 
 // Config returns the fabric configuration (defaults filled).
@@ -303,9 +398,7 @@ func (f *Fabric) chunkLost(p *Port, ch *qdisc.Chunk) {
 		})
 	}
 	ch.Retrans = true
-	f.k.PostAfter(f.cfg.RetransmitTimeoutSec, func() {
-		p.Inject(ch)
-	})
+	f.k.PostArgAfter(f.cfg.RetransmitTimeoutSec, f.retransmitFn, ch)
 }
 
 // CompletedFlows returns the number of flows fully delivered.
@@ -344,6 +437,7 @@ func (h *Host) SetChunkDropProb(p float64) {
 		panic(fmt.Sprintf("simnet: chunk drop probability %g outside [0,1)", p))
 	}
 	h.dropProb = p
+	h.Egress.notifyFlow()
 }
 
 // ChunkDropProb returns the injected per-chunk loss probability.
@@ -354,6 +448,7 @@ func (h *Host) ChunkDropProb() float64 { return h.dropProb }
 // reconfiguration never loses in-flight data.
 func (h *Host) SetEgressQdisc(q qdisc.Qdisc) {
 	h.Egress.replaceQdisc(q)
+	h.fabric.EgressReconfigured(h.ID)
 }
 
 // FlowSpec describes one transfer.
@@ -364,6 +459,13 @@ type FlowSpec struct {
 	Bytes            int64
 	// OnComplete fires when the last byte is received at Dst.
 	OnComplete func(fl *Flow)
+	// Transient permits the fabric to recycle the Flow struct once the
+	// transfer completes and OnComplete (if any) has returned. Callers
+	// setting it must not retain the *Flow — neither Send's return value
+	// nor the callback argument — past that point. The protocol layers
+	// (dl, collective) send millions of fire-and-forget transfers and
+	// set it; experiments that inspect flows after the run leave it off.
+	Transient bool
 }
 
 // Flow is an in-flight or completed transfer.
@@ -383,6 +485,11 @@ type Flow struct {
 	// between the source egress and destination ingress NICs (nil on
 	// single-hop paths: flat topology, or same-rack in leaf-spine).
 	route []*Link
+	// Flow-mode state: the frozen pipeline-fill tail between the fluid
+	// demand draining and the last byte's arrival, and the egress
+	// priority band the flow was classified into (see flowmode.go).
+	flowLatency float64
+	flowBand    int
 }
 
 // Route returns the flow's core-link path (nil for single-hop paths).
@@ -399,6 +506,17 @@ func (fl *Flow) Done() bool { return fl.Finished >= 0 }
 
 // Send starts a single flow, enqueueing all its chunks in order.
 func (f *Fabric) Send(spec FlowSpec) *Flow {
+	if f.cfg.Mode == ModeFlow {
+		// One transfer, one engine flow: skip SendBurst's result slice
+		// (the analytic fabric's arrival path is hot enough to care).
+		// The RNG draw sequence matches a one-spec burst exactly.
+		if s := f.shard; s != nil && s.plan.HostShard(spec.Src) != s.id {
+			panic(fmt.Sprintf("simnet: SendBurst from host %d (shard %d) on shard %d's replica",
+				spec.Src, s.plan.HostShard(spec.Src), s.id))
+		}
+		fl, _ := f.sendOneFlow(spec.Src, spec, f.jitterRNG(spec.Src), f.k.Now())
+		return fl
+	}
 	return f.SendBurst(spec.Src, []FlowSpec{spec})[0]
 }
 
@@ -415,6 +533,9 @@ func (f *Fabric) SendBurst(src int, specs []FlowSpec) []*Flow {
 		panic(fmt.Sprintf("simnet: SendBurst from host %d (shard %d) on shard %d's replica",
 			src, s.plan.HostShard(src), s.id))
 	}
+	if f.cfg.Mode == ModeFlow {
+		return f.sendBurstFlow(src, specs)
+	}
 	now := f.k.Now()
 	rng := f.jitterRNG(src)
 	flows := make([]*Flow, len(specs))
@@ -426,7 +547,8 @@ func (f *Fabric) SendBurst(src int, specs []FlowSpec) []*Flow {
 		if spec.Bytes <= 0 {
 			panic("simnet: flow bytes must be positive")
 		}
-		fl := &Flow{ID: f.newFlowID(src), Spec: spec, Started: now, FirstByte: -1, Finished: -1}
+		fl := f.newFlow()
+		fl.ID, fl.Spec, fl.Started, fl.FirstByte, fl.Finished = f.newFlowID(src), spec, now, -1, -1
 		fl.window = f.sampleWindow(rng)
 		flows[i] = fl
 		f.flows[fl.ID] = fl
@@ -564,16 +686,16 @@ func (f *Fabric) makeChunks(fl *Flow) []*qdisc.Chunk {
 			sz = remaining
 		}
 		remaining -= sz
-		chunks[i] = &qdisc.Chunk{
-			FlowID:  fl.ID,
-			JobID:   fl.Spec.JobID,
-			SrcPort: fl.Spec.SrcPort,
-			DstPort: fl.Spec.DstPort,
-			Bytes:   sz,
-			Seq:     i,
-			Last:    i == n-1,
-			Payload: fl,
-		}
+		c := f.getChunk()
+		c.FlowID = fl.ID
+		c.JobID = fl.Spec.JobID
+		c.SrcPort = fl.Spec.SrcPort
+		c.DstPort = fl.Spec.DstPort
+		c.Bytes = sz
+		c.Seq = i
+		c.Last = i == n-1
+		c.Payload = fl
+		chunks[i] = c
 	}
 	return chunks
 }
@@ -589,19 +711,13 @@ func (f *Fabric) forwardFromEgress(c *qdisc.Chunk) {
 			s.handoffToHost(fl.Spec.Dst, c, f.cfg.PropDelaySec)
 			return
 		}
-		dst := f.Host(fl.Spec.Dst)
-		f.k.PostAfter(f.cfg.PropDelaySec, func() {
-			dst.Ingress.Inject(c)
-		})
+		f.k.PostArgAfter(f.cfg.PropDelaySec, f.deliverIngressFn, c)
 		return
 	}
 	// The first core link of any route is the source rack's uplink,
 	// which the source's own shard owns — never a cross-shard hop.
 	c.Hop = 0
-	first := fl.route[0].port
-	f.k.PostAfter(f.cfg.Topology.HopDelaySec, func() {
-		first.Inject(c)
-	})
+	f.k.PostArgAfter(f.cfg.Topology.HopDelaySec, f.injectRouteFn, c)
 }
 
 // forwardFromLink advances a chunk that finished serving on a core
@@ -618,30 +734,23 @@ func (f *Fabric) forwardFromLink(c *qdisc.Chunk) {
 				return
 			}
 		}
-		np := next.port
-		f.k.PostAfter(hop, func() {
-			np.Inject(c)
-		})
+		f.k.PostArgAfter(hop, f.injectRouteFn, c)
 		return
 	}
 	if s := f.shard; s != nil && s.plan.HostShard(fl.Spec.Dst) != s.id {
 		s.handoffToHost(fl.Spec.Dst, c, hop)
 		return
 	}
-	dst := f.Host(fl.Spec.Dst)
-	f.k.PostAfter(hop, func() {
-		dst.Ingress.Inject(c)
-	})
+	f.k.PostArgAfter(hop, f.deliverIngressFn, c)
 }
 
 func (f *Fabric) deliverLoopback(fl *Flow, ch *qdisc.Chunk) {
 	// Memory-speed copy: model as propagation delay only.
-	f.k.PostAfter(f.cfg.PropDelaySec, func() {
-		f.chunkDelivered(ch)
-	})
+	f.k.PostArgAfter(f.cfg.PropDelaySec, f.chunkDeliveredFn, ch)
 }
 
-// chunkDelivered accounts a chunk's arrival at its destination.
+// chunkDelivered accounts a chunk's arrival at its destination and
+// recycles the chunk struct: nothing retains a delivered chunk.
 func (f *Fabric) chunkDelivered(ch *qdisc.Chunk) {
 	fl := ch.Payload.(*Flow)
 	if fl.FirstByte < 0 {
@@ -649,6 +758,7 @@ func (f *Fabric) chunkDelivered(ch *qdisc.Chunk) {
 	}
 	fl.deliveredBytes += ch.Bytes
 	fl.chunksOutstanding--
+	f.putChunk(ch)
 	if fl.chunksOutstanding == 0 {
 		if fl.deliveredBytes != fl.Spec.Bytes {
 			panic(fmt.Sprintf("simnet: flow %d delivered %d of %d bytes",
@@ -675,6 +785,11 @@ func (f *Fabric) chunkDelivered(ch *qdisc.Chunk) {
 		}
 		if fl.Spec.OnComplete != nil {
 			fl.Spec.OnComplete(fl)
+		}
+		// Cross-shard flows stay with the GC: the source shard's replica
+		// may still hold the pointer until its retirement message drains.
+		if fl.Spec.Transient && f.shard == nil {
+			f.releaseFlow(fl)
 		}
 	}
 }

@@ -1,14 +1,17 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dl"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -69,6 +72,13 @@ type BenchReport struct {
 	// curve is flat (windows serialize); it is recorded anyway so the
 	// history shows when parallel hardware first pays off.
 	ShardScale []ShardScalePoint `json:"shard_scale,omitempty"`
+
+	// FlowVsChunk compares the analytic flow-level fabric
+	// (internal/flownet, -fabric flow) against the per-chunk fabric on
+	// fixed scenarios: a 12-host scheduler-sweep cell and the
+	// 10,240-host leaf-spine workload. Speedup is the chunk wall clock
+	// divided by the flow wall clock on the same workload.
+	FlowVsChunk []FlowVsChunkPoint `json:"flow_vs_chunk,omitempty"`
 }
 
 // ShardScalePoint is one sharded-engine measurement.
@@ -78,6 +88,18 @@ type ShardScalePoint struct {
 	WallSec float64 `json:"wall_sec"`
 	Events  uint64  `json:"events"`
 	// Speedup is the 1-shard wall clock divided by this point's.
+	Speedup float64 `json:"speedup"`
+}
+
+// FlowVsChunkPoint is one chunk-vs-flow fabric comparison: the same
+// workload run once on each engine.
+type FlowVsChunkPoint struct {
+	Scenario    string  `json:"scenario"`
+	ChunkSec    float64 `json:"chunk_sec"`
+	FlowSec     float64 `json:"flow_sec"`
+	ChunkEvents uint64  `json:"chunk_events"`
+	FlowEvents  uint64  `json:"flow_events"`
+	// Speedup is the chunk wall clock divided by the flow wall clock.
 	Speedup float64 `json:"speedup"`
 }
 
@@ -103,36 +125,161 @@ func benchRunConfigs(cfg BenchConfig) []RunConfig {
 // downlink and the destination ingress, so ns/chunk prices the full
 // routed pipeline — two more queue services per chunk than the flat
 // switch.
+// The timed window is only a few milliseconds, so a single sample is
+// at the mercy of GC pacing and scheduler preemption (observed spread
+// on one box: 330-970 ns/chunk). Best-of-5 with a leveled heap prices
+// the hot path itself, which is what the regression gate compares.
 func measureFabricBench(seed int64) (chunks uint64, nsPerChunk float64) {
 	const (
 		senders   = 4
 		flowBytes = int64(512 << 20)
+		reps      = 5
 	)
-	k := sim.NewKernel()
-	f := simnet.New(k, sim.NewRNG(seed), simnet.Config{
-		Topology: simnet.TopologyConfig{
-			Kind:             simnet.TopologyLeafSpine,
-			Racks:            2,
-			UplinksPerLeaf:   1,
-			Oversubscription: 2,
-		},
-	})
-	for i := 0; i < 2*senders; i++ {
-		f.AddHost(fmt.Sprintf("bench%d", i))
-	}
-	start := time.Now()
-	for i := 0; i < senders; i++ {
-		f.Send(simnet.FlowSpec{
-			Src: i, Dst: senders + i,
-			SrcPort: i, DstPort: 1000 + i,
-			Bytes: flowBytes,
+	best := math.Inf(1)
+	for rep := 0; rep < reps; rep++ {
+		k := sim.NewKernel()
+		f := simnet.New(k, sim.NewRNG(seed), simnet.Config{
+			Topology: simnet.TopologyConfig{
+				Kind:             simnet.TopologyLeafSpine,
+				Racks:            2,
+				UplinksPerLeaf:   1,
+				Oversubscription: 2,
+			},
 		})
+		for i := 0; i < 2*senders; i++ {
+			f.AddHost(fmt.Sprintf("bench%d", i))
+		}
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < senders; i++ {
+			f.Send(simnet.FlowSpec{
+				Src: i, Dst: senders + i,
+				SrcPort: i, DstPort: 1000 + i,
+				Bytes: flowBytes,
+			})
+		}
+		k.Run(nil)
+		if wallSec := time.Since(start).Seconds(); wallSec < best {
+			best = wallSec
+		}
+		if rep == 0 {
+			chunkBytes := f.Config().ChunkBytes
+			chunks = uint64(senders) * uint64((flowBytes+chunkBytes-1)/chunkBytes)
+		}
 	}
-	k.Run(nil)
-	wallSec := time.Since(start).Seconds()
-	chunkBytes := f.Config().ChunkBytes
-	chunks = uint64(senders) * uint64((flowBytes+chunkBytes-1)/chunkBytes)
-	return chunks, wallSec * 1e9 / float64(chunks)
+	return chunks, best * 1e9 / float64(chunks)
+}
+
+// flowVsChunk10kRun is the large-topology comparison workload: the
+// 10,240-host leaf-spine shape from the sharded goldens (256 racks x 40
+// hosts, 16 PS jobs), with ResNet-50 updates — a ~100 MB model, the
+// traffic-heavy regime the analytic fabric exists for — and few steps
+// so the chunk baseline stays affordable inside a bench run. Both
+// fabric modes run it on a single kernel (the analytic engine cannot
+// shard), so the chunk leg prices exactly what flow mode replaces.
+func flowVsChunk10kRun(seed int64) RunConfig {
+	return RunConfig{
+		Label: "bench-flow-10k",
+		Cluster: cluster.Config{
+			Hosts: 10_240,
+			Seed:  seed,
+			Net: simnet.Config{
+				Topology: simnet.TopologyConfig{
+					Kind:           simnet.TopologyLeafSpine,
+					Racks:          256,
+					UplinksPerLeaf: 4,
+				},
+			},
+		},
+		Model:       dl.ResNet50,
+		NumJobs:     16,
+		LocalBatch:  4,
+		TargetSteps: 10,
+		TLs:         core.Config{Policy: core.PolicyOne},
+		StaggerSec:  0.02,
+	}
+}
+
+// measureFlowVsChunk times the chunk and flow fabrics on two fixed
+// scenarios: one online cluster-scheduler cell (the SchedulerSweep unit
+// of work — 12-host leaf-spine, Poisson arrivals) and the 10,240-host
+// leaf-spine workload. The flow fabric's event count excludes the
+// per-chunk service churn, which is where its speedup comes from.
+func measureFlowVsChunk(seed int64) ([]FlowVsChunkPoint, error) {
+	sched := FlowVsChunkPoint{Scenario: "sched-cell-12h"}
+	large := FlowVsChunkPoint{Scenario: "leafspine-10240h"}
+	// Pin the 10k workload to the sharded goldens' shard-stable job
+	// placement so both modes (and future history entries) run the
+	// identical spec set.
+	base := flowVsChunk10kRun(seed)
+	ccfg := base.Cluster.Normalized()
+	plan, err := simnet.PlanShards(ccfg.Net, ccfg.Hosts, 16)
+	if err != nil {
+		return nil, fmt.Errorf("10k topology plan: %w", err)
+	}
+	if base.PSSpecs, err = cluster.ShardStableSpecs(ccfg, plan, base.Model,
+		base.NumJobs, base.LocalBatch, base.TargetSteps); err != nil {
+		return nil, fmt.Errorf("10k topology specs: %w", err)
+	}
+	// The scheduler cell runs in tens of milliseconds under flow mode,
+	// so one sample is noise-bound, and on a shared box the noise comes
+	// in multi-second epochs — timing all of one mode's reps and then
+	// all of the other's lets one epoch skew the ratio. Interleave the
+	// modes round by round and take each mode's best, and run the cell
+	// before the 10k legs balloon the heap. Level the GC field before
+	// every timed leg so one leg's garbage is never billed to the next.
+	sched.ChunkSec, sched.FlowSec = math.Inf(1), math.Inf(1)
+	for rep := 0; rep < 3; rep++ {
+		for _, mode := range []string{simnet.ModeChunk, simnet.ModeFlow} {
+			runtime.GC()
+			start := time.Now()
+			sres, err := SchedulerTrial(context.Background(), SchedulerTrialConfig{
+				Steps:      3000,
+				Seed:       seed,
+				FabricMode: mode,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scheduler cell (%s): %w", mode, err)
+			}
+			wall := time.Since(start).Seconds()
+			if mode == simnet.ModeChunk {
+				sched.ChunkEvents = sres.Events
+				if wall < sched.ChunkSec {
+					sched.ChunkSec = wall
+				}
+			} else {
+				sched.FlowEvents = sres.Events
+				if wall < sched.FlowSec {
+					sched.FlowSec = wall
+				}
+			}
+		}
+	}
+
+	// The 10k chunk leg costs ~10s: a single sample is long enough to
+	// average its own noise, so neither 10k leg is repeated.
+	for _, mode := range []string{simnet.ModeChunk, simnet.ModeFlow} {
+		rc := base
+		rc.Cluster.Net.Mode = mode
+		runtime.GC()
+		start := time.Now()
+		lres, err := Run(rc)
+		if err != nil {
+			return nil, fmt.Errorf("10k topology (%s): %w", mode, err)
+		}
+		largeWall := time.Since(start).Seconds()
+		if mode == simnet.ModeChunk {
+			large.ChunkSec, large.ChunkEvents = largeWall, lres.Events
+		} else {
+			large.FlowSec, large.FlowEvents = largeWall, lres.Events
+		}
+	}
+	for _, p := range []*FlowVsChunkPoint{&sched, &large} {
+		if p.FlowSec > 0 {
+			p.Speedup = p.ChunkSec / p.FlowSec
+		}
+	}
+	return []FlowVsChunkPoint{sched, large}, nil
 }
 
 // MeasureSweepBench times the same trial grid through the sequential
@@ -184,6 +331,9 @@ func MeasureSweepBench(cfg BenchConfig) (*BenchReport, error) {
 	rep.FabricChunks, rep.FabricNsPerChunk = measureFabricBench(cfg.Seed)
 	if rep.ShardScale, err = measureShardScale(cfg.Seed, cfg.Steps); err != nil {
 		return nil, fmt.Errorf("sweep: bench shard-scale leg: %w", err)
+	}
+	if rep.FlowVsChunk, err = measureFlowVsChunk(cfg.Seed); err != nil {
+		return nil, fmt.Errorf("sweep: bench flow-vs-chunk leg: %w", err)
 	}
 	return rep, nil
 }

@@ -104,6 +104,17 @@ func (h *BenchHistory) Regressions(tol float64) []string {
 	costRose("ns/event", was.NsPerEvent, now.NsPerEvent)
 	costRose("allocs/event", was.AllocsPerEvent, now.AllocsPerEvent)
 	costRose("fabric ns/chunk", was.FabricNsPerChunk, now.FabricNsPerChunk)
+	// The flow-vs-chunk speedup is a wall-clock ratio on a fixed
+	// workload, so it is shape-independent; scenarios are matched by
+	// name so adding or reordering scenarios never mispairs runs.
+	for _, cur := range now.FlowVsChunk {
+		for _, old := range was.FlowVsChunk {
+			if old.Scenario == cur.Scenario {
+				rateFell(fmt.Sprintf("flow-vs-chunk speedup (%s)", cur.Scenario),
+					old.Speedup, cur.Speedup)
+			}
+		}
+	}
 	return out
 }
 

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 // benchTrialConfigs builds n small placement-#1 FIFO trials on
@@ -51,6 +53,28 @@ func BenchmarkFabricChunk(b *testing.B) {
 		chunks += n
 	}
 	b.ReportMetric(float64(chunks)/b.Elapsed().Seconds(), "chunks/sec")
+}
+
+// TestFabricChunkPooledAllocs pins the chunk fabric's steady-state
+// allocation behavior: once a warm-up burst has primed the chunk free
+// list and the kernel's event pool, pushing further bursts through the
+// same fabric must not allocate per chunk.
+func TestFabricChunkPooledAllocs(t *testing.T) {
+	const flowBytes = int64(32 << 20)
+	k := sim.NewKernel()
+	f := simnet.New(k, sim.NewRNG(1), simnet.Config{})
+	f.AddHost("src")
+	f.AddHost("dst")
+	send := func() {
+		f.Send(simnet.FlowSpec{Src: 0, Dst: 1, SrcPort: 1, DstPort: 100, Bytes: flowBytes})
+		k.Run(nil)
+	}
+	send() // warm-up: grows the pools to the burst's working set
+	chunks := float64((flowBytes + f.Config().ChunkBytes - 1) / f.Config().ChunkBytes)
+	perChunk := testing.AllocsPerRun(3, send) / chunks
+	if perChunk > 0.1 {
+		t.Errorf("steady-state fabric allocates %.3f allocs/chunk, want ~0 (pooled)", perChunk)
+	}
 }
 
 // BenchmarkSweepSequential runs a 4-trial grid through the legacy

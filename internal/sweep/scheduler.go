@@ -76,6 +76,10 @@ type SchedulerTrialConfig struct {
 	// dense enough that most jobs overlap, which is where placement
 	// and interleaving earn their keep).
 	ArrivalRatePerSec float64
+	// FabricMode selects the network engine: "" or simnet.ModeChunk for
+	// the per-chunk fabric, simnet.ModeFlow for the analytic flow-level
+	// model (internal/flownet).
+	FabricMode string
 	// Tracer, when non-nil, receives events from every layer including
 	// the scheduler's sched_place / sched_shift decisions.
 	Tracer trace.Tracer
@@ -141,7 +145,7 @@ func SchedulerTrial(ctx context.Context, cfg SchedulerTrialConfig) (*SchedulerTr
 	tb := cluster.NewTestbed(cluster.Config{
 		Hosts: schedHosts,
 		Seed:  cfg.Seed,
-		Net:   simnet.Config{Topology: topo},
+		Net:   simnet.Config{Topology: topo, Mode: cfg.FabricMode},
 	})
 	tls := topologyTLs(cfg.PolicyName, cfg.Steps)
 	if err := tls.Validate(); err != nil {

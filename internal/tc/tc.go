@@ -96,6 +96,9 @@ func (c *Controller) Exec(hostID int, cmd string) error {
 	}
 	if err == nil {
 		c.execCount++
+		// In flow mode the analytic fabric reclassifies in-flight flows
+		// against the new configuration; a no-op on the chunk fabric.
+		c.fabric.EgressReconfigured(hostID)
 	} else {
 		c.execErrors++
 	}

@@ -146,6 +146,13 @@ type ExperimentConfig struct {
 	// cross-rack flows over a two-tier fabric whose core links are
 	// contended, rate-limited ports.
 	Topology string
+	// FabricMode selects the fabric engine: "" or "chunk" simulates
+	// every chunk hop-by-hop; "flow" runs the analytic flow-level model
+	// (internal/flownet) — max-min fair bandwidth sharing under the
+	// TensorLights priority bands, typically 10-100x fewer events with
+	// matching per-job completion times on uncontended paths (DESIGN.md
+	// §13). Incompatible with Sharded.
+	FabricMode string
 	// Racks partitions the hosts into racks on the leafspine topology
 	// (default 3 — the 21-host testbed divides into 3 racks of 7).
 	Racks int
@@ -392,6 +399,12 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 // written, preceded by a "# partial trace" comment line so a truncated
 // dump can never be mistaken for a complete run.
 func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*Result, error) {
+	switch cfg.FabricMode {
+	case "", simnet.ModeChunk, simnet.ModeFlow:
+	default:
+		return nil, fmt.Errorf("tensorlights: unknown fabric mode %q (want %q or %q)",
+			cfg.FabricMode, simnet.ModeChunk, simnet.ModeFlow)
+	}
 	if cfg.Scheduler != nil {
 		if cfg.Sharded != nil {
 			return nil, fmt.Errorf("tensorlights: Sharded is incompatible with Scheduler (the scheduler trial owns its own kernel)")
@@ -409,6 +422,9 @@ func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*Result, e
 	}
 	var res *sweep.RunResult
 	if cfg.Sharded != nil {
+		if cfg.FabricMode == simnet.ModeFlow {
+			return nil, fmt.Errorf("tensorlights: FabricMode %q is incompatible with Sharded (the analytic engine recomputes global rates on one kernel)", cfg.FabricMode)
+		}
 		// The sharded engine runs bounded windows to completion; it has
 		// no between-event cancellation hook, so ctx only gates entry.
 		if err = ctx.Err(); err == nil {
@@ -477,6 +493,7 @@ func runSchedulerExperiment(ctx context.Context, cfg ExperimentConfig) (*Result,
 		PolicyName:        cfg.Policy.String(),
 		Jobs:              cfg.Scheduler.Jobs,
 		ArrivalRatePerSec: cfg.Scheduler.ArrivalRatePerSec,
+		FabricMode:        cfg.FabricMode,
 	}
 	var buf *trace.Buffer
 	if cfg.TraceCSV != nil {
@@ -539,7 +556,7 @@ func toRunConfig(cfg ExperimentConfig) (sweep.RunConfig, error) {
 	}
 	rc := sweep.RunConfig{
 		Label:       fmt.Sprintf("%s-p%d", cfg.Policy, cfg.PlacementIndex),
-		Cluster:     cluster.Config{Seed: cfg.Seed, Net: simnet.Config{Topology: topo}},
+		Cluster:     cluster.Config{Seed: cfg.Seed, Net: simnet.Config{Topology: topo, Mode: cfg.FabricMode}},
 		Model:       model,
 		NumJobs:     cfg.NumJobs,
 		LocalBatch:  cfg.LocalBatch,
