@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race check bench fuzz examples serve-smoke scheduler-smoke flow-equiv
+.PHONY: build test vet staticcheck race check bench fuzz examples serve-smoke scheduler-smoke openworld-smoke flow-equiv
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ staticcheck:
 # shards on parallel goroutines (sim.ShardedKernel, sweep.RunSharded and
 # their stress tests), so nothing is exempt.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # examples builds every example and smoke-runs quickstart, so doc code
 # paths can't rot silently.
@@ -45,13 +45,19 @@ serve-smoke:
 scheduler-smoke:
 	$(GO) run ./cmd/experiments -steps 300 -only scheduler -parallel 4
 
+# openworld-smoke runs the open-world sweep at smoke scale through the
+# real experiments CLI: arrival process x host heterogeneity x end-host
+# policy over one unified PS+collective arrival stream.
+openworld-smoke:
+	$(GO) run ./cmd/experiments -steps 300 -only openworld -parallel 4
+
 # flow-equiv runs the golden equivalence harness: every golden config is
 # simulated on both the chunk fabric and the analytic flow fabric and the
 # per-job JCTs must agree within the documented tolerance (DESIGN.md §13).
 flow-equiv:
 	$(GO) test ./internal/sweep -run '^TestFlowEquiv' -count=1 -v
 
-check: build vet staticcheck test race examples serve-smoke scheduler-smoke flow-equiv
+check: build vet staticcheck test race examples serve-smoke scheduler-smoke openworld-smoke flow-equiv
 
 # bench writes BENCH_sweep.json: trials/sec through the sequential and
 # parallel Engine paths, plus ns/event and allocs/event in the kernel.

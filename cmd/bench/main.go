@@ -119,6 +119,10 @@ func main() {
 		fmt.Printf("  flow fabric %s: chunk %.2fs (%d events) vs flow %.2fs (%d events), %.1fx faster\n",
 			p.Scenario, p.ChunkSec, p.ChunkEvents, p.FlowSec, p.FlowEvents, p.Speedup)
 	}
+	for _, p := range rep.OpenWorld {
+		fmt.Printf("  open world %s: %d jobs in %.2fs wall (%d events, %.0f events/sec, avg JCT %.1fs)\n",
+			p.Scenario, p.Jobs, p.WallSec, p.Events, p.EventsPerSec, p.AvgJCT)
+	}
 	fmt.Printf("run %d appended to %s\n", len(hist.Runs), *out)
 	if len(hist.Runs) > 1 {
 		prev := hist.Runs[len(hist.Runs)-2]

@@ -6,7 +6,10 @@
 // TLs-Interleave), the leaf-spine topology sweep (topology:
 // placement strategy x core oversubscription x policy) and the online
 // cluster-scheduler sweep (scheduler: contention-aware and phase-aware
-// placement vs the naive baselines, crossed with end-host policies),
+// placement vs the naive baselines, crossed with end-host policies)
+// and the open-world sweep (openworld: arrival process x homogeneous
+// vs heterogeneous hosts x end-host policy, one unified stream of PS
+// and collective jobs per cell),
 // and prints the measured rows
 // next to the paper's reported numbers. At full scale
 // (-steps 30000, the paper's setting) the complete suite is a large
@@ -42,7 +45,7 @@ func main() {
 	var (
 		steps    = flag.Int("steps", 30000, "target global steps per job (paper: 30000)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2|faultrec|collective|replicate|churn|policy|topology|scheduler")
+		only     = flag.String("only", "", "run a single experiment: fig2|fig3|fig5a|fig5b|fig6|table2|faultrec|collective|replicate|churn|policy|topology|scheduler|openworld")
 		parallel = flag.Int("parallel", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential)")
 		csvdir   = flag.String("csvdir", "", "directory to write per-figure CSV data files")
 	)
@@ -67,6 +70,7 @@ func main() {
 		{"policy", func(o sweep.Options) (renderable, error) { return sweep.PolicySweep(o) }},
 		{"topology", func(o sweep.Options) (renderable, error) { return sweep.TopologySweep(o) }},
 		{"scheduler", func(o sweep.Options) (renderable, error) { return sweep.SchedulerSweep(o) }},
+		{"openworld", func(o sweep.Options) (renderable, error) { return sweep.OpenWorldSweep(o) }},
 	}
 	if *csvdir != "" {
 		if err := os.MkdirAll(*csvdir, 0o755); err != nil {

@@ -16,6 +16,8 @@
 //	tlsim -topology leafspine -racks 3 -oversub 2 -strategy network-aware \
 //	    -workload collective -rings 3 -ranks 4
 //	tlsim -scheduler phase-aware -oversub 2 -policy tls-rr -steps 3000
+//	tlsim -arrivals bursty -mix mixed -hetero -policy tls-srsf -steps 3000
+//	tlsim -arrivals trace -arrival-trace jobs.csv -policy tls-rr
 //	tlsim -shards 3 -policy tls-rr -steps 3000    # sharded engine, same results
 package main
 
@@ -78,7 +80,11 @@ func main() {
 		oversub    = flag.Float64("oversub", 1, "leafspine: core oversubscription ratio (1 = non-blocking)")
 		strategy   = flag.String("strategy", "", "leafspine: rack placement strategy: pack | spread | network-aware (default spread)")
 		schedule   = flag.String("scheduler", "", "run the online cluster-scheduler workload with this placement: random | pack | spread | network-aware | contention-aware | phase-aware")
-		arrival    = flag.Float64("arrival-rate", 0, "scheduler: Poisson job arrival rate per second (0 = default 1/s)")
+		arrival    = flag.Float64("arrival-rate", 0, "scheduler/open-world: stochastic job arrival rate per second (0 = default 1/s)")
+		arrivals   = flag.String("arrivals", "", "run the open-world workload with this arrival process: poisson | bursty | trace")
+		arrTrace   = flag.String("arrival-trace", "", "open-world: CSV replay trace for -arrivals trace (at_sec,kind,model,tasks,local_batch,iterations; default: built-in demo trace)")
+		mix        = flag.String("mix", "", "open-world: job mix for stochastic arrivals: mixed | ps | collective")
+		hetero     = flag.Bool("hetero", false, "open-world: slow every third host to 60% reference speed")
 		rings      = flag.Int("rings", 3, "collective: number of all-reduce jobs")
 		ranks      = flag.Int("ranks", 4, "collective: ranks per all-reduce job")
 		stride     = flag.Int("ring-stride", 0, "collective: host offset between rings (0 = aligned)")
@@ -223,6 +229,42 @@ func main() {
 		})
 		cfg.Scheduler = sc
 	}
+	if *arrivals != "" || *arrTrace != "" || *mix != "" || *hetero {
+		if cfg.Scheduler != nil {
+			fmt.Fprintln(os.Stderr, "tlsim: -scheduler is incompatible with the open-world flags (-arrivals, -arrival-trace, -mix, -hetero)")
+			os.Exit(2)
+		}
+		if *faultFlapPS || len(crashes) > 0 {
+			fmt.Fprintln(os.Stderr, "tlsim: fault flags are incompatible with the open-world workload")
+			os.Exit(2)
+		}
+		// Like -scheduler: only forward -jobs / -oversub when the user
+		// set them, so the open-world defaults apply otherwise.
+		ow := &tensorlights.OpenWorldConfig{
+			Arrivals:          *arrivals,
+			Mix:               *mix,
+			Heterogeneous:     *hetero,
+			ArrivalRatePerSec: *arrival,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "jobs":
+				ow.Jobs = *jobs
+			case "oversub":
+				ow.Oversubscription = *oversub
+			}
+		})
+		if *arrTrace != "" {
+			f, err := os.Open(*arrTrace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tlsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			ow.Trace = f
+		}
+		cfg.OpenWorld = ow
+	}
 	if *faultFlapPS || len(crashes) > 0 {
 		// Crashes naming a collective job (ID >= CollectiveJobIDBase)
 		// are ring-peer crashes; the rest are PS-worker crashes.
@@ -322,6 +364,35 @@ func main() {
 		}
 		fmt.Printf("scheduler placement=%s policy=%s oversub=%g:1 jobs=%d arrival-rate=%g/s steps=%d seed=%d\n",
 			sc.Placement, pol, schedOversub, schedJobs, schedRate, *steps, *seed)
+	} else if ow := cfg.OpenWorld; ow != nil {
+		// Echo the trial defaults for anything the user left unset.
+		owArrivals, owMix, owJobs, owOversub, owRate := ow.Arrivals, ow.Mix, ow.Jobs, ow.Oversubscription, ow.ArrivalRatePerSec
+		if owArrivals == "" {
+			owArrivals = "poisson"
+		}
+		if owMix == "" {
+			owMix = "mixed"
+		}
+		if owJobs <= 0 {
+			owJobs = 9
+		}
+		if owOversub <= 0 {
+			owOversub = 2
+		}
+		if owRate <= 0 {
+			owRate = 1
+		}
+		hosts := "homogeneous"
+		if ow.Heterogeneous {
+			hosts = "heterogeneous"
+		}
+		if owArrivals == "trace" {
+			fmt.Printf("open world arrivals=trace hosts=%s policy=%s oversub=%g:1 steps=%d seed=%d\n",
+				hosts, pol, owOversub, *steps, *seed)
+		} else {
+			fmt.Printf("open world arrivals=%s mix=%s hosts=%s policy=%s oversub=%g:1 jobs=%d arrival-rate=%g/s steps=%d seed=%d\n",
+				owArrivals, owMix, hosts, pol, owOversub, owJobs, owRate, *steps, *seed)
+		}
 	} else if s := cfg.Sharded; s != nil {
 		cells := s.Cells
 		if cells == 0 {

@@ -70,10 +70,11 @@ func NewTestbedOn(k *sim.Kernel, cfg Config) *Testbed {
 	cpus := make([]*cpusim.CPU, cfg.Hosts)
 	for i := 0; i < cfg.Hosts; i++ {
 		fab.AddHost(fmt.Sprintf("host%02d", i))
-		cpus[i] = cpusim.NewCPU(k, cfg.ThreadsPerHost)
+		speed := 1.0
 		if i < len(cfg.HostSpeedFactors) && cfg.HostSpeedFactors[i] > 0 {
-			cpus[i].SetSpeed(cfg.HostSpeedFactors[i])
+			speed = cfg.HostSpeedFactors[i]
 		}
+		cpus[i] = cpusim.NewCPUAtSpeed(k, cfg.ThreadsPerHost, speed)
 	}
 	// Force the topology build now that the host set is final: an
 	// invalid rack/host combination fails here, before any workload

@@ -51,10 +51,21 @@ func (t *Task) Remaining() float64 { return t.remaining }
 
 // NewCPU creates a CPU with the given hardware thread count.
 func NewCPU(k *sim.Kernel, threads float64) *CPU {
+	return NewCPUAtSpeed(k, threads, 1)
+}
+
+// NewCPUAtSpeed creates a CPU with the given thread count and per-
+// thread speed factor — the constructor heterogeneous testbeds use, so
+// a host is born at its hardware speed rather than mutated after the
+// fact.
+func NewCPUAtSpeed(k *sim.Kernel, threads, speed float64) *CPU {
 	if threads <= 0 {
 		panic(fmt.Sprintf("cpusim: threads must be positive, got %g", threads))
 	}
-	c := &CPU{k: k, threads: threads, speed: 1, tasks: make(map[*Task]struct{})}
+	if speed <= 0 {
+		panic(fmt.Sprintf("cpusim: speed must be positive, got %g", speed))
+	}
+	c := &CPU{k: k, threads: threads, speed: speed, tasks: make(map[*Task]struct{})}
 	c.onCompletionFn = c.onCompletion
 	return c
 }

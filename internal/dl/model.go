@@ -112,11 +112,44 @@ var (
 		PSApplySecPerGrad: 0.300,
 		SerializeSecPerMB: 0.0025,
 	}
+	// DCGAN: ~3.5 M parameters (generator + discriminator at 64x64),
+	// the small-update GAN anchor of the open-world mix — light on the
+	// wire, cheap per sample.
+	DCGAN = Model{
+		Name:              "dcgan",
+		Params:            3_500_000,
+		SecPerSample:      0.210,
+		StepOverheadSec:   0.150,
+		PSApplySecPerGrad: 0.012,
+		SerializeSecPerMB: 0.0025,
+	}
+	// BERTBase: 110 M parameters — transformer-encoder scale, updates
+	// comparable to VGG-16 but with far heavier per-sample compute.
+	BERTBase = Model{
+		Name:              "bert-base",
+		Params:            110_000_000,
+		SecPerSample:      2.800,
+		StepOverheadSec:   0.450,
+		PSApplySecPerGrad: 0.250,
+		SerializeSecPerMB: 0.0025,
+	}
+	// GPT2XL: 1.5 B parameters — the GPT-sized entry (~6 GB per fp32
+	// update). It exists to stress the zoo's upper end; default mixes
+	// leave it out and trace-driven workloads opt in explicitly.
+	GPT2XL = Model{
+		Name:              "gpt2-xl",
+		Params:            1_500_000_000,
+		SecPerSample:      9.500,
+		StepOverheadSec:   0.800,
+		PSApplySecPerGrad: 1.800,
+		SerializeSecPerMB: 0.0025,
+	}
 )
 
-// Zoo lists the built-in models.
+// Zoo lists the built-in models, smallest update first.
 func Zoo() []Model {
-	return []Model{ResNet32, ResNet56, AlexNet, InceptionV3, ResNet50, VGG16}
+	return []Model{ResNet32, ResNet56, DCGAN, InceptionV3, ResNet50,
+		AlexNet, BERTBase, VGG16, GPT2XL}
 }
 
 // ModelByName looks a model up in the zoo.

@@ -96,6 +96,17 @@ const (
 	KindPS
 )
 
+// String names the kind for traces and error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindCollective:
+		return "collective"
+	case KindPS:
+		return "ps"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
 // JobReq describes an arriving job to the scheduler.
 type JobReq struct {
 	ID    int

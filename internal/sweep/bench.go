@@ -79,6 +79,22 @@ type BenchReport struct {
 	// 10,240-host leaf-spine workload. Speedup is the chunk wall clock
 	// divided by the flow wall clock on the same workload.
 	FlowVsChunk []FlowVsChunkPoint `json:"flow_vs_chunk,omitempty"`
+
+	// OpenWorld times the unified open-world trial (mixed PS+collective
+	// arrivals through the scheduler tier) on fixed scenarios, so the
+	// cost of the cross-cutting workload path is part of the history.
+	OpenWorld []OpenWorldBenchPoint `json:"open_world,omitempty"`
+}
+
+// OpenWorldBenchPoint is one open-world trial measurement.
+type OpenWorldBenchPoint struct {
+	Scenario string  `json:"scenario"`
+	WallSec  float64 `json:"wall_sec"`
+	Events   uint64  `json:"events"`
+	Jobs     int     `json:"jobs"`
+	AvgJCT   float64 `json:"avg_jct_s"`
+	// EventsPerSec is the kernel throughput on this trial.
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // ShardScalePoint is one sharded-engine measurement.
@@ -335,7 +351,42 @@ func MeasureSweepBench(cfg BenchConfig) (*BenchReport, error) {
 	if rep.FlowVsChunk, err = measureFlowVsChunk(cfg.Seed); err != nil {
 		return nil, fmt.Errorf("sweep: bench flow-vs-chunk leg: %w", err)
 	}
+	if rep.OpenWorld, err = measureOpenWorld(cfg.Seed); err != nil {
+		return nil, fmt.Errorf("sweep: bench open-world leg: %w", err)
+	}
 	return rep, nil
+}
+
+// measureOpenWorld times the open-world trial on its stress scenario:
+// bursty arrivals on the heterogeneous cluster under TLs-SRSF — the
+// cell that exercises every new layer at once (MMPP generation, the
+// unified lowering paths, per-host speed factors, adaptive ranking).
+// Best-of-3 with a leveled heap, like the other millisecond-scale legs.
+func measureOpenWorld(seed int64) ([]OpenWorldBenchPoint, error) {
+	p := OpenWorldBenchPoint{Scenario: "openworld-bursty-het-srsf", WallSec: math.Inf(1)}
+	for rep := 0; rep < 3; rep++ {
+		runtime.GC()
+		start := time.Now()
+		res, err := OpenWorldTrial(context.Background(), OpenWorldTrialConfig{
+			Steps:         3000,
+			Seed:          seed,
+			Arrivals:      "bursty",
+			Heterogeneous: true,
+			PolicyName:    "TLs-SRSF",
+		})
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		p.Events, p.Jobs, p.AvgJCT = res.Events, len(res.JCTs), res.AvgJCT
+		if wall < p.WallSec {
+			p.WallSec = wall
+		}
+	}
+	if p.WallSec > 0 {
+		p.EventsPerSec = float64(p.Events) / p.WallSec
+	}
+	return []OpenWorldBenchPoint{p}, nil
 }
 
 // shardScaleRun is the fixed workload the scaling curve measures: a

@@ -48,6 +48,7 @@ func TestSweepsDeterministicSequentialVsParallel(t *testing.T) {
 		{"policy", func(o Options) (csvResult, error) { return PolicySweep(o) }},
 		{"topology", func(o Options) (csvResult, error) { return TopologySweep(o) }},
 		{"scheduler", func(o Options) (csvResult, error) { return SchedulerSweep(o) }},
+		{"openworld", func(o Options) (csvResult, error) { return OpenWorldSweep(o) }},
 	}
 	for _, s := range sweeps {
 		s := s

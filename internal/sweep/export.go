@@ -197,6 +197,20 @@ func (r *SchedulerResult) WriteCSV(w io.Writer) error {
 	return c.err
 }
 
+// WriteCSV exports the open-world sweep's grid rows.
+func (r *OpenWorldResult) WriteCSV(w io.Writer) error {
+	c := &csvWriter{w: w}
+	c.row("arrivals", "hosts", "policy", "avg_jct_s", "p95_jct_s",
+		"ps_jobs", "collective_jobs", "cross_rack_ratio", "max_link_util",
+		"reconfigs", "makespan_s")
+	for _, row := range r.Rows {
+		c.row(row.Arrivals, row.Hosts, row.Policy, row.AvgJCT, row.P95JCT,
+			row.PSJobs, row.CollectiveJobs, row.CrossRackRatio,
+			row.MaxLinkUtil, row.Reconfigs, row.MakespanSec)
+	}
+	return c.err
+}
+
 // WriteCSV exports Table II's normalized utilization rows.
 func (r *TableIIResult) WriteCSV(w io.Writer) error {
 	c := &csvWriter{w: w}

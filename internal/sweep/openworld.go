@@ -1,0 +1,525 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/scheduler"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The open-world experiment: ROADMAP item 4's regime. Jobs are drawn
+// from the unified workload layer — one arrival stream mixing PS and
+// collective jobs, arrival times from a pluggable process (Poisson,
+// Markov-modulated bursty, trace replay), placement by the online
+// cluster-scheduler tier on the leaf-spine topology — and the cluster
+// is optionally heterogeneous, with a deterministic subset of hosts
+// running at a fractional CPU speed so stragglers arise from hardware,
+// not just contention or faults.
+
+// OpenWorldArrivals are the arrival-process axis values the sweep
+// crosses.
+var OpenWorldArrivals = []string{"poisson", "bursty", "trace"}
+
+// OpenWorldPolicyNames are the end-host TensorLights policies crossed
+// with the arrival and heterogeneity axes.
+var OpenWorldPolicyNames = []string{"FIFO", "TLs-RR", "TLs-LAS", "TLs-SRSF"}
+
+// openWorldSlowEvery / openWorldSlowFactor define the heterogeneous
+// tier: every third host (ids 2, 5, 8, 11 on the 12-host cluster) runs
+// at 60% of reference speed. Deterministic, so the heterogeneous and
+// homogeneous cells differ only in hardware.
+const (
+	openWorldSlowEvery  = 3
+	openWorldSlowFactor = 0.6
+)
+
+// OpenWorldTrialConfig describes one open-world run.
+type OpenWorldTrialConfig struct {
+	// Steps scales per-job iteration counts exactly like the other
+	// sweeps (iterations = Steps/30, min 2).
+	Steps int
+	Seed  int64
+	// Arrivals names the arrival process: "poisson" (default),
+	// "bursty" or "trace".
+	Arrivals string
+	// Trace optionally overrides the built-in workload.DemoTrace for
+	// Arrivals == "trace" (e.g. a CSV loaded from disk).
+	Trace *workload.Trace
+	// Heterogeneous slows every third host to 60% reference speed.
+	Heterogeneous bool
+	// Oversub is the leaf-spine core oversubscription ratio (default 2).
+	Oversub float64
+	// Placement is the cluster-scheduler placement policy (default
+	// contention-aware).
+	Placement scheduler.Policy
+	// PolicyName is the end-host TensorLights policy (default FIFO).
+	PolicyName string
+	// Jobs is the number of arrivals (default 9; trace replay runs the
+	// whole trace).
+	Jobs int
+	// ArrivalRatePerSec scales the stochastic processes (default 1/s).
+	ArrivalRatePerSec float64
+	// MixName selects the job mix for stochastic arrivals: "mixed"
+	// (default), "ps" or "collective".
+	MixName string
+	// FabricMode selects the network engine ("" or simnet.ModeChunk for
+	// the per-chunk fabric, simnet.ModeFlow for the analytic model).
+	FabricMode string
+	// Tracer, when non-nil, receives events from every layer.
+	Tracer trace.Tracer
+}
+
+func (c *OpenWorldTrialConfig) fillDefaults() {
+	if c.Steps <= 0 {
+		c.Steps = 30_000
+	}
+	if c.Arrivals == "" {
+		c.Arrivals = "poisson"
+	}
+	if c.Oversub <= 0 {
+		c.Oversub = 2
+	}
+	if c.Placement == "" {
+		c.Placement = scheduler.PolicyContentionAware
+	}
+	if c.PolicyName == "" {
+		c.PolicyName = "FIFO"
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 9
+	}
+	if c.ArrivalRatePerSec <= 0 {
+		c.ArrivalRatePerSec = 1.0
+	}
+}
+
+// OpenWorldTrialResult aggregates one open-world run. JCTs are
+// measured from arrival to finish, so scheduler start shifts pay their
+// own delay.
+type OpenWorldTrialResult struct {
+	JCTs           []float64 // per arrival, in arrival order
+	AvgJCT         float64
+	P95JCT         float64
+	PSJobs         int
+	CollectiveJobs int
+	CrossRackRatio float64
+	MaxLinkUtil    float64
+	ShiftedJobs    int
+	TotalShiftSec  float64
+	Reconfigs      int
+	MakespanSec    float64
+	Events         uint64
+}
+
+// openWorldProcess resolves the configured arrival process and mix.
+func openWorldProcess(cfg OpenWorldTrialConfig, iters int) (workload.OpenConfig, error) {
+	mix, err := workload.NamedMix(cfg.MixName, iters)
+	if err != nil {
+		return workload.OpenConfig{}, err
+	}
+	switch cfg.Arrivals {
+	case "trace":
+		tr := cfg.Trace
+		if tr == nil {
+			tr = workload.DemoTrace(iters)
+		}
+		if err := tr.Validate(); err != nil {
+			return workload.OpenConfig{}, err
+		}
+		// Replay the whole trace (entry count wins over cfg.Jobs so the
+		// trace axis is self-describing).
+		return workload.OpenConfig{Jobs: len(tr.Entries), Arrivals: tr, Mix: mix}, nil
+	default:
+		proc, err := workload.ParseProcess(cfg.Arrivals, cfg.ArrivalRatePerSec)
+		if err != nil {
+			return workload.OpenConfig{}, err
+		}
+		return workload.OpenConfig{Jobs: cfg.Jobs, Arrivals: proc, Mix: mix}, nil
+	}
+}
+
+// OpenWorldTrial runs one open-world simulation: arrivals from the
+// unified workload generator, each placed by the cluster-scheduler
+// tier at its arrival instant and lowered to its runtime (dl.Job or
+// collective.Job), running under the configured end-host TensorLights
+// policy until every job finishes.
+func OpenWorldTrial(ctx context.Context, cfg OpenWorldTrialConfig) (*OpenWorldTrialResult, error) {
+	cfg.fillDefaults()
+	iters := cfg.Steps / 30
+	if iters < 2 {
+		iters = 2
+	}
+	topo := simnet.TopologyConfig{
+		Kind:             simnet.TopologyLeafSpine,
+		Racks:            schedRacks,
+		UplinksPerLeaf:   schedUplinks,
+		Oversubscription: cfg.Oversub,
+	}
+	var speeds []float64
+	if cfg.Heterogeneous {
+		speeds = workload.TwoTierSpeeds(schedHosts, openWorldSlowEvery, openWorldSlowFactor)
+	}
+	tb := cluster.NewTestbed(cluster.Config{
+		Hosts:            schedHosts,
+		Seed:             cfg.Seed,
+		HostSpeedFactors: speeds,
+		Net:              simnet.Config{Topology: topo, Mode: cfg.FabricMode},
+	})
+	tls := topologyTLs(cfg.PolicyName, cfg.Steps)
+	if err := tls.Validate(); err != nil {
+		return nil, err
+	}
+	ctl := core.New(tb.K, tb.TC, tb.RNG, tls)
+	fb := policy.NewFeedback(tb.K, policy.FeedbackConfig{
+		SampleIntervalSec: tls.FeedbackIntervalSec,
+	})
+	fb.Probe = cluster.NewQdiscProbe(tb.Fabric)
+	if cfg.Tracer != nil {
+		tb.Env.Tracer = cfg.Tracer
+		tb.Fabric.Tracer = cfg.Tracer
+		ctl.Tracer = cfg.Tracer
+		fb.Tracer = cfg.Tracer
+	}
+	if ctl.NeedsFeedback() {
+		ctl.AttachFeedback(fb)
+	}
+	sched, err := scheduler.New(scheduler.Config{
+		Hosts:    schedHosts,
+		Topo:     topo,
+		Policy:   cfg.Placement,
+		RNG:      tb.RNG,
+		Feedback: fb,
+		Tracer:   cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	openCfg, err := openWorldProcess(cfg, iters)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := workload.GenerateOpen(openCfg, tb.RNG)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &OpenWorldTrialResult{JCTs: make([]float64, len(arrivals))}
+	finished := 0
+	var trialErr error
+	fail := func(err error) {
+		if trialErr == nil {
+			trialErr = err
+		}
+	}
+	for i, arr := range arrivals {
+		i, arr := i, arr
+		tb.K.Post(arr.At, func() {
+			now := tb.K.Now()
+			spec := arr.Spec
+			id := spec.RuntimeID()
+			dec, err := sched.Place(spec.SchedReq(), now)
+			if err != nil {
+				fail(fmt.Errorf("sweep: open-world placement of job %d: %w", id, err))
+				return
+			}
+			depart := func() {
+				ctl.JobDeparted(id)
+				fb.JobDeparted(id)
+				sched.Release(id)
+			}
+			if spec.Kind.Collective() {
+				cspec, err := spec.LowerCollective(dec.Hosts)
+				if err != nil {
+					fail(err)
+					return
+				}
+				j, err := collective.NewJob(tb.Env, cspec)
+				if err != nil {
+					fail(err)
+					return
+				}
+				res.CollectiveJobs++
+				j.OnFinish = func(j *collective.Job) {
+					res.JCTs[i] = tb.K.Now() - arr.At
+					depart()
+					finished++
+				}
+				j.OnFail = func(j *collective.Job) {
+					fail(fmt.Errorf("sweep: open-world collective job %d failed", id))
+					finished++
+				}
+				j.OnIteration = func(j *collective.Job, iter int) {
+					ctl.JobProgress(id, iter)
+					fb.OnProgress(id, iter)
+				}
+				tb.K.Post(now+dec.ShiftSec, func() {
+					j.Start()
+					ctl.JobArrived(core.JobInfo{
+						ID:          id,
+						PSHost:      dec.Hosts[0],
+						PSPort:      j.Spec.Port,
+						UpdateBytes: spec.Model.UpdateBytes(),
+						SenderHosts: dec.Hosts,
+						Ports:       []int{j.Spec.Port},
+						TargetSteps: spec.Iterations,
+					})
+					fb.JobArrived(id)
+				})
+			} else {
+				pspec, err := spec.LowerPS(dec.Hosts)
+				if err != nil {
+					fail(err)
+					return
+				}
+				j, err := dl.NewJob(tb.Env, pspec)
+				if err != nil {
+					fail(err)
+					return
+				}
+				res.PSJobs++
+				j.OnFinish = func(j *dl.Job) {
+					res.JCTs[i] = tb.K.Now() - arr.At
+					depart()
+					finished++
+				}
+				j.OnFail = func(j *dl.Job) {
+					fail(fmt.Errorf("sweep: open-world PS job %d failed", id))
+					finished++
+				}
+				j.OnBarrier = func(j *dl.Job, iter int) {
+					ctl.JobProgress(id, iter)
+					fb.OnProgress(id, iter)
+				}
+				tb.K.Post(now+dec.ShiftSec, func() {
+					j.Start()
+					ctl.JobArrived(core.JobInfo{
+						ID:          id,
+						PSHost:      j.Spec.PSHost,
+						PSPort:      j.Spec.PSPort,
+						UpdateBytes: spec.Model.UpdateBytes(),
+						TargetSteps: spec.Iterations,
+					})
+					fb.JobArrived(id)
+				})
+			}
+		})
+	}
+
+	tb.K.MaxEvents = 500_000_000
+	done := ctx.Done()
+	cancelled := done != nil && ctx.Err() != nil
+	var sinceCheck int
+	total := len(arrivals)
+	tb.K.Run(func() bool {
+		if cancelled {
+			return true
+		}
+		if done != nil {
+			sinceCheck++
+			if sinceCheck >= schedCtxCheckEvery {
+				sinceCheck = 0
+				select {
+				case <-done:
+					cancelled = true
+					return true
+				default:
+				}
+			}
+		}
+		return finished >= total || trialErr != nil
+	})
+	if cancelled {
+		return nil, fmt.Errorf("sweep: open-world trial cancelled at sim time %.3f s: %w",
+			tb.K.Now(), ctx.Err())
+	}
+	if trialErr != nil {
+		return nil, trialErr
+	}
+	if finished < total {
+		return nil, fmt.Errorf("sweep: open-world trial stalled: %d/%d jobs finished after %d events",
+			finished, total, tb.K.Fired())
+	}
+
+	res.AvgJCT = metrics.Mean(res.JCTs)
+	res.P95JCT = metrics.Percentile(res.JCTs, 0.95)
+	res.Reconfigs = ctl.Reconfigs()
+	res.MakespanSec = tb.K.Now()
+	res.Events = tb.K.Fired()
+	res.ShiftedJobs, res.TotalShiftSec = sched.Shifts()
+	var upBytes, egress int64
+	for _, l := range tb.Fabric.CoreLinks() {
+		if len(l.Name) >= 4 && l.Name[:4] == "leaf" {
+			upBytes += l.Port().Bytes()
+		}
+		if res.MakespanSec > 0 {
+			if u := l.Port().BusyTime() / res.MakespanSec; u > res.MaxLinkUtil {
+				res.MaxLinkUtil = u
+			}
+		}
+	}
+	for _, h := range tb.Fabric.Hosts() {
+		egress += h.Egress.Bytes()
+	}
+	if egress > 0 {
+		res.CrossRackRatio = float64(upBytes) / float64(egress)
+	}
+	return res, nil
+}
+
+// OpenWorldRow is one (arrivals, hosts, policy) cell.
+type OpenWorldRow struct {
+	Arrivals string
+	Hosts    string // "hom" or "het"
+	Policy   string
+
+	AvgJCT         float64
+	P95JCT         float64
+	PSJobs         int
+	CollectiveJobs int
+	CrossRackRatio float64
+	MaxLinkUtil    float64
+	Reconfigs      int
+	MakespanSec    float64
+}
+
+// OpenWorldResult is the open-world experiment: the unified arrival
+// stream swept across arrival processes, host heterogeneity and
+// end-host TensorLights policies, with placement fixed to the
+// contention-aware scheduler tier.
+type OpenWorldResult struct {
+	Rows []OpenWorldRow
+}
+
+// hostsLabel names the heterogeneity axis value.
+func hostsLabel(hetero bool) string {
+	if hetero {
+		return "het"
+	}
+	return "hom"
+}
+
+// Row returns the (arrivals, hosts, policy) cell.
+func (r *OpenWorldResult) Row(arrivals string, hetero bool, policy string) (OpenWorldRow, bool) {
+	hosts := hostsLabel(hetero)
+	for _, row := range r.Rows {
+		if row.Arrivals == arrivals && row.Hosts == hosts && row.Policy == policy {
+			return row, true
+		}
+	}
+	return OpenWorldRow{}, false
+}
+
+// HeteroSlowdown is the pooled heterogeneous-over-homogeneous average
+// JCT ratio for one arrival process (> 1 means slow hosts cost JCT).
+func (r *OpenWorldResult) HeteroSlowdown(arrivals string) float64 {
+	var hom, het []float64
+	for _, row := range r.Rows {
+		if row.Arrivals != arrivals {
+			continue
+		}
+		switch row.Hosts {
+		case "hom":
+			hom = append(hom, row.AvgJCT)
+		case "het":
+			het = append(het, row.AvgJCT)
+		}
+	}
+	h := metrics.Mean(hom)
+	if h <= 0 {
+		return 0
+	}
+	return metrics.Mean(het) / h
+}
+
+// Render prints the grid plus the headline heterogeneity slowdowns.
+func (r *OpenWorldResult) Render() string {
+	t := NewTable("Open world: arrival process x host heterogeneity x end-host policy (unified PS+collective stream)",
+		"arrivals", "hosts", "policy", "avg JCT (s)", "p95 JCT (s)",
+		"ps", "coll", "cross-rack", "max link util", "reconfigs")
+	for _, row := range r.Rows {
+		t.AddRow(row.Arrivals, row.Hosts, row.Policy,
+			row.AvgJCT, row.P95JCT, row.PSJobs, row.CollectiveJobs,
+			fmt.Sprintf("%.2f", row.CrossRackRatio),
+			fmt.Sprintf("%.2f", row.MaxLinkUtil), row.Reconfigs)
+	}
+	out := t.String()
+	for _, arr := range OpenWorldArrivals {
+		if s := r.HeteroSlowdown(arr); s > 0 {
+			out += fmt.Sprintf("%s arrivals: heterogeneous hosts cost %.2fx the homogeneous avg JCT\n",
+				arr, s)
+		}
+	}
+	return out
+}
+
+// OpenWorldSweep runs the full arrivals x heterogeneity x policy grid.
+func OpenWorldSweep(o Options) (*OpenWorldResult, error) {
+	return OpenWorldSweepContext(context.Background(), o)
+}
+
+// OpenWorldSweepContext is OpenWorldSweep with cancellation threaded
+// into every trial.
+func OpenWorldSweepContext(ctx context.Context, o Options) (*OpenWorldResult, error) {
+	o.fillDefaults()
+	type cell struct {
+		arrivals string
+		hetero   bool
+		pol      string
+	}
+	var cells []cell
+	for _, arr := range OpenWorldArrivals {
+		for _, hetero := range []bool{false, true} {
+			for _, pol := range OpenWorldPolicyNames {
+				cells = append(cells, cell{arr, hetero, pol})
+			}
+		}
+	}
+	results := make([]*OpenWorldTrialResult, len(cells))
+	err := Engine{Parallelism: o.Parallelism}.ForEachContext(ctx, len(cells), func(ctx context.Context, i int) error {
+		c := cells[i]
+		r, err := OpenWorldTrial(ctx, OpenWorldTrialConfig{
+			Steps:         o.Steps,
+			Seed:          o.Seed,
+			Arrivals:      c.arrivals,
+			Heterogeneous: c.hetero,
+			PolicyName:    c.pol,
+		})
+		if err != nil {
+			return fmt.Errorf("sweep: open-world cell (%s, %s, %s): %w",
+				c.arrivals, hostsLabel(c.hetero), c.pol, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &OpenWorldResult{}
+	for i, c := range cells {
+		r := results[i]
+		out.Rows = append(out.Rows, OpenWorldRow{
+			Arrivals:       c.arrivals,
+			Hosts:          hostsLabel(c.hetero),
+			Policy:         c.pol,
+			AvgJCT:         r.AvgJCT,
+			P95JCT:         r.P95JCT,
+			PSJobs:         r.PSJobs,
+			CollectiveJobs: r.CollectiveJobs,
+			CrossRackRatio: r.CrossRackRatio,
+			MaxLinkUtil:    r.MaxLinkUtil,
+			Reconfigs:      r.Reconfigs,
+			MakespanSec:    r.MakespanSec,
+		})
+	}
+	return out, nil
+}

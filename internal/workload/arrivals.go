@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Process is a pluggable arrival process: given a seeded RNG stream it
+// produces n monotonically non-decreasing arrival times. Every
+// implementation is deterministic for a given stream — the sweep
+// determinism contract (sequential vs parallel byte-identical CSVs)
+// depends on it.
+type Process interface {
+	// Name identifies the process in CSV exports and CLI flags.
+	Name() string
+	// Times returns the first n arrival times in seconds.
+	Times(n int, rng *sim.RNG) ([]float64, error)
+}
+
+// ParseProcess builds a named arrival process with its default
+// parameters ("" and "poisson" → Poisson at ratePerSec; "bursty" → the
+// default Markov-modulated process with its on-rate scaled to
+// ratePerSec). Trace-driven replay is constructed from a Trace value
+// directly, not by name, because it needs the recorded entries.
+func ParseProcess(name string, ratePerSec float64) (Process, error) {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	switch name {
+	case "", "poisson":
+		return Poisson{RatePerSec: ratePerSec}, nil
+	case "bursty":
+		return Bursty{OnRatePerSec: 4 * ratePerSec}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown arrival process %q (want poisson, bursty or trace)", name)
+}
+
+// Poisson is the classic memoryless arrival process: i.i.d.
+// exponential inter-arrival gaps at RatePerSec.
+type Poisson struct {
+	RatePerSec float64
+}
+
+// Name implements Process.
+func (p Poisson) Name() string { return "poisson" }
+
+// Validate reports configuration errors.
+func (p Poisson) Validate() error {
+	if !(p.RatePerSec > 0) || math.IsInf(p.RatePerSec, 1) {
+		return fmt.Errorf("workload: poisson rate %g must be positive and finite", p.RatePerSec)
+	}
+	return nil
+}
+
+// Times implements Process.
+func (p Poisson) Times(n int, rng *sim.RNG) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	times := make([]float64, 0, n)
+	at := 0.0
+	for len(times) < n {
+		at += rng.Expo(1 / p.RatePerSec)
+		times = append(times, at)
+	}
+	return times, nil
+}
+
+// Bursty is a two-state Markov-modulated Poisson process (MMPP): the
+// process alternates between an "on" phase with a high arrival rate and
+// an "off" phase with a low one, with exponentially distributed phase
+// dwell times. This is the canonical model for bursty cluster traces —
+// submission storms (a hyperparameter sweep landing, a nightly
+// pipeline) separated by quiet stretches — and the regime where
+// TensorLights' reconfiguration on every arrival is stressed hardest.
+type Bursty struct {
+	// OnRatePerSec / OffRatePerSec are the arrival rates inside each
+	// phase (defaults 4/s and 0.05/s).
+	OnRatePerSec  float64
+	OffRatePerSec float64
+	// MeanOnSec / MeanOffSec are the mean phase dwell times (defaults
+	// 2 s on, 6 s off). Dwells are exponential, making the phase
+	// process Markov.
+	MeanOnSec  float64
+	MeanOffSec float64
+}
+
+func (b Bursty) withDefaults() Bursty {
+	if b.OnRatePerSec == 0 {
+		b.OnRatePerSec = 4
+	}
+	if b.OffRatePerSec == 0 {
+		b.OffRatePerSec = 0.05
+	}
+	if b.MeanOnSec == 0 {
+		b.MeanOnSec = 2
+	}
+	if b.MeanOffSec == 0 {
+		b.MeanOffSec = 6
+	}
+	return b
+}
+
+// Name implements Process.
+func (b Bursty) Name() string { return "bursty" }
+
+// Validate reports configuration errors (after defaulting).
+func (b Bursty) Validate() error {
+	d := b.withDefaults()
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"OnRatePerSec", d.OnRatePerSec},
+		{"OffRatePerSec", d.OffRatePerSec},
+		{"MeanOnSec", d.MeanOnSec},
+		{"MeanOffSec", d.MeanOffSec},
+	} {
+		if !(v.val > 0) || math.IsInf(v.val, 1) {
+			return fmt.Errorf("workload: bursty %s %g must be positive and finite", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// Phase is one dwell of the modulating Markov chain.
+type Phase struct {
+	On       bool
+	StartSec float64
+	DurSec   float64
+}
+
+// Phases draws the first n phases of the modulating chain (starting in
+// the off phase, like Times). Exposed so tests can check the dwell-time
+// distributions against the configured means without re-implementing
+// the draw order.
+func (b Bursty) Phases(n int, rng *sim.RNG) ([]Phase, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	d := b.withDefaults()
+	phases := make([]Phase, 0, n)
+	at, on := 0.0, false
+	for len(phases) < n {
+		mean := d.MeanOffSec
+		if on {
+			mean = d.MeanOnSec
+		}
+		dur := rng.Expo(mean)
+		phases = append(phases, Phase{On: on, StartSec: at, DurSec: dur})
+		at += dur
+		on = !on
+	}
+	return phases, nil
+}
+
+// Times implements Process. The chain starts in the off phase at t=0.
+// Each candidate gap is exponential at the current phase's rate; a gap
+// that would cross the phase boundary is discarded and redrawn in the
+// next phase — statistically exact for an MMPP because the exponential
+// is memoryless, and deterministic because the draw order (phase dwell,
+// then gaps within the phase) is fixed.
+func (b Bursty) Times(n int, rng *sim.RNG) ([]float64, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	d := b.withDefaults()
+	times := make([]float64, 0, n)
+	at, on := 0.0, false
+	phaseEnd := rng.Expo(d.MeanOffSec)
+	for len(times) < n {
+		rate := d.OffRatePerSec
+		if on {
+			rate = d.OnRatePerSec
+		}
+		gap := rng.Expo(1 / rate)
+		if at+gap >= phaseEnd {
+			// The candidate lands past the phase boundary: jump to the
+			// boundary, flip phase, and redraw at the new rate.
+			at = phaseEnd
+			on = !on
+			mean := d.MeanOffSec
+			if on {
+				mean = d.MeanOnSec
+			}
+			phaseEnd += rng.Expo(mean)
+			continue
+		}
+		at += gap
+		times = append(times, at)
+	}
+	return times, nil
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// drawTimes runs a process from a fresh seed.
+func drawTimes(t *testing.T, p Process, n int, seed int64) []float64 {
+	t.Helper()
+	times, err := p.Times(n, sim.NewRNG(seed).Stream("arrivals-test"))
+	if err != nil {
+		t.Fatalf("%s.Times: %v", p.Name(), err)
+	}
+	return times
+}
+
+// Seeded determinism: for every arrival process, the same seed must
+// reproduce the arrival sequence exactly (float-for-float, hence
+// byte-for-byte in any CSV export), and a different seed must not.
+func TestArrivalProcessesSeededDeterminism(t *testing.T) {
+	procs := []Process{
+		Poisson{RatePerSec: 0.7},
+		Bursty{},
+		Bursty{OnRatePerSec: 10, OffRatePerSec: 0.2, MeanOnSec: 1, MeanOffSec: 3},
+		DemoTrace(5),
+	}
+	for _, p := range procs {
+		n := 50
+		if tr, ok := p.(*Trace); ok {
+			n = len(tr.Entries)
+		}
+		a := drawTimes(t, p, n, 42)
+		b := drawTimes(t, p, n, 42)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different sequences", p.Name())
+		}
+		if _, isTrace := p.(*Trace); !isTrace {
+			c := drawTimes(t, p, 50, 43)
+			if reflect.DeepEqual(a, c) {
+				t.Errorf("%s: different seeds produced identical sequences", p.Name())
+			}
+		}
+		for i, at := range a {
+			if math.IsNaN(at) || at < 0 || (i > 0 && at < a[i-1]) {
+				t.Fatalf("%s: non-monotone or invalid time %g at %d", p.Name(), at, i)
+			}
+		}
+	}
+}
+
+// chiSquareExpo bins samples into k equal-probability bins of the
+// exponential distribution with the given mean and returns the
+// chi-square statistic (df = k-1).
+func chiSquareExpo(samples []float64, mean float64, k int) float64 {
+	counts := make([]int, k)
+	for _, s := range samples {
+		// CDF of Expo(mean) at s.
+		u := 1 - math.Exp(-s/mean)
+		bin := int(u * float64(k))
+		if bin >= k {
+			bin = k - 1
+		}
+		counts[bin]++
+	}
+	expected := float64(len(samples)) / float64(k)
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2
+}
+
+// The bursty process's on/off dwell times must follow the configured
+// exponential means: chi-square over 10 equal-probability bins, df=9,
+// p=0.001 critical value 27.88.
+func TestBurstyDwellChiSquare(t *testing.T) {
+	b := Bursty{OnRatePerSec: 5, OffRatePerSec: 0.1, MeanOnSec: 2, MeanOffSec: 6}
+	phases, err := b.Phases(4000, sim.NewRNG(99).Stream("dwell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var on, off []float64
+	for _, ph := range phases {
+		if ph.On {
+			on = append(on, ph.DurSec)
+		} else {
+			off = append(off, ph.DurSec)
+		}
+	}
+	if len(on) < 1000 || len(off) < 1000 {
+		t.Fatalf("phase split %d on / %d off, want ~2000 each", len(on), len(off))
+	}
+	const critical = 27.88 // chi-square df=9, p=0.001
+	if chi2 := chiSquareExpo(on, b.MeanOnSec, 10); chi2 > critical {
+		t.Errorf("on dwell chi-square %.2f exceeds %.2f for mean %g", chi2, critical, b.MeanOnSec)
+	}
+	if chi2 := chiSquareExpo(off, b.MeanOffSec, 10); chi2 > critical {
+		t.Errorf("off dwell chi-square %.2f exceeds %.2f for mean %g", chi2, critical, b.MeanOffSec)
+	}
+	// Phases alternate starting in the off phase, and stamp their start
+	// times contiguously.
+	at := 0.0
+	for i, ph := range phases {
+		if ph.On != (i%2 == 1) {
+			t.Fatalf("phase %d: On=%v, want alternation starting off", i, ph.On)
+		}
+		if math.Abs(ph.StartSec-at) > 1e-9 {
+			t.Fatalf("phase %d starts at %g, want %g", i, ph.StartSec, at)
+		}
+		at += ph.DurSec
+	}
+}
+
+// A bursty stream's long-run arrival rate must sit between the off and
+// on rates — the modulation sanity check.
+func TestBurstyRateBetweenPhases(t *testing.T) {
+	b := Bursty{OnRatePerSec: 5, OffRatePerSec: 0.1, MeanOnSec: 2, MeanOffSec: 6}
+	times := drawTimes(t, b, 3000, 7)
+	rate := float64(len(times)) / times[len(times)-1]
+	if rate <= b.OffRatePerSec || rate >= b.OnRatePerSec {
+		t.Errorf("long-run rate %.3f/s outside (%g, %g)", rate, b.OffRatePerSec, b.OnRatePerSec)
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := Poisson{RatePerSec: 2}
+	times := drawTimes(t, p, 5000, 11)
+	mean := times[len(times)-1] / float64(len(times))
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("mean inter-arrival %.3f s, want ~0.5 s", mean)
+	}
+}
+
+func TestArrivalProcessValidation(t *testing.T) {
+	if _, err := (Poisson{RatePerSec: -1}).Times(3, sim.NewRNG(1)); err == nil {
+		t.Error("Poisson accepted a negative rate")
+	}
+	if _, err := (Poisson{RatePerSec: math.Inf(1)}).Times(3, sim.NewRNG(1)); err == nil {
+		t.Error("Poisson accepted an infinite rate")
+	}
+	if _, err := (Bursty{MeanOnSec: -2}).Times(3, sim.NewRNG(1)); err == nil {
+		t.Error("Bursty accepted a negative dwell mean")
+	}
+	if _, err := (Bursty{OffRatePerSec: math.NaN()}).Times(3, sim.NewRNG(1)); err == nil {
+		t.Error("Bursty accepted a NaN rate")
+	}
+}
+
+func TestParseProcess(t *testing.T) {
+	for name, want := range map[string]string{
+		"": "poisson", "poisson": "poisson", "bursty": "bursty",
+	} {
+		p, err := ParseProcess(name, 1)
+		if err != nil {
+			t.Fatalf("ParseProcess(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ParseProcess(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := ParseProcess("uniform", 1); err == nil {
+		t.Error("ParseProcess accepted an unknown process name")
+	}
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/dl"
+	"repro/internal/scheduler"
+)
+
+// Kind is the communication pattern of a unified job spec. It is the
+// one switch every layer keys off: lowering picks the runtime
+// (dl.JobSpec vs collective.JobSpec), and the cluster-scheduler tier
+// charges rack uplinks according to the pattern's traffic matrix.
+type Kind string
+
+const (
+	// KindPS is a parameter-server job: Tasks workers push gradient
+	// updates to one PS host (occupying Tasks+1 hosts in total).
+	KindPS Kind = "ps"
+	// KindRing is bucketized ring all-reduce across Tasks ranks.
+	KindRing Kind = "ring"
+	// KindTree is binomial-tree all-reduce across Tasks ranks.
+	KindTree Kind = "tree"
+)
+
+// ParseKind validates a kind name ("" defaults to PS, the paper's
+// workload).
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "":
+		return KindPS, nil
+	case KindPS, KindRing, KindTree:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("workload: unknown job kind %q (want ps, ring or tree)", s)
+}
+
+// Validate reports whether the kind is known.
+func (k Kind) Validate() error {
+	_, err := ParseKind(string(k))
+	return err
+}
+
+// Collective reports whether the kind lowers to a collective job.
+func (k Kind) Collective() bool { return k == KindRing || k == KindTree }
+
+// JobSpec is the unified, placement-free description of one training
+// job — the single job abstraction every workload generator emits and
+// every experiment consumes. It deliberately carries no hosts: the
+// cluster-scheduler tier (or a legacy flat scheduler) decides placement
+// at arrival time, and Lower* stamps the decision into the concrete
+// runtime spec.
+type JobSpec struct {
+	ID   int
+	Name string
+	// Kind selects the communication pattern (default PS).
+	Kind  Kind
+	Model dl.Model
+	// Tasks is the worker count for PS jobs and the rank count for
+	// collectives. A PS job occupies Tasks+1 hosts (the scheduler picks
+	// the PS host as Hosts[0]).
+	Tasks      int
+	LocalBatch int
+	// Iterations is the per-worker/per-rank iteration target.
+	Iterations int
+	// Port is the job's TCP source port — the single observable
+	// TensorLights classifies on (PSPort for PS jobs, the collective
+	// send port for rings and trees).
+	Port int
+	// PSGlobalSteps, when positive on a PS job, overrides the global
+	// step target (otherwise Tasks*Iterations). The legacy churn
+	// workload carries global-step targets that are not multiples of
+	// the worker count, so re-expressing it on the unified layer needs
+	// the exact value, not a per-worker count.
+	PSGlobalSteps int
+}
+
+// Validate reports spec errors. It checks everything that can be
+// checked before placement; host-count feasibility is the scheduler's
+// job.
+func (s JobSpec) Validate() error {
+	kind, err := ParseKind(string(s.Kind))
+	if err != nil {
+		return fmt.Errorf("workload: job %d: %w", s.ID, err)
+	}
+	if err := s.Model.Validate(); err != nil {
+		return fmt.Errorf("workload: job %d: %w", s.ID, err)
+	}
+	minTasks := 1
+	if kind.Collective() {
+		minTasks = 2
+	}
+	if s.Tasks < minTasks {
+		return fmt.Errorf("workload: job %d (%s) needs >=%d tasks, got %d",
+			s.ID, kind, minTasks, s.Tasks)
+	}
+	if s.LocalBatch < 1 {
+		return fmt.Errorf("workload: job %d needs a positive local batch", s.ID)
+	}
+	if s.Iterations < 1 && !(kind == KindPS && s.PSGlobalSteps > 0) {
+		return fmt.Errorf("workload: job %d needs a positive iteration target", s.ID)
+	}
+	if s.Port <= 0 {
+		return fmt.Errorf("workload: job %d needs a positive port", s.ID)
+	}
+	return nil
+}
+
+// kind returns the spec's kind with the default applied.
+func (s JobSpec) kind() Kind {
+	if s.Kind == "" {
+		return KindPS
+	}
+	return s.Kind
+}
+
+// RuntimeID is the job id used at the runtime layers. Collective jobs
+// are offset by cluster.CollectiveIDBase so a mixed arrival stream
+// never collides PS and collective ids inside shared components
+// (TensorLights core, feedback collector, tracer).
+func (s JobSpec) RuntimeID() int {
+	if s.kind().Collective() {
+		return cluster.CollectiveIDBase + s.ID
+	}
+	return s.ID
+}
+
+// SchedReq translates the spec into the cluster-scheduler tier's
+// request: the placer needs only the traffic pattern, model footprint
+// and task count.
+func (s JobSpec) SchedReq() scheduler.JobReq {
+	kind := scheduler.KindPS
+	if s.kind().Collective() {
+		kind = scheduler.KindCollective
+	}
+	return scheduler.JobReq{
+		ID:         s.RuntimeID(),
+		Kind:       kind,
+		Model:      s.Model,
+		Tasks:      s.Tasks,
+		LocalBatch: s.LocalBatch,
+	}
+}
+
+// globalSteps is the PS global-step target implied by the spec.
+func (s JobSpec) globalSteps() int {
+	if s.PSGlobalSteps > 0 {
+		return s.PSGlobalSteps
+	}
+	return s.Tasks * s.Iterations
+}
+
+// LowerPS lowers a PS-kind spec onto a placement: hosts[0] is the PS
+// and hosts[1:] are the workers, exactly the layout scheduler.Decision
+// hands back for KindPS.
+func (s JobSpec) LowerPS(hosts []int) (dl.JobSpec, error) {
+	if s.kind() != KindPS {
+		return dl.JobSpec{}, fmt.Errorf("workload: job %d is %s, not ps", s.ID, s.kind())
+	}
+	if err := s.Validate(); err != nil {
+		return dl.JobSpec{}, err
+	}
+	if len(hosts) != s.Tasks+1 {
+		return dl.JobSpec{}, fmt.Errorf("workload: job %d needs %d hosts (PS + %d workers), got %d",
+			s.ID, s.Tasks+1, s.Tasks, len(hosts))
+	}
+	workers := append([]int(nil), hosts[1:]...)
+	return dl.JobSpec{
+		ID:                s.RuntimeID(),
+		Name:              s.Name,
+		Model:             s.Model,
+		NumWorkers:        len(workers),
+		LocalBatch:        s.LocalBatch,
+		TargetGlobalSteps: s.globalSteps(),
+		PSHost:            hosts[0],
+		PSPort:            s.Port,
+		WorkerHosts:       workers,
+	}, nil
+}
+
+// LowerCollective lowers a ring/tree-kind spec onto a placement: hosts
+// is the rank order (the scheduler already groups same-rack hosts so
+// the ring crosses each rack boundary once).
+func (s JobSpec) LowerCollective(hosts []int) (collective.JobSpec, error) {
+	if !s.kind().Collective() {
+		return collective.JobSpec{}, fmt.Errorf("workload: job %d is %s, not a collective", s.ID, s.kind())
+	}
+	if err := s.Validate(); err != nil {
+		return collective.JobSpec{}, err
+	}
+	if len(hosts) != s.Tasks {
+		return collective.JobSpec{}, fmt.Errorf("workload: job %d needs %d ranks, got %d hosts",
+			s.ID, s.Tasks, len(hosts))
+	}
+	algo := collective.Ring
+	if s.kind() == KindTree {
+		algo = collective.Tree
+	}
+	return collective.JobSpec{
+		ID:               s.RuntimeID(),
+		Name:             s.Name,
+		Model:            s.Model,
+		Algorithm:        algo,
+		Hosts:            append([]int(nil), hosts...),
+		LocalBatch:       s.LocalBatch,
+		TargetIterations: s.Iterations,
+		Port:             s.Port,
+	}, nil
+}

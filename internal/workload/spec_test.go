@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/dl"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{
+		"": KindPS, "ps": KindPS, "ring": KindRing, "tree": KindTree,
+	} {
+		k, err := ParseKind(s)
+		if err != nil || k != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, k, err, want)
+		}
+	}
+	if _, err := ParseKind("mesh"); err == nil {
+		t.Error("ParseKind accepted an unknown kind")
+	}
+}
+
+func TestJobSpecLowerPS(t *testing.T) {
+	s := JobSpec{
+		ID: 3, Name: "j3", Kind: KindPS, Model: dl.ResNet56,
+		Tasks: 3, LocalBatch: 4, Iterations: 10, Port: 5003,
+	}
+	spec, err := s.LowerPS([]int{7, 1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ID != 3 || spec.PSHost != 7 || spec.PSPort != 5003 || spec.NumWorkers != 3 {
+		t.Errorf("lowered PS spec wrong: %+v", spec)
+	}
+	if spec.TargetGlobalSteps != 30 {
+		t.Errorf("TargetGlobalSteps = %d, want Tasks*Iterations = 30", spec.TargetGlobalSteps)
+	}
+	if got := spec.WorkerHosts; len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Errorf("WorkerHosts = %v, want [1 2 5]", got)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("lowered spec invalid: %v", err)
+	}
+
+	// PSGlobalSteps overrides Tasks*Iterations (the legacy churn path
+	// carries exact global targets).
+	s.PSGlobalSteps = 6000
+	spec, err = s.LowerPS([]int{7, 1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TargetGlobalSteps != 6000 {
+		t.Errorf("TargetGlobalSteps = %d, want override 6000", spec.TargetGlobalSteps)
+	}
+
+	if _, err := s.LowerPS([]int{7, 1}); err == nil {
+		t.Error("LowerPS accepted the wrong host count")
+	}
+	if _, err := (JobSpec{Kind: KindRing}).LowerPS([]int{0, 1}); err == nil {
+		t.Error("LowerPS accepted a collective spec")
+	}
+}
+
+func TestJobSpecLowerCollective(t *testing.T) {
+	s := JobSpec{
+		ID: 2, Name: "ring2", Kind: KindRing, Model: dl.AlexNet,
+		Tasks: 3, LocalBatch: 1, Iterations: 8, Port: 7200,
+	}
+	spec, err := s.LowerCollective([]int{4, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ID != cluster.CollectiveIDBase+2 {
+		t.Errorf("runtime ID = %d, want offset by CollectiveIDBase", spec.ID)
+	}
+	if spec.Algorithm != collective.Ring || spec.TargetIterations != 8 || spec.Port != 7200 {
+		t.Errorf("lowered collective spec wrong: %+v", spec)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("lowered spec invalid: %v", err)
+	}
+
+	s.Kind = KindTree
+	spec, err = s.LowerCollective([]int{4, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algorithm != collective.Tree {
+		t.Errorf("tree kind lowered to %q", spec.Algorithm)
+	}
+
+	if _, err := s.LowerCollective([]int{4, 5}); err == nil {
+		t.Error("LowerCollective accepted the wrong host count")
+	}
+	if _, err := (JobSpec{Kind: KindPS}).LowerCollective([]int{0, 1}); err == nil {
+		t.Error("LowerCollective accepted a PS spec")
+	}
+}
+
+func TestJobSpecSchedReq(t *testing.T) {
+	ps := JobSpec{ID: 1, Kind: KindPS, Model: dl.ResNet32, Tasks: 3, LocalBatch: 4, Iterations: 5, Port: 5001}
+	req := ps.SchedReq()
+	if req.Kind != scheduler.KindPS || req.ID != 1 || req.Tasks != 3 {
+		t.Errorf("PS SchedReq wrong: %+v", req)
+	}
+	ring := JobSpec{ID: 1, Kind: KindRing, Model: dl.ResNet32, Tasks: 3, LocalBatch: 1, Iterations: 5, Port: 7100}
+	req = ring.SchedReq()
+	if req.Kind != scheduler.KindCollective || req.ID != cluster.CollectiveIDBase+1 {
+		t.Errorf("ring SchedReq wrong: %+v", req)
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	good := JobSpec{ID: 0, Kind: KindPS, Model: dl.ResNet32, Tasks: 1, LocalBatch: 1, Iterations: 1, Port: 5000}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := map[string]JobSpec{
+		"unknown kind": {Kind: "mesh", Model: dl.ResNet32, Tasks: 2, LocalBatch: 1, Iterations: 1, Port: 1},
+		"no model":     {Kind: KindPS, Tasks: 1, LocalBatch: 1, Iterations: 1, Port: 1},
+		"ring 1 rank":  {Kind: KindRing, Model: dl.ResNet32, Tasks: 1, LocalBatch: 1, Iterations: 1, Port: 1},
+		"no iters":     {Kind: KindRing, Model: dl.ResNet32, Tasks: 2, LocalBatch: 1, Port: 1},
+		"no port":      {Kind: KindPS, Model: dl.ResNet32, Tasks: 1, LocalBatch: 1, Iterations: 1},
+		"no batch":     {Kind: KindPS, Model: dl.ResNet32, Tasks: 1, Iterations: 1, Port: 1},
+	}
+	for name, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate accepted %s", name)
+		}
+	}
+	// A PS spec without Iterations but with PSGlobalSteps is complete.
+	psOnly := JobSpec{Kind: KindPS, Model: dl.ResNet32, Tasks: 1, LocalBatch: 1, PSGlobalSteps: 100, Port: 1}
+	if err := psOnly.Validate(); err != nil {
+		t.Errorf("PSGlobalSteps-only spec rejected: %v", err)
+	}
+}
+
+func TestGenerateOpenDeterministicAndMixed(t *testing.T) {
+	gen := func(seed int64) []OpenArrival {
+		arr, err := GenerateOpen(OpenConfig{Jobs: 24}, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+	a, b := gen(5), gen(5)
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Spec != b[i].Spec {
+			t.Fatalf("arrival %d differs across identical seeds", i)
+		}
+	}
+	var ps, coll int
+	ports := map[int]bool{}
+	for i, arr := range a {
+		if err := arr.Spec.Validate(); err != nil {
+			t.Fatalf("arrival %d invalid: %v", i, err)
+		}
+		if i > 0 && arr.At < a[i-1].At {
+			t.Fatalf("arrival %d out of order", i)
+		}
+		if ports[arr.Spec.Port] {
+			t.Fatalf("duplicate port %d", arr.Spec.Port)
+		}
+		ports[arr.Spec.Port] = true
+		if arr.Spec.Kind.Collective() {
+			coll++
+		} else {
+			ps++
+		}
+	}
+	if ps == 0 || coll == 0 {
+		t.Errorf("default mix produced %d PS and %d collective jobs; want both kinds", ps, coll)
+	}
+}
+
+func TestGenerateOpenTraceDriven(t *testing.T) {
+	tr := DemoTrace(4)
+	arr, err := GenerateOpen(OpenConfig{Arrivals: tr}, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != len(tr.Entries) {
+		t.Fatalf("got %d arrivals, want the whole trace (%d)", len(arr), len(tr.Entries))
+	}
+	for i, a := range arr {
+		e := tr.Entries[i]
+		if a.At != e.AtSec || string(a.Spec.Kind) != string(e.Kind) || a.Spec.Model.Name != e.ModelName {
+			t.Errorf("arrival %d does not replay entry: %+v vs %+v", i, a, e)
+		}
+	}
+}
+
+func TestGenerateOpenErrors(t *testing.T) {
+	if _, err := GenerateOpen(OpenConfig{
+		Mix: []JobTemplate{{Kind: KindPS, Model: dl.ResNet32, Tasks: 1, LocalBatch: 1, Iterations: 1, Weight: 0}},
+	}, sim.NewRNG(1)); err == nil {
+		t.Error("GenerateOpen accepted a zero-weight template")
+	}
+	if _, err := GenerateOpen(OpenConfig{
+		Mix: []JobTemplate{{Kind: KindRing, Model: dl.ResNet32, Tasks: 2, LocalBatch: 1, Weight: 1}},
+	}, sim.NewRNG(1)); err == nil {
+		t.Error("GenerateOpen accepted a template without iterations")
+	}
+	if _, err := GenerateOpen(OpenConfig{Arrivals: Poisson{RatePerSec: -1}}, sim.NewRNG(1)); err == nil {
+		t.Error("GenerateOpen accepted an invalid arrival process")
+	}
+}
+
+func TestNamedMix(t *testing.T) {
+	for _, name := range []string{"", "mixed", "ps", "collective"} {
+		mix, err := NamedMix(name, 10)
+		if err != nil || len(mix) == 0 {
+			t.Errorf("NamedMix(%q): %v", name, err)
+		}
+	}
+	if _, err := NamedMix("chaos", 10); err == nil {
+		t.Error("NamedMix accepted an unknown name")
+	}
+	for _, tpl := range PSOnlyMix(10) {
+		if tpl.Kind.Collective() {
+			t.Error("PSOnlyMix contains a collective template")
+		}
+	}
+	for _, tpl := range CollectiveOnlyMix(10) {
+		if !tpl.Kind.Collective() {
+			t.Error("CollectiveOnlyMix contains a PS template")
+		}
+	}
+}
+
+func TestTwoTierSpeeds(t *testing.T) {
+	s := TwoTierSpeeds(12, 3, 0.6)
+	if len(s) != 12 {
+		t.Fatalf("got %d speeds, want 12", len(s))
+	}
+	slow := 0
+	for i, v := range s {
+		want := 1.0
+		if (i+1)%3 == 0 {
+			want = 0.6
+		}
+		if v != want {
+			t.Errorf("host %d speed %g, want %g", i, v, want)
+		}
+		if v != 1 {
+			slow++
+		}
+	}
+	if slow != 4 {
+		t.Errorf("%d slow hosts, want 4", slow)
+	}
+	for i, v := range TwoTierSpeeds(4, 0, 0.5) {
+		if v != 1 {
+			t.Errorf("slowEvery=0 host %d speed %g, want 1", i, v)
+		}
+	}
+}

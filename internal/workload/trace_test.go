@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseTraceExample(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader(ExampleTraceCSV))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if len(tr.Entries) != 4 {
+		t.Fatalf("got %d entries, want 4", len(tr.Entries))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	e := tr.Entries[1]
+	if e.AtSec != 1.2 || e.Kind != KindRing || e.ModelName != "alexnet" ||
+		e.Tasks != 3 || e.LocalBatch != 1 || e.Iterations != 10 {
+		t.Errorf("entry 1 parsed wrong: %+v", e)
+	}
+	times, err := tr.Times(4, sim.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Times: %v", err)
+	}
+	want := []float64{0.5, 1.2, 3.0, 7.5}
+	for i, at := range times {
+		if at != want[i] {
+			t.Errorf("time %d = %g, want %g", i, at, want[i])
+		}
+	}
+}
+
+// Headerless traces parse too: the header row is optional.
+func TestParseTraceHeaderless(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader("0.5,ps,resnet56,3,4,20\n1.0,ring,alexnet,3,1,10\n"))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if len(tr.Entries) != 2 || tr.Validate() != nil {
+		t.Fatalf("headerless trace parsed wrong: %+v", tr.Entries)
+	}
+}
+
+func TestTraceValidateEmpty(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader("# only comments\nat_sec,kind,model,tasks,local_batch,iterations\n"))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if err := tr.Validate(); err == nil {
+		t.Error("Validate accepted an empty trace")
+	}
+	var nilTrace *Trace
+	if err := nilTrace.Validate(); err == nil {
+		t.Error("Validate accepted a nil trace")
+	}
+}
+
+func TestTraceValidateOutOfOrder(t *testing.T) {
+	tr := &Trace{Entries: []TraceEntry{
+		{AtSec: 2, Kind: KindPS, ModelName: "resnet32", Tasks: 3, LocalBatch: 4, Iterations: 5},
+		{AtSec: 1, Kind: KindPS, ModelName: "resnet32", Tasks: 3, LocalBatch: 4, Iterations: 5},
+	}}
+	err := tr.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted out-of-order timestamps")
+	}
+	if !strings.Contains(err.Error(), "out-of-order") {
+		t.Errorf("error %q does not name the out-of-order timestamp", err)
+	}
+}
+
+func TestTraceValidateUnknownModel(t *testing.T) {
+	tr := &Trace{Entries: []TraceEntry{
+		{AtSec: 0, Kind: KindPS, ModelName: "resnet999", Tasks: 3, LocalBatch: 4, Iterations: 5},
+	}}
+	err := tr.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted an unknown model name")
+	}
+	if !strings.Contains(err.Error(), "resnet999") {
+		t.Errorf("error %q does not name the unknown model", err)
+	}
+}
+
+func TestTraceValidateBadEntries(t *testing.T) {
+	base := TraceEntry{AtSec: 0, Kind: KindPS, ModelName: "resnet32", Tasks: 3, LocalBatch: 4, Iterations: 5}
+	mutate := map[string]func(*TraceEntry){
+		"unknown kind":  func(e *TraceEntry) { e.Kind = "mesh" },
+		"negative time": func(e *TraceEntry) { e.AtSec = -1 },
+		"zero tasks":    func(e *TraceEntry) { e.Tasks = 0 },
+		"ring one rank": func(e *TraceEntry) { e.Kind = KindRing; e.Tasks = 1 },
+		"zero batch":    func(e *TraceEntry) { e.LocalBatch = 0 },
+		"zero iters":    func(e *TraceEntry) { e.Iterations = 0 },
+	}
+	for name, f := range mutate {
+		e := base
+		f(&e)
+		if err := (&Trace{Entries: []TraceEntry{e}}).Validate(); err == nil {
+			t.Errorf("Validate accepted %s", name)
+		}
+	}
+}
+
+func TestParseTraceSyntaxErrors(t *testing.T) {
+	for name, body := range map[string]string{
+		"bad float":   "abc,ps,resnet32,3,4,5\n",
+		"bad int":     "1.0,ps,resnet32,x,4,5\n",
+		"wrong width": "1.0,ps,resnet32,3,4\n",
+	} {
+		if _, err := ParseTrace(strings.NewReader(body)); err == nil {
+			t.Errorf("ParseTrace accepted %s", name)
+		}
+	}
+}
+
+func TestTraceTimesBounds(t *testing.T) {
+	tr := DemoTrace(5)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("DemoTrace invalid: %v", err)
+	}
+	if _, err := tr.Times(len(tr.Entries)+1, sim.NewRNG(1)); err == nil {
+		t.Error("Times accepted n beyond the trace length")
+	}
+}

@@ -1,9 +1,12 @@
-// Package workload generates DL job workloads beyond the paper's
-// simultaneous grid search: Poisson job arrivals, heterogeneous model
-// mixes, and production-style PS placement through the cluster
-// scheduler. This exercises the "batch processing mode" of §IV-B —
-// jobs arriving and departing over time, with TensorLights
-// reconfiguring priorities on each arrival and departure.
+// Package workload is the unified front door for experiment
+// generation: every job — the paper's PS grid search, churn arrivals,
+// ring/tree collectives — is described by one placement-free JobSpec
+// that lowers to the concrete runtimes (dl.JobSpec, collective.JobSpec)
+// once a scheduler has picked hosts. Arrival times come from pluggable
+// processes (Poisson, Markov-modulated bursty, trace-driven replay),
+// exercising the "batch processing mode" of §IV-B — jobs arriving and
+// departing over time, with TensorLights reconfiguring priorities on
+// each arrival and departure.
 package workload
 
 import (
@@ -17,9 +20,19 @@ import (
 
 // JobTemplate is one entry of a heterogeneous job mix.
 type JobTemplate struct {
+	// Kind is the unified job kind (zero value = PS, the paper's
+	// pattern; legacy churn templates never set it).
+	Kind              Kind
 	Model             dl.Model
 	LocalBatch        int
 	TargetGlobalSteps int
+	// Tasks is the worker/rank count for open-world generation. Zero
+	// means "all non-PS hosts", which is what the legacy churn
+	// workload does.
+	Tasks int
+	// Iterations is the per-task iteration target for open-world
+	// generation (legacy churn uses TargetGlobalSteps instead).
+	Iterations int
 	// Weight is the template's relative draw probability.
 	Weight float64
 }
@@ -35,6 +48,10 @@ type ChurnConfig struct {
 	Templates []JobTemplate
 	// Hosts is the cluster size (default 21).
 	Hosts int
+	// SlotsPerHost is the flat scheduler's per-host CPU slot capacity
+	// in threads (default 12, the paper's dual-hyperthreaded 6-core
+	// hosts). It was a hardcoded magic number inside Generate before.
+	SlotsPerHost float64
 	// SchedPolicy places each arriving job's PS (production clusters
 	// are PS-agnostic, so colocation arises naturally under
 	// PolicyRandom; PolicyPSAware is the paper's §VII fix).
@@ -53,6 +70,9 @@ func (c *ChurnConfig) fillDefaults() {
 	if c.Hosts <= 0 {
 		c.Hosts = 21
 	}
+	if c.SlotsPerHost == 0 {
+		c.SlotsPerHost = 12
+	}
 	if len(c.Templates) == 0 {
 		c.Templates = []JobTemplate{{
 			Model:             dl.ResNet32,
@@ -65,9 +85,10 @@ func (c *ChurnConfig) fillDefaults() {
 
 // Validate reports configuration errors. The arrival rate must be a
 // positive, finite number of jobs per second — a zero or negative rate
-// would make the Poisson inter-arrival draw meaningless. Generate fills
-// defaults first (so an unset rate becomes 0.1/s) and then validates,
-// so an explicitly negative rate always errors.
+// would make the Poisson inter-arrival draw meaningless — and the slot
+// capacity a positive, finite thread count. Generate fills defaults
+// first (so an unset rate becomes 0.1/s and unset slots become 12) and
+// then validates, so an explicitly negative value always errors.
 func (c ChurnConfig) Validate() error {
 	if !(c.ArrivalRatePerSec > 0) { // also catches NaN
 		return fmt.Errorf("workload: ArrivalRatePerSec %g must be positive", c.ArrivalRatePerSec)
@@ -75,24 +96,36 @@ func (c ChurnConfig) Validate() error {
 	if math.IsInf(c.ArrivalRatePerSec, 1) {
 		return fmt.Errorf("workload: ArrivalRatePerSec must be finite")
 	}
+	// Zero means "unset" (Generate fills the 12-thread default before
+	// validating); anything else must be a positive finite thread count.
+	if c.SlotsPerHost != 0 && !(c.SlotsPerHost > 0) { // also catches NaN
+		return fmt.Errorf("workload: SlotsPerHost %g must be positive", c.SlotsPerHost)
+	}
+	if math.IsInf(c.SlotsPerHost, 1) {
+		return fmt.Errorf("workload: SlotsPerHost must be finite")
+	}
 	return nil
 }
 
-// Arrival is one job arrival event.
+// Arrival is one job arrival event, already lowered to the PS runtime
+// spec (the legacy churn consumers drive dl.Job directly).
 type Arrival struct {
 	At   float64
 	Spec dl.JobSpec
 }
 
-// Generate builds the arrival sequence. It is deterministic for a
-// given rng stream.
+// Generate builds the churn arrival sequence. It is deterministic for
+// a given rng stream, and its output is byte-identical to the
+// pre-unified-layer generator: the same draws in the same order, with
+// each job now expressed as a unified JobSpec and lowered through
+// LowerPS onto the flat scheduler's placement.
 func Generate(cfg ChurnConfig, rng *sim.RNG) ([]Arrival, error) {
 	cfg.fillDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	stream := rng.Stream("workload")
-	sched := cluster.NewScheduler(cfg.SchedPolicy, cfg.Hosts, 12, stream)
+	sched := cluster.NewScheduler(cfg.SchedPolicy, cfg.Hosts, cfg.SlotsPerHost, stream)
 	totalWeight := 0.0
 	for _, tpl := range cfg.Templates {
 		if tpl.Weight <= 0 {
@@ -114,26 +147,28 @@ func Generate(cfg ChurnConfig, rng *sim.RNG) ([]Arrival, error) {
 		if err != nil {
 			return nil, err
 		}
-		var workers []int
+		hosts := make([]int, 0, cfg.Hosts)
+		hosts = append(hosts, psHost)
 		for h := 0; h < cfg.Hosts; h++ {
 			if h != psHost {
-				workers = append(workers, h)
+				hosts = append(hosts, h)
 			}
 		}
-		arrivals = append(arrivals, Arrival{
-			At: at,
-			Spec: dl.JobSpec{
-				ID:                id,
-				Name:              fmt.Sprintf("churn-%02d-%s", id, tpl.Model.Name),
-				Model:             tpl.Model,
-				NumWorkers:        len(workers),
-				LocalBatch:        tpl.LocalBatch,
-				TargetGlobalSteps: tpl.TargetGlobalSteps,
-				PSHost:            psHost,
-				PSPort:            5000 + id,
-				WorkerHosts:       workers,
-			},
-		})
+		unified := JobSpec{
+			ID:            id,
+			Name:          fmt.Sprintf("churn-%02d-%s", id, tpl.Model.Name),
+			Kind:          KindPS,
+			Model:         tpl.Model,
+			Tasks:         len(hosts) - 1,
+			LocalBatch:    tpl.LocalBatch,
+			PSGlobalSteps: tpl.TargetGlobalSteps,
+			Port:          5000 + id,
+		}
+		spec, err := unified.LowerPS(hosts)
+		if err != nil {
+			return nil, err
+		}
+		arrivals = append(arrivals, Arrival{At: at, Spec: spec})
 	}
 	return arrivals, nil
 }
@@ -164,4 +199,189 @@ func HeterogeneousMix(steps int) []JobTemplate {
 		{Model: dl.ResNet56, LocalBatch: 4, TargetGlobalSteps: steps, Weight: 0.3},
 		{Model: dl.InceptionV3, LocalBatch: 4, TargetGlobalSteps: steps / 4, Weight: 0.2},
 	}
+}
+
+// --- open-world generation -------------------------------------------
+
+// Port conventions of the open-world generator: PS jobs claim one port
+// each above basePSPort; collective jobs get a 100-port block above
+// baseCollectivePort (mirroring the scheduler sweep's layout, and
+// keeping both families disjoint for any realistic job count).
+const (
+	basePSPort         = 5000
+	baseCollectivePort = 7000
+)
+
+// portFor assigns job i's TCP source port by kind.
+func portFor(kind Kind, i int) int {
+	if kind.Collective() {
+		return baseCollectivePort + 100*i
+	}
+	return basePSPort + i
+}
+
+// OpenArrival is one open-world arrival: a unified, not-yet-placed
+// JobSpec plus its arrival time. The consumer routes Spec.SchedReq()
+// through the online scheduler tier and lowers onto the decision.
+type OpenArrival struct {
+	At   float64
+	Spec JobSpec
+}
+
+// OpenConfig describes an open-world arrival workload: how many jobs,
+// which arrival process, and which job mix.
+type OpenConfig struct {
+	// Jobs is the total number of arrivals (default 9; for trace-driven
+	// replay, 0 means "the whole trace").
+	Jobs int
+	// Arrivals is the arrival process (default Poisson at 1 job/s).
+	// When it is a *Trace, each job's kind/model/shape comes from the
+	// trace entry and Mix is ignored.
+	Arrivals Process
+	// Mix is the job mix for stochastic processes (default
+	// OpenWorldMix(30)).
+	Mix []JobTemplate
+}
+
+func (c *OpenConfig) fillDefaults() {
+	if c.Arrivals == nil {
+		c.Arrivals = Poisson{RatePerSec: 1}
+	}
+	if tr, ok := c.Arrivals.(*Trace); ok && c.Jobs <= 0 && tr != nil {
+		c.Jobs = len(tr.Entries)
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 9
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = OpenWorldMix(30)
+	}
+}
+
+// GenerateOpen builds the open-world arrival sequence: arrival times
+// from the configured process (stream "open-arrivals") and job shapes
+// from the weighted mix (stream "open-mix") or, for trace replay, from
+// the recorded entries. Placement is deliberately absent — that is the
+// scheduler tier's decision at each arrival instant.
+func GenerateOpen(cfg OpenConfig, rng *sim.RNG) ([]OpenArrival, error) {
+	cfg.fillDefaults()
+	times, err := cfg.Arrivals.Times(cfg.Jobs, rng.Stream("open-arrivals"))
+	if err != nil {
+		return nil, err
+	}
+	if tr, ok := cfg.Arrivals.(*Trace); ok {
+		arrivals := make([]OpenArrival, cfg.Jobs)
+		for i := range arrivals {
+			spec, err := tr.spec(i)
+			if err != nil {
+				return nil, err
+			}
+			arrivals[i] = OpenArrival{At: times[i], Spec: spec}
+		}
+		return arrivals, nil
+	}
+	totalWeight := 0.0
+	for _, tpl := range cfg.Mix {
+		if tpl.Weight <= 0 {
+			return nil, fmt.Errorf("workload: template %q needs positive weight", tpl.Model.Name)
+		}
+		if tpl.Tasks < 1 || tpl.LocalBatch < 1 || tpl.Iterations < 1 {
+			return nil, fmt.Errorf("workload: open-world template %q needs positive tasks, batch and iterations", tpl.Model.Name)
+		}
+		totalWeight += tpl.Weight
+	}
+	mixStream := rng.Stream("open-mix")
+	arrivals := make([]OpenArrival, cfg.Jobs)
+	for i := range arrivals {
+		tpl := pickTemplate(cfg.Mix, totalWeight, mixStream)
+		spec := JobSpec{
+			ID:         i,
+			Name:       fmt.Sprintf("open-%02d-%s-%s", i, tpl.Kind, tpl.Model.Name),
+			Kind:       tpl.Kind,
+			Model:      tpl.Model,
+			Tasks:      tpl.Tasks,
+			LocalBatch: tpl.LocalBatch,
+			Iterations: tpl.Iterations,
+			Port:       portFor(tpl.Kind, i),
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		arrivals[i] = OpenArrival{At: times[i], Spec: spec}
+	}
+	return arrivals, nil
+}
+
+// OpenWorldMix is the default open-world job mix: PS and collective
+// jobs in one stream, small updates (DCGAN, ResNet-56) against
+// communication elephants (AlexNet ring), plus a tree all-reduce for
+// the latency-bound pattern. Every job spans 3 tasks so the mix fits
+// the 12-host leaf-spine sweep cluster with several jobs resident.
+func OpenWorldMix(iters int) []JobTemplate {
+	if iters < 1 {
+		iters = 1
+	}
+	return []JobTemplate{
+		{Kind: KindPS, Model: dl.DCGAN, Tasks: 3, LocalBatch: 4, Iterations: iters, Weight: 0.3},
+		{Kind: KindPS, Model: dl.ResNet56, Tasks: 3, LocalBatch: 4, Iterations: 2 * iters, Weight: 0.3},
+		{Kind: KindRing, Model: dl.AlexNet, Tasks: 3, LocalBatch: 1, Iterations: iters, Weight: 0.25},
+		{Kind: KindTree, Model: dl.ResNet50, Tasks: 3, LocalBatch: 1, Iterations: iters, Weight: 0.15},
+	}
+}
+
+// PSOnlyMix is the open-world mix restricted to parameter-server jobs.
+func PSOnlyMix(iters int) []JobTemplate {
+	if iters < 1 {
+		iters = 1
+	}
+	return []JobTemplate{
+		{Kind: KindPS, Model: dl.DCGAN, Tasks: 3, LocalBatch: 4, Iterations: iters, Weight: 0.4},
+		{Kind: KindPS, Model: dl.ResNet56, Tasks: 3, LocalBatch: 4, Iterations: 2 * iters, Weight: 0.4},
+		{Kind: KindPS, Model: dl.InceptionV3, Tasks: 3, LocalBatch: 2, Iterations: iters, Weight: 0.2},
+	}
+}
+
+// CollectiveOnlyMix is the open-world mix restricted to collectives.
+func CollectiveOnlyMix(iters int) []JobTemplate {
+	if iters < 1 {
+		iters = 1
+	}
+	return []JobTemplate{
+		{Kind: KindRing, Model: dl.AlexNet, Tasks: 3, LocalBatch: 1, Iterations: iters, Weight: 0.4},
+		{Kind: KindRing, Model: dl.ResNet50, Tasks: 3, LocalBatch: 1, Iterations: iters, Weight: 0.4},
+		{Kind: KindTree, Model: dl.ResNet50, Tasks: 3, LocalBatch: 1, Iterations: iters, Weight: 0.2},
+	}
+}
+
+// NamedMix resolves a mix name from the CLI (-mix flag): "mixed"
+// (default), "ps" or "collective".
+func NamedMix(name string, iters int) ([]JobTemplate, error) {
+	switch name {
+	case "", "mixed":
+		return OpenWorldMix(iters), nil
+	case "ps":
+		return PSOnlyMix(iters), nil
+	case "collective":
+		return CollectiveOnlyMix(iters), nil
+	}
+	return nil, fmt.Errorf("workload: unknown mix %q (want mixed, ps or collective)", name)
+}
+
+// TwoTierSpeeds builds a deterministic heterogeneous speed-factor
+// vector: every slowEvery-th host (ids slowEvery-1, 2*slowEvery-1, ...)
+// runs at slowFactor, the rest at 1.0. Deterministic rather than drawn,
+// so heterogeneous-vs-homogeneous comparisons differ only in hardware,
+// never in random layout.
+func TwoTierSpeeds(hosts, slowEvery int, slowFactor float64) []float64 {
+	if hosts <= 0 {
+		return nil
+	}
+	speeds := make([]float64, hosts)
+	for i := range speeds {
+		speeds[i] = 1
+		if slowEvery > 0 && slowFactor > 0 && (i+1)%slowEvery == 0 {
+			speeds[i] = slowFactor
+		}
+	}
+	return speeds
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/sweep"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Version identifies the reproduction release.
@@ -191,6 +192,15 @@ type ExperimentConfig struct {
 	// Topology, Racks, PlacementStrategy, Collective) are ignored —
 	// the scheduler tier owns placement.
 	Scheduler *SchedulerConfig
+	// OpenWorld, when non-nil, replaces the static grid workload with
+	// the open-world experiment: a unified stream of PS, ring and tree
+	// jobs drawn from a pluggable arrival process (Poisson, bursty or
+	// trace replay), placed per arrival by the cluster-scheduler tier
+	// on an oversubscribed leaf-spine fabric, optionally over
+	// heterogeneous hosts. The placement-related fields above are
+	// ignored — the scheduler tier owns placement. Incompatible with
+	// Scheduler and Sharded.
+	OpenWorld *OpenWorldConfig
 	// Sharded, when non-nil, executes the run on the sharded engine:
 	// the hosts are partitioned into Shards event kernels advancing in
 	// conservative lockstep windows (see DESIGN.md §12), and the
@@ -240,6 +250,40 @@ type SchedulerConfig struct {
 	// Jobs is the number of arrivals (default 9).
 	Jobs int
 	// ArrivalRatePerSec is the Poisson arrival rate (default 1/s).
+	ArrivalRatePerSec float64
+}
+
+// OpenWorldConfig describes the open-world experiment: one arrival
+// stream mixing PS and collective jobs through the unified workload
+// layer (internal/workload), placed online by the cluster-scheduler
+// tier.
+type OpenWorldConfig struct {
+	// Arrivals names the arrival process: "poisson" (default),
+	// "bursty" (Markov-modulated on/off) or "trace" (CSV replay).
+	Arrivals string
+	// Trace optionally supplies the replay CSV for Arrivals ==
+	// "trace" in the workload.ParseTrace schema
+	// (at_sec,kind,model,tasks,local_batch,iterations). When nil the
+	// built-in demo trace is replayed.
+	Trace io.Reader
+	// Mix selects the job mix for stochastic arrivals: "mixed"
+	// (default), "ps" or "collective". Ignored for trace replay —
+	// the trace names each job's kind and model.
+	Mix string
+	// Heterogeneous slows every third host to 60% reference speed.
+	Heterogeneous bool
+	// Placement names the cluster-scheduler placement policy: random,
+	// pack, spread, network-aware, contention-aware or phase-aware
+	// (default contention-aware).
+	Placement string
+	// Oversubscription is the leaf-spine core oversubscription ratio
+	// (default 2).
+	Oversubscription float64
+	// Jobs is the number of arrivals (default 9; trace replay always
+	// runs the whole trace).
+	Jobs int
+	// ArrivalRatePerSec scales the stochastic arrival processes
+	// (default 1/s).
 	ArrivalRatePerSec float64
 }
 
@@ -409,7 +453,16 @@ func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*Result, e
 		if cfg.Sharded != nil {
 			return nil, fmt.Errorf("tensorlights: Sharded is incompatible with Scheduler (the scheduler trial owns its own kernel)")
 		}
+		if cfg.OpenWorld != nil {
+			return nil, fmt.Errorf("tensorlights: OpenWorld is incompatible with Scheduler (set exactly one)")
+		}
 		return runSchedulerExperiment(ctx, cfg)
+	}
+	if cfg.OpenWorld != nil {
+		if cfg.Sharded != nil {
+			return nil, fmt.Errorf("tensorlights: Sharded is incompatible with OpenWorld (the open-world trial owns its own kernel)")
+		}
+		return runOpenWorldExperiment(ctx, cfg)
 	}
 	rc, err := toRunConfig(cfg)
 	if err != nil {
@@ -501,6 +554,63 @@ func runSchedulerExperiment(ctx context.Context, cfg ExperimentConfig) (*Result,
 		tc.Tracer = buf
 	}
 	res, err := sweep.SchedulerTrial(ctx, tc)
+	if err != nil {
+		if buf != nil && ctx.Err() != nil {
+			fmt.Fprintf(cfg.TraceCSV, "# partial trace: experiment cancelled before completion (%v)\n", ctx.Err())
+			_ = buf.WriteCSV(cfg.TraceCSV)
+		}
+		return nil, err
+	}
+	if buf != nil {
+		if err := buf.WriteCSV(cfg.TraceCSV); err != nil {
+			return nil, fmt.Errorf("tensorlights: trace dump: %w", err)
+		}
+	}
+	return &Result{
+		JCTs:               res.JCTs,
+		AvgJCT:             res.AvgJCT,
+		SimulatedSeconds:   res.MakespanSec,
+		Events:             res.Events,
+		TcReconfigurations: res.Reconfigs,
+	}, nil
+}
+
+// runOpenWorldExperiment maps an ExperimentConfig with OpenWorld set
+// onto one open-world trial.
+func runOpenWorldExperiment(ctx context.Context, cfg ExperimentConfig) (*Result, error) {
+	place, err := scheduler.ParsePolicy(cfg.OpenWorld.Placement)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.OpenWorld.Placement == "" {
+		place = scheduler.PolicyContentionAware
+	}
+	tc := sweep.OpenWorldTrialConfig{
+		Steps:             cfg.Steps,
+		Seed:              cfg.Seed,
+		Arrivals:          cfg.OpenWorld.Arrivals,
+		Heterogeneous:     cfg.OpenWorld.Heterogeneous,
+		Oversub:           cfg.OpenWorld.Oversubscription,
+		Placement:         place,
+		PolicyName:        cfg.Policy.String(),
+		Jobs:              cfg.OpenWorld.Jobs,
+		ArrivalRatePerSec: cfg.OpenWorld.ArrivalRatePerSec,
+		MixName:           cfg.OpenWorld.Mix,
+		FabricMode:        cfg.FabricMode,
+	}
+	if cfg.OpenWorld.Trace != nil {
+		tr, err := workload.ParseTrace(cfg.OpenWorld.Trace)
+		if err != nil {
+			return nil, err
+		}
+		tc.Trace = tr
+	}
+	var buf *trace.Buffer
+	if cfg.TraceCSV != nil {
+		buf = &trace.Buffer{}
+		tc.Tracer = buf
+	}
+	res, err := sweep.OpenWorldTrial(ctx, tc)
 	if err != nil {
 		if buf != nil && ctx.Err() != nil {
 			fmt.Fprintf(cfg.TraceCSV, "# partial trace: experiment cancelled before completion (%v)\n", ctx.Err())
@@ -810,6 +920,21 @@ func ReproduceTopology(o ReproOptions) (string, error) {
 // smarter cluster tier wins before the end-host bands see a packet.
 func ReproduceScheduler(o ReproOptions) (string, error) {
 	r, err := sweep.SchedulerSweep(o.sweep())
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// ReproduceOpenWorld runs the open-world sweep: one unified stream of
+// PS, ring and tree jobs per cell, crossed over arrival processes
+// (Poisson, bursty, trace replay) × host fleets (homogeneous vs every
+// third host at 60% speed) × end-host policies (FIFO, TLs-RR, TLs-LAS,
+// TLs-SRSF) on the oversubscribed leaf-spine fabric with online
+// contention-aware placement, reporting per-cell avg/p95 JCT, job-kind
+// counts, cross-rack traffic and the headline heterogeneity tax.
+func ReproduceOpenWorld(o ReproOptions) (string, error) {
+	r, err := sweep.OpenWorldSweep(o.sweep())
 	if err != nil {
 		return "", err
 	}
